@@ -1,0 +1,63 @@
+// Ablation (DESIGN.md §5.5): passive-dataset generator and analyzer cost vs
+// study window size — month-bucketed aggregation keeps the ≈17M-connection
+// study tractable.
+#include <benchmark/benchmark.h>
+
+#include "analysis/longitudinal.hpp"
+#include "analysis/summary.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace iotls;
+
+void BM_GeneratePassiveDataset(benchmark::State& state) {
+  const int months = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    testbed::GeneratorOptions gen;
+    gen.seed = 11;
+    gen.count_scale = 1.0;
+    gen.first = common::kStudyStart;
+    gen.last = common::kStudyStart.plus(months - 1);
+    benchmark::DoNotOptimize(testbed::generate_passive_dataset(gen));
+  }
+}
+BENCHMARK(BM_GeneratePassiveDataset)->Arg(3)->Arg(9)->Arg(27)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeVersionSeries(benchmark::State& state) {
+  testbed::GeneratorOptions gen;
+  gen.seed = 11;
+  const auto dataset = testbed::generate_passive_dataset(gen);
+  const auto months = analysis::study_months();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::all_version_series(dataset, months));
+  }
+}
+BENCHMARK(BM_AnalyzeVersionSeries)->Unit(benchmark::kMillisecond);
+
+void BM_Summarize(benchmark::State& state) {
+  testbed::GeneratorOptions gen;
+  gen.seed = 11;
+  const auto dataset = testbed::generate_passive_dataset(gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::summarize(dataset));
+  }
+}
+BENCHMARK(BM_Summarize)->Unit(benchmark::kMillisecond);
+
+void BM_FullHandshakeCost(benchmark::State& state) {
+  // The unit cost behind every generated (device, destination, month) cell.
+  testbed::Testbed tb;
+  tb.set_date({2021, 3, 1});
+  auto& runtime = tb.runtime("Nest Thermostat");
+  const auto& dest = runtime.profile().destinations.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.connect_to(dest, tb.date()));
+  }
+}
+BENCHMARK(BM_FullHandshakeCost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

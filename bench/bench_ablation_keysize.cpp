@@ -1,0 +1,78 @@
+// Ablation (DESIGN.md §5.1): probe-path crypto cost vs RSA modulus size.
+//
+// The spoofed-CA probe signs one forged leaf and the client verifies it;
+// this bench quantifies why the simulation defaults to 512-bit moduli.
+#include <benchmark/benchmark.h>
+
+#include "crypto/rsa.hpp"
+#include "pki/ca.hpp"
+#include "pki/spoof.hpp"
+#include "x509/verify.hpp"
+
+namespace {
+
+using namespace iotls;
+
+void BM_RsaKeygen(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    common::Rng rng(seed++);
+    benchmark::DoNotOptimize(crypto::rsa_generate(rng, bits));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(448)->Arg(512)->Arg(768)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(7);
+  const auto keys = crypto::rsa_generate(rng, bits);
+  const auto msg = common::to_bytes("to-be-signed certificate body");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(keys.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(448)->Arg(512)->Arg(768)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(9);
+  const auto keys = crypto::rsa_generate(rng, bits);
+  const auto msg = common::to_bytes("to-be-signed certificate body");
+  const auto sig = crypto::rsa_sign(keys.priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(keys.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(448)->Arg(512)->Arg(768)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// One full probe payload: spoof a root + forge a leaf + verify the chain
+// (exactly what each of the ~3,300 Table 9 probes pays).
+void BM_SpoofedProbePayload(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(11);
+  pki::CertificateAuthority real_ca(
+      x509::DistinguishedName::cn("Ablation Root"), rng, x509::Validity{},
+      bits);
+  const auto attacker = crypto::rsa_generate(rng, bits);
+  const std::vector<x509::Certificate> anchors = {real_ca.root()};
+
+  for (auto _ : state) {
+    const auto spoofed = pki::make_spoofed_ca(real_ca.root(), attacker);
+    const auto chain = pki::forge_chain(spoofed, attacker.priv,
+                                        "victim.example.com", attacker.pub);
+    const auto result = x509::verify_chain(chain, "victim.example.com",
+                                           anchors, {2021, 3, 1});
+    if (result.error != x509::VerifyError::BadSignature) state.SkipWithError("probe broke");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SpoofedProbePayload)->Arg(448)->Arg(512)->Arg(768)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Ablation: full vs. ticket-resumed handshake cost — quantifies why real
+// IoT clients (and our fingerprint catalogue's session_ticket users) care
+// about resumption, and what an abbreviated handshake skips (certificate
+// transfer + validation + key exchange).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pki/ca.hpp"
+#include "tls/client.hpp"
+#include "tls/server.hpp"
+
+namespace {
+
+using namespace iotls;
+
+struct Fixture {
+  Fixture()
+      : rng(12), ca(x509::DistinguishedName::cn("Bench Root"), rng),
+        server_keys(crypto::rsa_generate(rng, 512)) {
+    roots.add(ca.root());
+    cfg.chain = {ca.issue_server_cert("bench.example.com", server_keys.pub)};
+    cfg.keys = server_keys;
+    cfg.seed = 3;
+    client_cfg.session_ticket = true;
+  }
+
+  tls::ClientResult connect(const tls::ResumptionState* resume) {
+    auto server = std::make_shared<tls::TlsServer>(cfg);
+    tls::Transport transport(server);
+    tls::TlsClient client(client_cfg, &roots, common::Rng(4),
+                          common::SimDate{2021, 3, 1});
+    return client.connect(transport, "bench.example.com", {}, resume);
+  }
+
+  common::Rng rng;
+  pki::CertificateAuthority ca;
+  crypto::RsaKeyPair server_keys;
+  pki::RootStore roots;
+  tls::ServerConfig cfg;
+  tls::ClientConfig client_cfg;
+};
+
+void BM_FullHandshake(benchmark::State& state) {
+  Fixture fx;
+  for (auto _ : state) {
+    const auto result = fx.connect(nullptr);
+    if (!result.success()) state.SkipWithError("handshake failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullHandshake)->Unit(benchmark::kMicrosecond);
+
+void BM_ResumedHandshake(benchmark::State& state) {
+  Fixture fx;
+  const auto first = fx.connect(nullptr);
+  if (!first.resumption.has_value()) {
+    state.SkipWithError("no ticket issued");
+    return;
+  }
+  const auto resume = *first.resumption;
+  for (auto _ : state) {
+    const auto result = fx.connect(&resume);
+    if (!result.resumed) state.SkipWithError("resumption declined");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ResumedHandshake)->Unit(benchmark::kMicrosecond);
+
+void BM_TicketSealUnseal(benchmark::State& state) {
+  const auto key = common::to_bytes("ticket-key-material-32-bytes!!!!");
+  const auto master = common::to_bytes("master-secret-material-48-bytes-aaaaaaaaaaaaaaa");
+  for (auto _ : state) {
+    const auto ticket = tls::seal_ticket(key, 0xC02F, master);
+    benchmark::DoNotOptimize(tls::unseal_ticket(key, ticket));
+  }
+}
+BENCHMARK(BM_TicketSealUnseal)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

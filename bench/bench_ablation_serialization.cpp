@@ -1,0 +1,60 @@
+// Ablation (DESIGN.md §5.3): cost of the real wire serialization layer —
+// message-level interception still pays full serialize+parse per record.
+#include <benchmark/benchmark.h>
+
+#include "fingerprint/database.hpp"
+#include "tls/client.hpp"
+#include "tls/messages.hpp"
+
+namespace {
+
+using namespace iotls;
+
+tls::ClientHello sample_hello() {
+  common::Rng rng(5);
+  return tls::build_client_hello(
+      fingerprint::reference_config("openssl"), "bench.example.com", rng);
+}
+
+void BM_ClientHelloSerialize(benchmark::State& state) {
+  const auto hello = sample_hello();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hello.serialize());
+  }
+}
+BENCHMARK(BM_ClientHelloSerialize);
+
+void BM_ClientHelloParse(benchmark::State& state) {
+  const auto bytes = sample_hello().serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::ClientHello::parse(bytes));
+  }
+}
+BENCHMARK(BM_ClientHelloParse);
+
+void BM_ClientHelloRoundTrip(benchmark::State& state) {
+  const auto hello = sample_hello();
+  for (auto _ : state) {
+    const auto msg =
+        tls::HandshakeMessage::wrap(tls::HandshakeType::ClientHello, hello);
+    const tls::TlsRecord record{tls::ContentType::Handshake,
+                                tls::ProtocolVersion::Tls1_2,
+                                msg.serialize()};
+    const auto parsed = tls::TlsRecord::parse(record.serialize());
+    benchmark::DoNotOptimize(
+        tls::ClientHello::parse(tls::HandshakeMessage::parse(parsed.payload).body));
+  }
+}
+BENCHMARK(BM_ClientHelloRoundTrip);
+
+void BM_FingerprintOfHello(benchmark::State& state) {
+  const auto hello = sample_hello();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fingerprint::fingerprint_of(hello));
+  }
+}
+BENCHMARK(BM_FingerprintOfHello);
+
+}  // namespace
+
+BENCHMARK_MAIN();

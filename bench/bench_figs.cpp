@@ -1,0 +1,28 @@
+// Reproduces one paper figure per invocation (see bench_tables.cpp).
+#include "bench_util.hpp"
+
+int main() {
+  using iotls::bench::reproduction_options;
+  using iotls::bench::run_reproduction;
+  iotls::core::IotlsStudy study(reproduction_options());
+
+#if defined(IOTLS_BENCH_FIG1)
+  run_reproduction("Fig 1 (TLS versions over time)",
+                   [&] { return study.render_fig1(); });
+#elif defined(IOTLS_BENCH_FIG2)
+  run_reproduction("Fig 2 (insecure suites advertised)",
+                   [&] { return study.render_fig2(); });
+#elif defined(IOTLS_BENCH_FIG3)
+  run_reproduction("Fig 3 (strong suites established)",
+                   [&] { return study.render_fig3(); });
+#elif defined(IOTLS_BENCH_FIG4)
+  run_reproduction("Fig 4 (root staleness)",
+                   [&] { return study.render_fig4(); });
+#elif defined(IOTLS_BENCH_FIG5)
+  run_reproduction("Fig 5 (fingerprint sharing)",
+                   [&] { return study.render_fig5(); });
+#else
+#error "select a figure with -DIOTLS_BENCH_FIGn"
+#endif
+  return 0;
+}

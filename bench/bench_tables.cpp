@@ -1,0 +1,44 @@
+// Reproduces one paper table per invocation; the target name selects it via
+// argv[0] (each CMake target compiles this file with a -DIOTLS_BENCH_*).
+#include "bench_util.hpp"
+
+int main() {
+  using iotls::bench::reproduction_options;
+  using iotls::bench::run_reproduction;
+  iotls::core::IotlsStudy study(reproduction_options());
+
+#if defined(IOTLS_BENCH_TABLE1)
+  run_reproduction("Table 1 (device inventory)",
+                   [&] { return study.render_table1(); });
+#elif defined(IOTLS_BENCH_TABLE2)
+  run_reproduction("Table 2 (interception attacks)",
+                   [&] { return study.render_table2(); });
+#elif defined(IOTLS_BENCH_TABLE3)
+  run_reproduction("Table 3 (root-store sources)",
+                   [&] { return study.render_table3(); });
+#elif defined(IOTLS_BENCH_TABLE4)
+  run_reproduction("Table 4 (library probe matrix)",
+                   [&] { return study.render_table4(); });
+#elif defined(IOTLS_BENCH_TABLE5)
+  run_reproduction("Table 5 (downgrade on failure)",
+                   [&] { return study.render_table5(); });
+#elif defined(IOTLS_BENCH_TABLE6)
+  run_reproduction("Table 6 (old version support)",
+                   [&] { return study.render_table6(); });
+#elif defined(IOTLS_BENCH_TABLE7)
+  run_reproduction("Table 7 (interception vulnerability)",
+                   [&] { return study.render_table7(); });
+#elif defined(IOTLS_BENCH_TABLE8)
+  run_reproduction("Table 8 (revocation support)",
+                   [&] { return study.render_table8(); });
+#elif defined(IOTLS_BENCH_TABLE9)
+  run_reproduction("Table 9 (root-store exploration)",
+                   [&] { return study.render_table9(); });
+#elif defined(IOTLS_BENCH_SUMMARY)
+  run_reproduction("Summary statistics (§5.1)",
+                   [&] { return study.render_summary(); });
+#else
+#error "select a table with -DIOTLS_BENCH_TABLEn"
+#endif
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/study.hpp"
+
+namespace iotls::bench {
+
+/// Standard study options for reproduction binaries: full passive window,
+/// paper-scale connection counts.
+inline core::IotlsStudy::Options reproduction_options() {
+  core::IotlsStudy::Options options;
+  options.seed = 42;
+  options.passive_scale = 1.0;
+  return options;
+}
+
+/// Print a reproduction banner + body with wall-clock timing.
+template <typename Fn>
+void run_reproduction(const std::string& id, Fn&& body) {
+  std::printf("==== IoTLS reproduction: %s ====\n", id.c_str());
+  const auto start = std::chrono::steady_clock::now();
+  std::string output = body();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::fputs(output.c_str(), stdout);
+  std::printf("\n[%s generated in %lld ms]\n", id.c_str(),
+              static_cast<long long>(elapsed.count()));
+}
+
+}  // namespace iotls::bench

@@ -1,0 +1,98 @@
+#include "analysis/fpstudy.hpp"
+
+#include <algorithm>
+
+namespace iotls::analysis {
+
+int FingerprintStudy::single_instance_devices() const {
+  return static_cast<int>(std::count_if(
+      fingerprints_per_device.begin(), fingerprints_per_device.end(),
+      [](const auto& kv) { return kv.second == 1; }));
+}
+
+int FingerprintStudy::multi_instance_devices() const {
+  return static_cast<int>(std::count_if(
+      fingerprints_per_device.begin(), fingerprints_per_device.end(),
+      [](const auto& kv) { return kv.second > 1; }));
+}
+
+int FingerprintStudy::sharing_devices() const {
+  int count = 0;
+  for (const auto& [device, n] : fingerprints_per_device) {
+    if (!graph.sharing_partners(device).empty()) ++count;
+  }
+  return count;
+}
+
+FingerprintStudy run_fingerprint_study(testbed::Testbed& testbed) {
+  FingerprintStudy study;
+  const common::SimDate snapshot{2021, 3, 25};
+  testbed.set_date(snapshot);
+
+  for (const auto& name : testbed.device_names()) {
+    auto& runtime = testbed.runtime(name);
+    runtime.reset_failure_state();
+    const auto boot = runtime.boot(snapshot, /*include_intermittent=*/true);
+
+    // Count uses per fingerprint to find the dominant one (thick edges).
+    std::map<std::string, std::pair<fingerprint::Fingerprint, int>> uses;
+    for (const auto& conn : boot.connections) {
+      const auto fp = fingerprint::fingerprint_of(conn.result.hello);
+      auto& entry = uses[fp.hash];
+      entry.first = fp;
+      ++entry.second;
+    }
+    int best = 0;
+    std::string best_hash;
+    for (const auto& [hash, entry] : uses) {
+      if (entry.second > best) {
+        best = entry.second;
+        best_hash = hash;
+      }
+    }
+    for (const auto& [hash, entry] : uses) {
+      study.graph.add_use(name, fingerprint::NodeKind::Device, entry.first,
+                          hash == best_hash);
+    }
+    study.fingerprints_per_device[name] = static_cast<int>(uses.size());
+  }
+
+  // Merge the reference application database (Kotzias et al. stand-in).
+  const auto db = fingerprint::build_reference_db();
+  for (const auto& app : db.applications()) {
+    for (const auto& fp : db.fingerprints_of(app)) {
+      study.graph.add_use(app, fingerprint::NodeKind::Application, fp, true);
+    }
+  }
+  return study;
+}
+
+std::string render_sharing_graph(const FingerprintStudy& study) {
+  std::string out;
+  const auto clusters = study.graph.clusters();
+  int index = 1;
+  for (const auto& cluster : clusters) {
+    out += "cluster " + std::to_string(index++) + ":";
+    for (const auto& member : cluster) {
+      const bool is_app =
+          study.graph.kind_of(member) == fingerprint::NodeKind::Application;
+      out += " " + member + (is_app ? "*" : "");
+    }
+    out += "\n";
+  }
+  out += "(* = application from the reference fingerprint database)\n";
+
+  out += "\nshared fingerprints:\n";
+  for (const auto& fp : study.graph.shared_fingerprints()) {
+    out += "  " + fp.hash.substr(0, 12) + " used by";
+    for (const auto& client : study.graph.clients_of(fp)) {
+      out += " [" + client +
+             (study.graph.is_dominant(client, fp) ? "**" : "") + "]";
+    }
+    out += "\n";
+  }
+  out += "(** = that client's dominant fingerprint)\n";
+  return out;
+}
+
+}  // namespace iotls::analysis

@@ -1,0 +1,207 @@
+#include "analysis/longitudinal.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/table.hpp"
+
+namespace iotls::analysis {
+
+std::vector<common::Month> study_months() {
+  return common::month_range(common::kStudyStart, common::kStudyEnd);
+}
+
+namespace {
+
+/// Accumulates weighted per-month counts.
+struct MonthAccumulator {
+  std::vector<std::uint64_t> total;
+  std::map<tls::VersionBucket, std::vector<std::uint64_t>> adv_bucket;
+  std::map<tls::VersionBucket, std::vector<std::uint64_t>> est_bucket;
+  std::vector<std::uint64_t> insecure_adv, insecure_est;
+  std::vector<std::uint64_t> strong_adv, strong_est;
+  std::vector<std::uint64_t> established_total;
+
+  explicit MonthAccumulator(std::size_t n) {
+    total.assign(n, 0);
+    insecure_adv.assign(n, 0);
+    insecure_est.assign(n, 0);
+    strong_adv.assign(n, 0);
+    strong_est.assign(n, 0);
+    established_total.assign(n, 0);
+    for (const auto bucket :
+         {tls::VersionBucket::Tls13, tls::VersionBucket::Tls12,
+          tls::VersionBucket::Older}) {
+      adv_bucket[bucket].assign(n, 0);
+      est_bucket[bucket].assign(n, 0);
+    }
+  }
+};
+
+std::vector<double> to_fractions(const std::vector<std::uint64_t>& counts,
+                                 const std::vector<std::uint64_t>& totals) {
+  std::vector<double> out(counts.size(), kNoTraffic);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (totals[i] > 0) {
+      out[i] = static_cast<double>(counts[i]) /
+               static_cast<double>(totals[i]);
+    }
+  }
+  return out;
+}
+
+MonthAccumulator accumulate(const testbed::PassiveDataset& dataset,
+                            const std::string& device,
+                            const std::vector<common::Month>& months) {
+  MonthAccumulator acc(months.size());
+  const int base = months.empty() ? 0 : months.front().index();
+  for (const auto* group : dataset.for_device(device)) {
+    const int idx = group->record.month.index() - base;
+    if (idx < 0 || idx >= static_cast<int>(months.size())) continue;
+    const auto& rec = group->record;
+    const std::uint64_t n = group->count;
+
+    acc.total[idx] += n;
+    if (!rec.advertised_versions.empty()) {
+      acc.adv_bucket[tls::bucket_of(rec.max_advertised_version())][idx] += n;
+    }
+    if (rec.advertises_insecure_suite()) acc.insecure_adv[idx] += n;
+    if (rec.advertises_strong_suite()) acc.strong_adv[idx] += n;
+
+    if (rec.established_version.has_value()) {
+      acc.established_total[idx] += n;
+      acc.est_bucket[tls::bucket_of(*rec.established_version)][idx] += n;
+      if (rec.established_insecure_suite()) acc.insecure_est[idx] += n;
+      if (rec.established_strong_suite()) acc.strong_est[idx] += n;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool VersionSeries::tls12_exclusive(double threshold) const {
+  const auto check = [&](const std::map<tls::VersionBucket,
+                                        std::vector<double>>& side) {
+    const auto& tls12 = side.at(tls::VersionBucket::Tls12);
+    for (const double f : tls12) {
+      if (f == kNoTraffic) continue;
+      if (f < threshold) return false;
+    }
+    return true;
+  };
+  return check(advertised) && check(established);
+}
+
+VersionSeries version_series(const testbed::PassiveDataset& dataset,
+                             const std::string& device,
+                             const std::vector<common::Month>& months) {
+  const MonthAccumulator acc = accumulate(dataset, device, months);
+  VersionSeries series;
+  series.device = device;
+  series.months = months;
+  for (const auto& [bucket, counts] : acc.adv_bucket) {
+    series.advertised[bucket] = to_fractions(counts, acc.total);
+  }
+  for (const auto& [bucket, counts] : acc.est_bucket) {
+    series.established[bucket] =
+        to_fractions(counts, acc.established_total);
+  }
+  return series;
+}
+
+std::vector<VersionSeries> all_version_series(
+    const testbed::PassiveDataset& dataset,
+    const std::vector<common::Month>& months) {
+  std::vector<VersionSeries> out;
+  for (const auto& device : dataset.devices()) {
+    out.push_back(version_series(dataset, device, months));
+  }
+  // Fig 1 ordering: mixed-version devices first.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const VersionSeries& a, const VersionSeries& b) {
+                     return !a.tls12_exclusive() && b.tls12_exclusive();
+                   });
+  return out;
+}
+
+double CipherSeries::max_insecure_advertised() const {
+  double best = 0.0;
+  for (const double f : insecure_advertised) {
+    if (f != kNoTraffic) best = std::max(best, f);
+  }
+  return best;
+}
+
+double CipherSeries::mean_strong_established() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const double f : strong_established) {
+    if (f == kNoTraffic) continue;
+    sum += f;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+CipherSeries cipher_series(const testbed::PassiveDataset& dataset,
+                           const std::string& device,
+                           const std::vector<common::Month>& months) {
+  const MonthAccumulator acc = accumulate(dataset, device, months);
+  CipherSeries series;
+  series.device = device;
+  series.months = months;
+  series.insecure_advertised = to_fractions(acc.insecure_adv, acc.total);
+  series.insecure_established =
+      to_fractions(acc.insecure_est, acc.established_total);
+  series.strong_advertised = to_fractions(acc.strong_adv, acc.total);
+  series.strong_established =
+      to_fractions(acc.strong_est, acc.established_total);
+  return series;
+}
+
+std::vector<CipherSeries> all_cipher_series(
+    const testbed::PassiveDataset& dataset,
+    const std::vector<common::Month>& months) {
+  std::vector<CipherSeries> out;
+  for (const auto& device : dataset.devices()) {
+    out.push_back(cipher_series(dataset, device, months));
+  }
+  return out;
+}
+
+std::string render_version_heatmap(const std::vector<VersionSeries>& series,
+                                   bool advertised) {
+  std::string out;
+  for (const auto& s : series) {
+    const auto& side = advertised ? s.advertised : s.established;
+    out += s.device + "\n";
+    for (const auto bucket :
+         {tls::VersionBucket::Tls13, tls::VersionBucket::Tls12,
+          tls::VersionBucket::Older}) {
+      out += "  " + tls::bucket_name(bucket);
+      out.append(6 - tls::bucket_name(bucket).size(), ' ');
+      out += "|" + common::heat_strip(side.at(bucket)) + "|\n";
+    }
+  }
+  return out;
+}
+
+std::string render_cipher_heatmap(const std::vector<CipherSeries>& series,
+                                  bool insecure, bool advertised) {
+  std::string out;
+  for (const auto& s : series) {
+    const std::vector<double>* row = nullptr;
+    if (insecure) {
+      row = advertised ? &s.insecure_advertised : &s.insecure_established;
+    } else {
+      row = advertised ? &s.strong_advertised : &s.strong_established;
+    }
+    std::string name = s.device;
+    name.resize(20, ' ');
+    out += name + " |" + common::heat_strip(*row) + "|\n";
+  }
+  return out;
+}
+
+}  // namespace iotls::analysis

@@ -1,0 +1,45 @@
+#include "analysis/revocation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "devices/catalog.hpp"
+
+namespace iotls::analysis {
+
+int RevocationSummary::non_checking_count(int total_devices) const {
+  std::set<std::string> checking;
+  checking.insert(crl_devices.begin(), crl_devices.end());
+  checking.insert(ocsp_devices.begin(), ocsp_devices.end());
+  checking.insert(stapling_devices.begin(), stapling_devices.end());
+  return total_devices - static_cast<int>(checking.size());
+}
+
+RevocationSummary analyze_revocation(const testbed::PassiveDataset& dataset) {
+  RevocationSummary summary = revocation_from_catalog();
+
+  // Stapling re-derived from traffic: a device supports stapling iff some
+  // captured ClientHello carries status_request.
+  std::set<std::string> stapling;
+  for (const auto& group : dataset.groups()) {
+    if (group.record.requested_ocsp_staple) {
+      stapling.insert(group.record.device);
+    }
+  }
+  summary.stapling_devices.assign(stapling.begin(), stapling.end());
+  return summary;
+}
+
+RevocationSummary revocation_from_catalog() {
+  RevocationSummary summary;
+  for (const auto& device : devices::device_catalog()) {
+    if (device.revocation.crl) summary.crl_devices.push_back(device.name);
+    if (device.revocation.ocsp) summary.ocsp_devices.push_back(device.name);
+    if (device.revocation.ocsp_stapling) {
+      summary.stapling_devices.push_back(device.name);
+    }
+  }
+  return summary;
+}
+
+}  // namespace iotls::analysis

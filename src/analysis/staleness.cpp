@@ -1,0 +1,67 @@
+#include "analysis/staleness.hpp"
+
+#include <cstdio>
+
+namespace iotls::analysis {
+
+int StalenessReport::earliest_year(const std::string& device) const {
+  const auto it = per_device.find(device);
+  if (it == per_device.end() || it->second.empty()) return 0;
+  return it->second.begin()->first;
+}
+
+int StalenessReport::total_found(const std::string& device) const {
+  const auto it = per_device.find(device);
+  if (it == per_device.end()) return 0;
+  int total = 0;
+  for (const auto& [year, count] : it->second) total += count;
+  return total;
+}
+
+StalenessReport staleness_report(
+    const pki::CaUniverse& universe,
+    const std::map<std::string, probe::ExplorationResult>& explorations) {
+  StalenessReport report;
+  for (const auto& [device, result] : explorations) {
+    auto& years = report.per_device[device];
+    for (const auto& [ca_name, verdict] : result.verdicts) {
+      if (verdict != probe::Verdict::Present) continue;
+      // Fig 4 uses the *latest* removal year across platforms.
+      const auto year = pki::latest_removal_year(universe.histories(),
+                                                 ca_name);
+      if (year.has_value()) ++years[*year];
+    }
+  }
+  return report;
+}
+
+std::string render_staleness(const StalenessReport& report) {
+  // Collect the year axis.
+  std::set<int> years;
+  for (const auto& [device, hist] : report.per_device) {
+    for (const auto& [year, count] : hist) years.insert(year);
+  }
+
+  std::string out = "device                ";
+  for (const int year : years) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%5d", year);
+    out += buf;
+  }
+  out += "\n";
+  for (const auto& [device, hist] : report.per_device) {
+    std::string name = device;
+    name.resize(22, ' ');
+    out += name;
+    for (const int year : years) {
+      const auto it = hist.find(year);
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%5d", it == hist.end() ? 0 : it->second);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace iotls::analysis

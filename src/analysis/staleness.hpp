@@ -1,0 +1,29 @@
+// Fig 4: for deprecated root certificates found on devices, the year each
+// was removed from the reference platforms (latest removal wins).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "pki/universe.hpp"
+#include "probe/prober.hpp"
+
+namespace iotls::analysis {
+
+struct StalenessReport {
+  /// device → (removal year → number of deprecated roots found).
+  std::map<std::string, std::map<int, int>> per_device;
+
+  [[nodiscard]] int earliest_year(const std::string& device) const;
+  [[nodiscard]] int total_found(const std::string& device) const;
+};
+
+/// Build from root-store exploration verdicts over the deprecated set.
+StalenessReport staleness_report(
+    const pki::CaUniverse& universe,
+    const std::map<std::string, probe::ExplorationResult>& explorations);
+
+/// Text rendering (year histogram per device).
+std::string render_staleness(const StalenessReport& report);
+
+}  // namespace iotls::analysis

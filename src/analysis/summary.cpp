@@ -1,0 +1,102 @@
+#include "analysis/summary.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "analysis/longitudinal.hpp"
+
+namespace iotls::analysis {
+
+StudySummary summarize(const testbed::PassiveDataset& dataset) {
+  StudySummary summary;
+  summary.total_connections = dataset.total_connections();
+
+  const auto devices = dataset.devices();
+  summary.device_count = static_cast<int>(devices.size());
+
+  std::vector<std::uint64_t> per_device;
+  for (const auto& device : devices) {
+    per_device.push_back(dataset.device_connections(device));
+  }
+  if (!per_device.empty()) {
+    summary.mean_per_device =
+        summary.total_connections / per_device.size();
+    std::sort(per_device.begin(), per_device.end());
+    summary.median_per_device = per_device[per_device.size() / 2];
+  }
+
+  const auto months = study_months();
+  std::uint64_t tls13_adv = 0;
+  std::uint64_t rc4_adv = 0;
+  std::map<std::string, std::set<tls::ProtocolVersion>> max_versions;
+  std::set<std::string> null_anon_devices;
+
+  for (const auto& group : dataset.groups()) {
+    const auto& rec = group.record;
+    if (!rec.advertised_versions.empty()) {
+      const auto max = rec.max_advertised_version();
+      max_versions[rec.device].insert(max);
+      if (max == tls::ProtocolVersion::Tls1_3) tls13_adv += group.count;
+    }
+    const bool has_rc4 = std::any_of(
+        rec.advertised_suites.begin(), rec.advertised_suites.end(),
+        [](std::uint16_t id) {
+          const auto* info = tls::suite_info(id);
+          return info != nullptr && info->cipher == tls::BulkCipher::Rc4;
+        });
+    if (has_rc4) rc4_adv += group.count;
+    if (std::any_of(rec.advertised_suites.begin(),
+                    rec.advertised_suites.end(),
+                    tls::suite_is_null_or_anon)) {
+      null_anon_devices.insert(rec.device);
+    }
+  }
+  if (summary.total_connections > 0) {
+    summary.tls13_advertising_fraction =
+        static_cast<double>(tls13_adv) / summary.total_connections;
+    summary.rc4_advertising_fraction =
+        static_cast<double>(rc4_adv) / summary.total_connections;
+  }
+  for (const auto& [device, versions] : max_versions) {
+    if (versions.size() > 1) {
+      ++summary.devices_advertising_multiple_max_versions;
+    }
+  }
+  summary.null_anon_advertising_devices =
+      static_cast<int>(null_anon_devices.size());
+
+  for (const auto& device : devices) {
+    if (version_series(dataset, device, months).tls12_exclusive()) {
+      ++summary.tls12_exclusive_devices;
+    }
+  }
+  return summary;
+}
+
+std::string render_summary(const StudySummary& summary) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "devices: %d\n"
+      "total TLS connections: %llu (paper: ~17M)\n"
+      "per-device mean: %llu (paper: ~422K), median: %llu (paper: ~138K)\n"
+      "TLS1.2-exclusive devices: %d (paper: 28/40)\n"
+      "devices advertising multiple maximum versions: %d (paper: 20)\n"
+      "connections advertising TLS 1.3: %.0f%% (paper: ~17%%; web ~60%%)\n"
+      "connections advertising RC4: %.0f%% (paper: ~60%%; web ~10%%)\n"
+      "devices ever advertising NULL/ANON suites: %d (paper: 0)\n",
+      summary.device_count,
+      static_cast<unsigned long long>(summary.total_connections),
+      static_cast<unsigned long long>(summary.mean_per_device),
+      static_cast<unsigned long long>(summary.median_per_device),
+      summary.tls12_exclusive_devices,
+      summary.devices_advertising_multiple_max_versions,
+      summary.tls13_advertising_fraction * 100.0,
+      summary.rc4_advertising_fraction * 100.0,
+      summary.null_anon_advertising_devices);
+  return buf;
+}
+
+}  // namespace iotls::analysis

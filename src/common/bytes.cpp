@@ -1,0 +1,175 @@
+#include "common/bytes.hpp"
+
+#include <algorithm>
+
+namespace iotls::common {
+
+Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string to_string(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u24(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::raw(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::raw(const Bytes& data) { raw(BytesView(data)); }
+
+void ByteWriter::vec(BytesView data, int prefix_bytes) {
+  const std::size_t n = data.size();
+  switch (prefix_bytes) {
+    case 1:
+      if (n > 0xFF) throw ParseError("vec too long for u8 prefix");
+      u8(static_cast<std::uint8_t>(n));
+      break;
+    case 2:
+      if (n > 0xFFFF) throw ParseError("vec too long for u16 prefix");
+      u16(static_cast<std::uint16_t>(n));
+      break;
+    case 3:
+      if (n > 0xFFFFFF) throw ParseError("vec too long for u24 prefix");
+      u24(static_cast<std::uint32_t>(n));
+      break;
+    default:
+      throw ParseError("unsupported vec prefix size");
+  }
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view text, int prefix_bytes) {
+  vec(BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()),
+      prefix_bytes);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw ParseError("truncated buffer");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u24() {
+  need(3);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]);
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::vec(int prefix_bytes) {
+  std::size_t n = 0;
+  switch (prefix_bytes) {
+    case 1: n = u8(); break;
+    case 2: n = u16(); break;
+    case 3: n = u24(); break;
+    default: throw ParseError("unsupported vec prefix size");
+  }
+  return raw(n);
+}
+
+std::string ByteReader::str(int prefix_bytes) {
+  Bytes b = vec(prefix_bytes);
+  return to_string(b);
+}
+
+ByteReader ByteReader::sub(int prefix_bytes) {
+  std::size_t n = 0;
+  switch (prefix_bytes) {
+    case 1: n = u8(); break;
+    case 2: n = u16(); break;
+    case 3: n = u24(); break;
+    default: throw ParseError("unsupported sub prefix size");
+  }
+  need(n);
+  ByteReader r(data_.subspan(pos_, n));
+  pos_ += n;
+  return r;
+}
+
+void ByteReader::expect_end(std::string_view context) const {
+  if (!empty()) {
+    throw ParseError("trailing bytes after " + std::string(context));
+  }
+}
+
+}  // namespace iotls::common

@@ -1,0 +1,108 @@
+// Byte-buffer primitives shared by every module.
+//
+// minitls serializes handshake messages into `Bytes`; the crypto substrate
+// consumes and produces `Bytes`. A small big-endian reader/writer pair keeps
+// wire-format code honest (every write has a symmetric read, and the parser
+// throws `ParseError` instead of reading out of bounds).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotls::common {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Thrown when a wire-format buffer is malformed (truncated length prefix,
+/// trailing garbage, out-of-range enum value, ...).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on protocol-logic violations (unexpected message, bad state).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a cryptographic operation is misused (bad key size, ...).
+class CryptoError : public std::runtime_error {
+ public:
+  explicit CryptoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Convert an ASCII string to bytes (no encoding transformation).
+Bytes to_bytes(std::string_view text);
+
+/// Convert bytes to a std::string (inverse of to_bytes).
+std::string to_string(BytesView data);
+
+/// Concatenate any number of byte buffers.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Constant-time equality (length leak is fine; contents are not leaked).
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Big-endian serializer. All minitls wire formats go through this.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u24(std::uint32_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(BytesView data);
+  void raw(const Bytes& data);
+
+  /// Write a length-prefixed vector (prefix_bytes in {1,2,3}).
+  void vec(BytesView data, int prefix_bytes);
+
+  /// Write a length-prefixed UTF-8/ASCII string.
+  void str(std::string_view text, int prefix_bytes);
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Big-endian deserializer over a borrowed buffer. Throws ParseError on
+/// any out-of-bounds read so parsers never need manual bounds checks.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u24();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] Bytes raw(std::size_t n);
+  [[nodiscard]] Bytes vec(int prefix_bytes);
+  [[nodiscard]] std::string str(int prefix_bytes);
+
+  /// Sub-reader over a length-prefixed slice; advances this reader past it.
+  [[nodiscard]] ByteReader sub(int prefix_bytes);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+  /// Require that the buffer is fully consumed (catches trailing garbage).
+  void expect_end(std::string_view context) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace iotls::common

@@ -1,0 +1,39 @@
+#include "common/hex.hpp"
+
+namespace iotls::common {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw ParseError("invalid hex character");
+}
+
+}  // namespace
+
+std::string hex_encode(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view text) {
+  if (text.size() % 2 != 0) throw ParseError("odd-length hex string");
+  Bytes out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_nibble(text[i]) << 4) |
+                                            hex_nibble(text[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace iotls::common

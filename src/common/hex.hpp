@@ -1,0 +1,19 @@
+// Hex encoding/decoding used for fingerprint strings, key material dumps
+// and test vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace iotls::common {
+
+/// Lowercase hex encoding ("deadbeef").
+std::string hex_encode(BytesView data);
+
+/// Decode hex (case-insensitive). Throws ParseError on odd length or
+/// non-hex characters.
+Bytes hex_decode(std::string_view text);
+
+}  // namespace iotls::common

@@ -1,0 +1,26 @@
+// Small string helpers used across analysis/report code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotls::common {
+
+std::vector<std::string> split(std::string_view text, char delim);
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+std::string trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// printf-style percentage "93%" with round-to-nearest.
+std::string percent(double fraction);
+
+/// Wildcard hostname match per RFC 6125 subset: pattern "*.example.com"
+/// matches exactly one extra left-most label. Exact matches are
+/// case-insensitive.
+bool hostname_matches(std::string_view pattern, std::string_view host);
+
+}  // namespace iotls::common

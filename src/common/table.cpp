@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+namespace iotls::common {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string heat_strip(const std::vector<double>& fractions) {
+  static constexpr char kShades[] = {' ', '.', ':', '-', '=',
+                                     '+', '*', '#', '%', '@'};
+  std::string out;
+  out.reserve(fractions.size());
+  for (double f : fractions) {
+    if (f < 0.0) {
+      out.push_back('x');  // no traffic this month
+      continue;
+    }
+    const double clamped = std::min(1.0, std::max(0.0, f));
+    auto idx = static_cast<std::size_t>(clamped * 9.0 + 0.5);
+    out.push_back(kShades[idx]);
+  }
+  return out;
+}
+
+}  // namespace iotls::common

@@ -1,0 +1,32 @@
+// Plain-text table renderer used by the bench harnesses to print the
+// paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotls::common {
+
+/// Column-aligned ASCII table with a header row and a rule underneath it.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with two-space column gaps; short rows are padded with "".
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a row of month-fraction cells as a shaded heatmap strip, the text
+/// analogue of the paper's Figs 1-3 cells. Fractions map to ' .:-=+*#%@'
+/// deciles; negative values (no traffic) render as 'x' (the paper's gray).
+std::string heat_strip(const std::vector<double>& fractions);
+
+}  // namespace iotls::common

@@ -1,0 +1,322 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "devices/catalog.hpp"
+
+namespace iotls::core {
+
+IotlsStudy::IotlsStudy(Options options) : options_(options) {
+  testbed::Testbed::Options tb;
+  tb.seed = options_.seed;
+  testbed_ = std::make_unique<testbed::Testbed>(tb);
+  prober_ = std::make_unique<probe::RootStoreProber>(*testbed_,
+                                                     options_.seed ^ 0xF00D);
+}
+
+const testbed::PassiveDataset& IotlsStudy::passive_dataset() {
+  if (!passive_) {
+    testbed::GeneratorOptions gen;
+    gen.seed = options_.seed ^ 0x9A55;
+    gen.count_scale = options_.passive_scale;
+    gen.first = options_.passive_first;
+    gen.last = options_.passive_last;
+    passive_ = testbed::generate_passive_dataset(gen);
+  }
+  return *passive_;
+}
+
+const std::vector<LibraryProbeRow>& IotlsStudy::library_probe_rows() {
+  if (!table4_) table4_ = run_library_probe_matrix(options_.seed);
+  return *table4_;
+}
+
+const mitm::DowngradeReport& IotlsStudy::downgrade_report() {
+  if (!downgrade_) downgrade_ = mitm::run_downgrade_experiments(*testbed_);
+  return *downgrade_;
+}
+
+const mitm::OldVersionReport& IotlsStudy::old_version_report() {
+  if (!old_versions_) {
+    old_versions_ = mitm::run_old_version_experiments(*testbed_);
+  }
+  return *old_versions_;
+}
+
+const mitm::InterceptionReport& IotlsStudy::interception_report() {
+  if (!interception_) {
+    interception_ = mitm::run_interception_experiments(*testbed_);
+  }
+  return *interception_;
+}
+
+const analysis::RevocationSummary& IotlsStudy::revocation_summary() {
+  if (!revocation_) {
+    revocation_ = analysis::analyze_revocation(passive_dataset());
+  }
+  return *revocation_;
+}
+
+const std::map<std::string, IotlsStudy::RootStoreExploration>&
+IotlsStudy::root_store_results() {
+  if (!root_stores_) {
+    std::map<std::string, RootStoreExploration> results;
+    const auto& universe = testbed_->universe();
+    for (const auto& device : prober_->amenable_devices()) {
+      const auto* profile = devices::find_device(device);
+      RootStoreExploration exploration;
+      exploration.common =
+          prober_->explore(device, universe.common_ca_names(),
+                           profile->root_store.inconclusive_common);
+      exploration.deprecated =
+          prober_->explore(device, universe.deprecated_ca_names(),
+                           profile->root_store.inconclusive_deprecated);
+      results.emplace(device, std::move(exploration));
+    }
+    root_stores_ = std::move(results);
+  }
+  return *root_stores_;
+}
+
+const analysis::StalenessReport& IotlsStudy::staleness() {
+  if (!staleness_) {
+    std::map<std::string, probe::ExplorationResult> deprecated_only;
+    for (const auto& [device, exploration] : root_store_results()) {
+      deprecated_only.emplace(device, exploration.deprecated);
+    }
+    staleness_ =
+        analysis::staleness_report(testbed_->universe(), deprecated_only);
+  }
+  return *staleness_;
+}
+
+const analysis::FingerprintStudy& IotlsStudy::fingerprint_study() {
+  if (!fingerprints_) {
+    fingerprints_ = analysis::run_fingerprint_study(*testbed_);
+  }
+  return *fingerprints_;
+}
+
+const analysis::StudySummary& IotlsStudy::summary() {
+  if (!summary_) summary_ = analysis::summarize(passive_dataset());
+  return *summary_;
+}
+
+// ---------------- renderings ----------------
+
+std::string IotlsStudy::render_table1() const {
+  common::TextTable table({"Device", "Category", "Experiments"});
+  for (const auto& d : devices::device_catalog()) {
+    table.add_row({d.name, d.category,
+                   d.active ? "active + passive" : "passive only"});
+  }
+  return "Table 1: the 40 TLS-supporting devices\n" + table.render();
+}
+
+std::string IotlsStudy::render_table2() const {
+  common::TextTable table({"Attack", "Description"});
+  for (const auto kind : mitm::all_attacks()) {
+    table.add_row({mitm::attack_name(kind), mitm::attack_description(kind)});
+  }
+  return "Table 2: TLS interception attacks\n" + table.render();
+}
+
+std::string IotlsStudy::render_table3() const {
+  common::TextTable table(
+      {"Platform", "Total versions", "Earliest year", "Comments"});
+  for (const auto& h : testbed_->universe().histories()) {
+    table.add_row({h.platform, std::to_string(h.versions.size()),
+                   std::to_string(h.earliest().year), h.source_comment});
+  }
+  return "Table 3: historical root-store sources\n" + table.render();
+}
+
+std::string IotlsStudy::render_table4() {
+  common::TextTable table({"Library", "Known CA w/ invalid signature",
+                           "Unknown CA", "Amenable"});
+  for (const auto& row : library_probe_rows()) {
+    table.add_row({row.label,
+                   tls::alert_display(row.alert_known_ca_bad_signature),
+                   tls::alert_display(row.alert_unknown_ca),
+                   row.amenable ? "yes" : "no"});
+  }
+  return "Table 4: root-store probing across TLS libraries\n" +
+         table.render();
+}
+
+std::string IotlsStudy::render_table5() {
+  common::TextTable table({"Device", "Failed HS", "Incomplete HS",
+                           "Behavior", "Downgraded/Total"});
+  for (const auto& row : downgrade_report().rows) {
+    table.add_row({row.device, row.on_failed_handshake ? "yes" : "no",
+                   row.on_incomplete_handshake ? "yes" : "no", row.behavior,
+                   std::to_string(row.downgraded_destinations) + " / " +
+                       std::to_string(row.total_destinations)});
+  }
+  return "Table 5: devices that downgrade security on failures\n" +
+         table.render();
+}
+
+std::string IotlsStudy::render_table6() {
+  common::TextTable table({"Device", "TLS 1.0", "TLS 1.1"});
+  for (const auto& row : old_version_report().rows) {
+    table.add_row({row.device, row.tls10 ? "yes" : "no",
+                   row.tls11 ? "yes" : "no"});
+  }
+  return "Table 6: devices supporting older TLS versions (" +
+         std::to_string(old_version_report().rows.size()) + " devices)\n" +
+         table.render();
+}
+
+std::string IotlsStudy::render_table7() {
+  common::TextTable table({"Device", "No-Validation", "InvalidBC",
+                           "Wrong-Hostname", "Vulnerable/Total"});
+  for (const auto& row : interception_report().rows) {
+    table.add_row({row.device, row.no_validation ? "yes" : "no",
+                   row.invalid_basic_constraints ? "yes" : "no",
+                   row.wrong_hostname ? "yes" : "no",
+                   std::to_string(row.vulnerable_destinations) + " / " +
+                       std::to_string(row.total_destinations)});
+  }
+  auto out = "Table 7: devices vulnerable to TLS interception (" +
+             std::to_string(interception_report().rows.size()) +
+             " devices)\n" + table.render();
+  out += "devices with sensitive data exposed: " +
+         std::to_string(interception_report().devices_with_sensitive_leaks) +
+         "/" + std::to_string(interception_report().rows.size()) + "\n";
+  return out;
+}
+
+std::string IotlsStudy::render_table8() {
+  const auto& summary = revocation_summary();
+  auto join = [](const std::vector<std::string>& names) {
+    return common::join(names, ", ") + " (" +
+           std::to_string(names.size()) + ")";
+  };
+  common::TextTable table({"Method", "Devices (Count)"});
+  table.add_row({"Certificate Revocation Lists (CRLs)",
+                 join(summary.crl_devices)});
+  table.add_row({"Online Certificate Status Protocol (OCSP)",
+                 join(summary.ocsp_devices)});
+  table.add_row({"OCSP Stapling", join(summary.stapling_devices)});
+  auto out = "Table 8: certificate-revocation support\n" + table.render();
+  out += "devices never checking revocation: " +
+         std::to_string(summary.non_checking_count(40)) + "/40\n";
+  return out;
+}
+
+std::string IotlsStudy::render_table9() {
+  const auto& universe = testbed_->universe();
+  common::TextTable table({"Device",
+                           "Common certs (total = " +
+                               std::to_string(
+                                   universe.common_ca_names().size()) +
+                               ")",
+                           "Deprecated certs (total = " +
+                               std::to_string(
+                                   universe.deprecated_ca_names().size()) +
+                               ")"});
+  auto cell = [](const probe::ExplorationResult& r) {
+    return common::percent(r.fraction()) + " (" + std::to_string(r.present) +
+           "/" + std::to_string(r.checked) + ")";
+  };
+  // Paper row order: ascending deprecated fraction.
+  std::vector<const std::pair<const std::string, RootStoreExploration>*>
+      rows;
+  for (const auto& kv : root_store_results()) rows.push_back(&kv);
+  std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    return a->second.deprecated.fraction() < b->second.deprecated.fraction();
+  });
+  for (const auto* kv : rows) {
+    table.add_row({kv->first, cell(kv->second.common),
+                   cell(kv->second.deprecated)});
+  }
+  return "Table 9: root stores of " + std::to_string(rows.size()) +
+         " probeable devices\n" + table.render();
+}
+
+std::string IotlsStudy::render_fig1() {
+  const auto months = analysis::study_months();
+  auto series = analysis::all_version_series(passive_dataset(), months);
+  // The figure omits TLS1.2-exclusive devices.
+  std::vector<analysis::VersionSeries> shown;
+  for (auto& s : series) {
+    if (!s.tls12_exclusive()) shown.push_back(std::move(s));
+  }
+  std::string out = "Fig 1: TLS version support over time (" +
+                    std::to_string(shown.size()) + " devices shown; " +
+                    std::to_string(series.size() - shown.size()) +
+                    " TLS1.2-exclusive devices omitted)\n";
+  out += "months: " + months.front().str() + " .. " + months.back().str() +
+         "  (shade = fraction of connections; x = no traffic)\n\n";
+  out += "== advertised ==\n" +
+         analysis::render_version_heatmap(shown, /*advertised=*/true);
+  out += "\n== established ==\n" +
+         analysis::render_version_heatmap(shown, /*advertised=*/false);
+  return out;
+}
+
+std::string IotlsStudy::render_fig2() {
+  const auto months = analysis::study_months();
+  auto series = analysis::all_cipher_series(passive_dataset(), months);
+  std::vector<analysis::CipherSeries> shown;
+  for (auto& s : series) {
+    if (s.max_insecure_advertised() > 0.05) shown.push_back(std::move(s));
+  }
+  std::string out = "Fig 2: insecure ciphersuites advertised (" +
+                    std::to_string(shown.size()) + " devices shown; " +
+                    std::to_string(series.size() - shown.size()) +
+                    " rarely-advertising devices omitted; lower is "
+                    "better)\n\n";
+  out += analysis::render_cipher_heatmap(shown, /*insecure=*/true,
+                                         /*advertised=*/true);
+  return out;
+}
+
+std::string IotlsStudy::render_fig3() {
+  const auto months = analysis::study_months();
+  auto series = analysis::all_cipher_series(passive_dataset(), months);
+  std::vector<analysis::CipherSeries> shown;
+  for (auto& s : series) {
+    if (s.mean_strong_established() < 0.9) shown.push_back(std::move(s));
+  }
+  std::string out = "Fig 3: strong (PFS) ciphersuites established (" +
+                    std::to_string(shown.size()) + " devices shown; " +
+                    std::to_string(series.size() - shown.size()) +
+                    " mostly-strong devices omitted; higher is better)\n\n";
+  out += analysis::render_cipher_heatmap(shown, /*insecure=*/false,
+                                         /*advertised=*/false);
+  return out;
+}
+
+std::string IotlsStudy::render_fig4() {
+  return "Fig 4: removal year of deprecated roots still present\n" +
+         analysis::render_staleness(staleness());
+}
+
+std::string IotlsStudy::render_fig5() {
+  const auto& study = fingerprint_study();
+  std::string out = "Fig 5: shared TLS fingerprints\n";
+  out += "devices with a single fingerprint: " +
+         std::to_string(study.single_instance_devices()) +
+         " (paper: 18/32)\n";
+  out += "devices with multiple fingerprints: " +
+         std::to_string(study.multi_instance_devices()) +
+         " (paper: 14/32)\n";
+  out += "devices sharing a fingerprint with others: " +
+         std::to_string(study.sharing_devices()) + " (paper: 19)\n\n";
+  out += analysis::render_sharing_graph(study);
+  return out;
+}
+
+std::string IotlsStudy::render_summary() {
+  std::string out = analysis::render_summary(summary());
+  out += "\n";
+  out += analysis::render_party_breakdown(
+      analysis::party_version_breakdown(passive_dataset()));
+  return out;
+}
+
+}  // namespace iotls::core

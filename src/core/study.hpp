@@ -1,0 +1,96 @@
+// IotlsStudy — the top-level orchestrator and public entry point.
+//
+// One object owns the testbed and lazily runs each of the paper's
+// experiments; every table and figure has a structured accessor (for code)
+// and a `render_*` method (for humans / the bench binaries).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/fpstudy.hpp"
+#include "analysis/longitudinal.hpp"
+#include "analysis/party.hpp"
+#include "analysis/revocation.hpp"
+#include "analysis/staleness.hpp"
+#include "analysis/summary.hpp"
+#include "core/table4.hpp"
+#include "mitm/runner.hpp"
+#include "probe/prober.hpp"
+#include "testbed/testbed.hpp"
+
+namespace iotls::core {
+
+class IotlsStudy {
+ public:
+  struct Options {
+    std::uint64_t seed = 42;
+    /// Scales the synthetic passive dataset's connection counts.
+    double passive_scale = 1.0;
+    /// Restrict the passive window (full study by default).
+    common::Month passive_first = common::kStudyStart;
+    common::Month passive_last = common::kStudyEnd;
+  };
+
+  IotlsStudy() : IotlsStudy(Options{}) {}
+  explicit IotlsStudy(Options options);
+
+  [[nodiscard]] testbed::Testbed& testbed() { return *testbed_; }
+  [[nodiscard]] const pki::CaUniverse& universe() const {
+    return testbed_->universe();
+  }
+
+  // ---- datasets & experiment results (lazily computed, cached) ----
+  const testbed::PassiveDataset& passive_dataset();
+  const std::vector<LibraryProbeRow>& library_probe_rows();       // Table 4
+  const mitm::DowngradeReport& downgrade_report();                // Table 5
+  const mitm::OldVersionReport& old_version_report();             // Table 6
+  const mitm::InterceptionReport& interception_report();          // Table 7
+  const analysis::RevocationSummary& revocation_summary();        // Table 8
+  /// device → (common-set result, deprecated-set result).
+  struct RootStoreExploration {
+    probe::ExplorationResult common;
+    probe::ExplorationResult deprecated;
+  };
+  const std::map<std::string, RootStoreExploration>& root_store_results();
+  const analysis::StalenessReport& staleness();                   // Fig 4
+  const analysis::FingerprintStudy& fingerprint_study();          // Fig 5
+  const analysis::StudySummary& summary();
+
+  // ---- paper-style renderings ----
+  std::string render_table1() const;
+  std::string render_table2() const;
+  std::string render_table3() const;
+  std::string render_table4();
+  std::string render_table5();
+  std::string render_table6();
+  std::string render_table7();
+  std::string render_table8();
+  std::string render_table9();
+  std::string render_fig1();
+  std::string render_fig2();
+  std::string render_fig3();
+  std::string render_fig4();
+  std::string render_fig5();
+  std::string render_summary();
+
+ private:
+  Options options_;
+  std::unique_ptr<testbed::Testbed> testbed_;
+  std::unique_ptr<probe::RootStoreProber> prober_;
+
+  std::optional<testbed::PassiveDataset> passive_;
+  std::optional<std::vector<LibraryProbeRow>> table4_;
+  std::optional<mitm::DowngradeReport> downgrade_;
+  std::optional<mitm::OldVersionReport> old_versions_;
+  std::optional<mitm::InterceptionReport> interception_;
+  std::optional<analysis::RevocationSummary> revocation_;
+  std::optional<std::map<std::string, RootStoreExploration>> root_stores_;
+  std::optional<analysis::StalenessReport> staleness_;
+  std::optional<analysis::FingerprintStudy> fingerprints_;
+  std::optional<analysis::StudySummary> summary_;
+};
+
+}  // namespace iotls::core

@@ -1,0 +1,77 @@
+#include "core/table4.hpp"
+
+#include <memory>
+
+#include "pki/ca.hpp"
+#include "pki/spoof.hpp"
+#include "tls/client.hpp"
+#include "tls/server.hpp"
+
+namespace iotls::core {
+
+namespace {
+
+/// One probe handshake: client (library profile, trusting `trusted_root`)
+/// against a server presenting `chain`. Returns the client's alert.
+std::optional<tls::Alert> probe_once(tls::TlsLibrary library,
+                                     const pki::RootStore& roots,
+                                     std::vector<x509::Certificate> chain,
+                                     const crypto::RsaKeyPair& server_keys,
+                                     std::uint64_t seed) {
+  tls::ServerConfig server_cfg;
+  server_cfg.chain = std::move(chain);
+  server_cfg.keys = server_keys;
+  server_cfg.seed = seed;
+  auto server = std::make_shared<tls::TlsServer>(server_cfg);
+  tls::Transport transport(server);
+
+  tls::ClientConfig client_cfg;
+  client_cfg.library = library;
+  tls::TlsClient client(client_cfg, &roots, common::Rng(seed ^ 0xC11E),
+                        common::SimDate{2021, 3, 1});
+  (void)client.connect(transport, "probe-target.example.com");
+  return server->observation().alert_received;
+}
+
+}  // namespace
+
+std::vector<LibraryProbeRow> run_library_probe_matrix(std::uint64_t seed) {
+  common::Rng rng(seed);
+  // A known CA the client trusts, and the two §4.2 probe chains.
+  pki::CertificateAuthority known_ca(
+      x509::DistinguishedName{"Known Trusted Root", "Probe Lab", "US"}, rng);
+  pki::RootStore roots;
+  roots.add(known_ca.root());
+
+  const auto attacker = crypto::rsa_generate(rng);
+  const auto spoofed = pki::make_spoofed_ca(known_ca.root(), attacker);
+  const auto spoofed_chain =
+      pki::forge_chain(spoofed, attacker.priv, "probe-target.example.com",
+                       attacker.pub);
+
+  common::Rng unknown_rng(seed ^ 1);
+  pki::CertificateAuthority unknown_ca(
+      x509::DistinguishedName{"Totally Unknown Root", "Probe Lab", "US"},
+      unknown_rng);
+  const auto unknown_chain = pki::forge_chain(
+      unknown_ca.root(), unknown_ca.keypair().priv,
+      "probe-target.example.com", attacker.pub);
+
+  std::vector<LibraryProbeRow> rows;
+  for (const auto library : tls::table4_libraries()) {
+    LibraryProbeRow row;
+    row.library = library;
+    row.label = tls::library_version_label(library);
+    row.alert_known_ca_bad_signature =
+        probe_once(library, roots, spoofed_chain, attacker, seed ^ 2);
+    row.alert_unknown_ca =
+        probe_once(library, roots, unknown_chain, attacker, seed ^ 3);
+    row.amenable = row.alert_known_ca_bad_signature.has_value() &&
+                   row.alert_unknown_ca.has_value() &&
+                   *row.alert_known_ca_bad_signature != *row.alert_unknown_ca;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace iotls::core

@@ -1,0 +1,28 @@
+// Table 4: validating the probing technique against the TLS library
+// behaviour profiles themselves (no devices involved) — which alerts does
+// each library emit for (known CA, invalid signature) vs (unknown CA)?
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tls/alert.hpp"
+#include "tls/profile.hpp"
+
+namespace iotls::core {
+
+struct LibraryProbeRow {
+  tls::TlsLibrary library = tls::TlsLibrary::Generic;
+  std::string label;  // Table 4 row label with version
+  std::optional<tls::Alert> alert_known_ca_bad_signature;
+  std::optional<tls::Alert> alert_unknown_ca;
+  bool amenable = false;
+};
+
+/// Run real handshakes (client with each library profile against a prober
+/// server) and record the observed alerts.
+std::vector<LibraryProbeRow> run_library_probe_matrix(
+    std::uint64_t seed = 0x7AB1E4);
+
+}  // namespace iotls::core

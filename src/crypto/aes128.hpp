@@ -1,0 +1,35 @@
+// AES-128 (FIPS 197) block cipher with CTR mode.
+//
+// Backs the AES_128/AES_256 suite families in minitls record protection
+// (AES-256 suites run AES-128 with an HKDF-condensed key — a documented
+// simulation substitution; suite identity and negotiation are unaffected).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace iotls::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAes128KeySize = 16;
+
+/// AES-128 with a fixed expanded key.
+class Aes128 {
+ public:
+  explicit Aes128(common::BytesView key);
+
+  /// Encrypt one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kAesBlockSize]) const;
+
+  /// CTR-mode keystream XOR (encrypt == decrypt). The 16-byte counter block
+  /// is nonce (12 bytes) || big-endian 32-bit counter.
+  common::Bytes ctr_xor(common::BytesView nonce, std::uint32_t initial_counter,
+                        common::BytesView data) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace iotls::crypto

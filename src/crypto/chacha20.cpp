@@ -1,0 +1,89 @@
+#include "crypto/chacha20.hpp"
+
+namespace iotls::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(common::BytesView key,
+                                            common::BytesView nonce,
+                                            std::uint32_t counter) {
+  if (key.size() != kChaCha20KeySize) {
+    throw common::CryptoError("chacha20: key must be 32 bytes");
+  }
+  if (nonce.size() != kChaCha20NonceSize) {
+    throw common::CryptoError("chacha20: nonce must be 12 bytes");
+  }
+
+  std::array<std::uint32_t, 16> state{};
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::array<std::uint32_t, 16> working = state;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<std::uint8_t, 64> out{};
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t word = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(word);
+    out[4 * i + 1] = static_cast<std::uint8_t>(word >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(word >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  return out;
+}
+
+common::Bytes chacha20_xor(common::BytesView key, common::BytesView nonce,
+                           std::uint32_t initial_counter,
+                           common::BytesView data) {
+  if (key.size() != kChaCha20KeySize) {
+    throw common::CryptoError("chacha20: key must be 32 bytes");
+  }
+  if (nonce.size() != kChaCha20NonceSize) {
+    throw common::CryptoError("chacha20: nonce must be 12 bytes");
+  }
+  common::Bytes out(data.begin(), data.end());
+  std::uint32_t counter = initial_counter;
+  for (std::size_t offset = 0; offset < out.size(); offset += 64, ++counter) {
+    const auto ks = chacha20_block(key, nonce, counter);
+    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= ks[i];
+  }
+  return out;
+}
+
+}  // namespace iotls::crypto

@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439 block function).
+//
+// Backs the CHACHA20_POLY1305 ciphersuites; integrity in minitls is provided
+// by an encrypt-then-HMAC construction (see tls/secrets) rather than
+// Poly1305 — a documented simplification that leaves all negotiation and
+// classification behaviour identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace iotls::crypto {
+
+inline constexpr std::size_t kChaCha20KeySize = 32;
+inline constexpr std::size_t kChaCha20NonceSize = 12;
+
+/// XOR `data` with the ChaCha20 keystream (encrypt == decrypt).
+common::Bytes chacha20_xor(common::BytesView key, common::BytesView nonce,
+                           std::uint32_t initial_counter,
+                           common::BytesView data);
+
+/// Raw 64-byte block function, exposed for test vectors.
+std::array<std::uint8_t, 64> chacha20_block(common::BytesView key,
+                                            common::BytesView nonce,
+                                            std::uint32_t counter);
+
+}  // namespace iotls::crypto

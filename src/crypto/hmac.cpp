@@ -1,0 +1,48 @@
+#include "crypto/hmac.hpp"
+
+namespace iotls::crypto {
+
+namespace {
+
+common::Bytes normalize_key(common::BytesView key) {
+  common::Bytes k;
+  if (key.size() > kSha256BlockSize) {
+    k = Sha256::digest_bytes(key);
+  } else {
+    k.assign(key.begin(), key.end());
+  }
+  k.resize(kSha256BlockSize, 0);
+  return k;
+}
+
+}  // namespace
+
+HmacSha256::HmacSha256(common::BytesView key) {
+  const common::Bytes k = normalize_key(key);
+  common::Bytes ipad(kSha256BlockSize);
+  opad_key_.resize(kSha256BlockSize);
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad_key_[i] = k[i] ^ 0x5c;
+  }
+  inner_.update(ipad);
+}
+
+void HmacSha256::update(common::BytesView data) { inner_.update(data); }
+
+common::Bytes HmacSha256::finish() {
+  const Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(common::BytesView(inner_digest.data(), inner_digest.size()));
+  const Sha256Digest d = outer.finish();
+  return common::Bytes(d.begin(), d.end());
+}
+
+common::Bytes hmac_sha256(common::BytesView key, common::BytesView message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finish();
+}
+
+}  // namespace iotls::crypto

@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace iotls::crypto {
+
+/// One-shot HMAC-SHA256.
+common::Bytes hmac_sha256(common::BytesView key, common::BytesView message);
+
+/// Incremental HMAC-SHA256 for record MACs.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(common::BytesView key);
+
+  void update(common::BytesView data);
+  [[nodiscard]] common::Bytes finish();
+
+ private:
+  Sha256 inner_;
+  common::Bytes opad_key_;
+};
+
+}  // namespace iotls::crypto

@@ -1,0 +1,39 @@
+#include "crypto/kdf.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace iotls::crypto {
+
+common::Bytes hkdf_extract(common::BytesView salt, common::BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+common::Bytes hkdf_expand(common::BytesView prk, common::BytesView info,
+                          std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw common::CryptoError("hkdf_expand output too long");
+  }
+  common::Bytes out;
+  common::Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 mac(prk);
+    mac.update(t);
+    mac.update(info);
+    mac.update(common::BytesView(&counter, 1));
+    t = mac.finish();
+    out.insert(out.end(), t.begin(), t.end());
+    ++counter;
+  }
+  out.resize(length);
+  return out;
+}
+
+common::Bytes hkdf(common::BytesView salt, common::BytesView ikm,
+                   std::string_view label, std::size_t length) {
+  const common::Bytes prk = hkdf_extract(salt, ikm);
+  const common::Bytes info = common::to_bytes(label);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace iotls::crypto

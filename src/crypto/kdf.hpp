@@ -1,0 +1,26 @@
+// HKDF (RFC 5869) over HMAC-SHA256, plus the minitls key schedule helpers.
+//
+// minitls derives its master secret and record keys through HKDF regardless
+// of negotiated version — a simplification relative to the separate TLS<=1.2
+// PRF, documented in DESIGN.md; the negotiation surface (what the study
+// measures) is unaffected.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace iotls::crypto {
+
+/// HKDF-Extract.
+common::Bytes hkdf_extract(common::BytesView salt, common::BytesView ikm);
+
+/// HKDF-Expand to `length` bytes (length <= 255*32).
+common::Bytes hkdf_expand(common::BytesView prk, common::BytesView info,
+                          std::size_t length);
+
+/// Convenience: extract-then-expand with a string label.
+common::Bytes hkdf(common::BytesView salt, common::BytesView ikm,
+                   std::string_view label, std::size_t length);
+
+}  // namespace iotls::crypto

@@ -1,0 +1,132 @@
+#include "crypto/rsa.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace iotls::crypto {
+
+common::Bytes RsaPublicKey::serialize() const {
+  common::ByteWriter w;
+  w.vec(n.to_bytes(), 2);
+  w.vec(e.to_bytes(), 2);
+  return w.take();
+}
+
+RsaPublicKey RsaPublicKey::parse(common::BytesView data) {
+  common::ByteReader r(data);
+  RsaPublicKey key;
+  key.n = BigUint::from_bytes(r.vec(2));
+  key.e = BigUint::from_bytes(r.vec(2));
+  r.expect_end("RsaPublicKey");
+  return key;
+}
+
+RsaKeyPair rsa_generate(common::Rng& rng, std::size_t bits) {
+  if (bits < 128) throw common::CryptoError("rsa_generate: modulus too small");
+  const BigUint e(65537);
+  const BigUint one(1);
+  while (true) {
+    const BigUint p = BigUint::generate_prime(rng, bits / 2);
+    const BigUint q = BigUint::generate_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    const BigUint n = p.mul(q);
+    const BigUint phi = p.sub(one).mul(q.sub(one));
+    if (BigUint::gcd(e, phi) != one) continue;
+    const BigUint d = BigUint::modinv(e, phi);
+    RsaKeyPair pair;
+    pair.priv = RsaPrivateKey{n, e, d};
+    pair.pub = RsaPublicKey{n, e};
+    return pair;
+  }
+}
+
+namespace {
+
+// EMSA-PKCS1-v1_5-style encoding: 0x00 0x01 FF..FF 0x00 || sha256-label || digest
+common::Bytes emsa_encode(common::BytesView message, std::size_t em_len) {
+  static constexpr std::uint8_t kDigestLabel[] = {'s', 'h', 'a', '2', '5', '6'};
+  const Sha256Digest digest = Sha256::digest(message);
+  const std::size_t t_len = sizeof(kDigestLabel) + digest.size();
+  if (em_len < t_len + 11) {
+    throw common::CryptoError("rsa: modulus too small for digest encoding");
+  }
+  common::Bytes em(em_len, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::copy(std::begin(kDigestLabel), std::end(kDigestLabel),
+            em.end() - static_cast<std::ptrdiff_t>(t_len));
+  std::copy(digest.begin(), digest.end(),
+            em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+  return em;
+}
+
+}  // namespace
+
+common::Bytes rsa_sign(const RsaPrivateKey& key, common::BytesView message) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const common::Bytes em = emsa_encode(message, k);
+  const BigUint m = BigUint::from_bytes(em);
+  const BigUint s = m.modexp(key.d, key.n);
+  return s.to_bytes(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, common::BytesView message,
+                common::BytesView signature) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (signature.size() != k) return false;
+  const BigUint s = BigUint::from_bytes(signature);
+  if (s >= key.n) return false;
+  const BigUint m = s.modexp(key.e, key.n);
+  common::Bytes em;
+  try {
+    em = m.to_bytes(k);
+  } catch (const common::CryptoError&) {
+    return false;
+  }
+  const common::Bytes expected = emsa_encode(message, k);
+  return common::constant_time_equal(em, expected);
+}
+
+common::Bytes rsa_encrypt(const RsaPublicKey& key, common::Rng& rng,
+                          common::BytesView plaintext) {
+  const std::size_t k = key.modulus_bytes();
+  if (plaintext.size() + 11 > k) {
+    throw common::CryptoError("rsa_encrypt: message too long");
+  }
+  common::Bytes em(k, 0);
+  em[0] = 0x00;
+  em[1] = 0x02;
+  const std::size_t pad_len = k - 3 - plaintext.size();
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    std::uint8_t b = 0;
+    while (b == 0) b = static_cast<std::uint8_t>(rng.range(1, 255));
+    em[2 + i] = b;
+  }
+  em[2 + pad_len] = 0x00;
+  std::copy(plaintext.begin(), plaintext.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(3 + pad_len));
+  const BigUint m = BigUint::from_bytes(em);
+  return m.modexp(key.e, key.n).to_bytes(k);
+}
+
+std::optional<common::Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                                         common::BytesView ciphertext) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (ciphertext.size() != k) return std::nullopt;
+  const BigUint c = BigUint::from_bytes(ciphertext);
+  if (c >= key.n) return std::nullopt;
+  common::Bytes em;
+  try {
+    em = c.modexp(key.d, key.n).to_bytes(k);
+  } catch (const common::CryptoError&) {
+    return std::nullopt;
+  }
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
+  std::size_t sep = 2;
+  while (sep < em.size() && em[sep] != 0x00) ++sep;
+  if (sep == em.size() || sep < 10) return std::nullopt;
+  return common::Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep + 1),
+                       em.end());
+}
+
+}  // namespace iotls::crypto

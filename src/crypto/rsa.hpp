@@ -1,0 +1,66 @@
+// RSA key generation, PKCS#1-v1.5-style signing/verification and raw
+// encryption for the RSA key-exchange ciphersuites.
+//
+// Signatures are what make the paper's root-store side channel *real*: a
+// spoofed CA certificate carries the genuine subject/issuer/serial of a root
+// but is signed with a different key, so verification fails with a true
+// signature error rather than an unknown-issuer error.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/bignum.hpp"
+
+namespace iotls::crypto {
+
+/// Default simulation modulus size. Large enough that signature forgery is
+/// not accidental, small enough that generating ~250 CA keys stays fast.
+inline constexpr std::size_t kDefaultRsaBits = 512;
+
+struct RsaPublicKey {
+  BigUint n;  // modulus
+  BigUint e;  // public exponent
+
+  [[nodiscard]] std::size_t modulus_bytes() const {
+    return (n.bit_length() + 7) / 8;
+  }
+  [[nodiscard]] common::Bytes serialize() const;
+  static RsaPublicKey parse(common::BytesView data);
+  bool operator==(const RsaPublicKey& other) const = default;
+};
+
+struct RsaPrivateKey {
+  BigUint n;
+  BigUint e;
+  BigUint d;
+
+  [[nodiscard]] RsaPublicKey public_key() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPrivateKey priv;
+  RsaPublicKey pub;
+};
+
+/// Generate an RSA keypair with the given modulus size.
+RsaKeyPair rsa_generate(common::Rng& rng, std::size_t bits = kDefaultRsaBits);
+
+/// Sign SHA-256(message) with EMSA-PKCS1-v1_5-style padding.
+common::Bytes rsa_sign(const RsaPrivateKey& key, common::BytesView message);
+
+/// Verify a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, common::BytesView message,
+                common::BytesView signature);
+
+/// Raw RSA encryption of a short secret (for the RSA key exchange).
+/// Pads with random nonzero bytes, PKCS#1-v1.5 type 2 style.
+common::Bytes rsa_encrypt(const RsaPublicKey& key, common::Rng& rng,
+                          common::BytesView plaintext);
+
+/// Decrypt; returns nullopt if padding is malformed.
+std::optional<common::Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                                         common::BytesView ciphertext);
+
+}  // namespace iotls::crypto

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for certificate digests (signatures are RSA over SHA-256 of the TBS
+// bytes), TLS transcript hashes, fingerprint hashes, and the HKDF that feeds
+// record protection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace iotls::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(common::BytesView data);
+  /// Finalize; the object must not be updated afterwards.
+  [[nodiscard]] Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest digest(common::BytesView data);
+  static common::Bytes digest_bytes(common::BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace iotls::crypto

@@ -1,0 +1,285 @@
+// Amazon-family devices: Echo Plus, Echo Dot, Echo Dot 3, Echo Spot,
+// Fire TV, Amazon Cloudcam.
+//
+// Paper findings encoded here:
+//   Table 5 — all (except Dot 3) fall back to SSL 3.0 on incomplete
+//             handshakes; per-device susceptible/total destination counts.
+//   Table 6 — all accept TLS 1.0/1.1 (via the android-sdk instance).
+//   Table 7 — one destination per device (except Dot 3) skips hostname
+//             validation; bearer tokens are exposed there.
+//   Table 8 — Fire TV, Echo Spot, Echo Dot support OCSP stapling.
+//   Table 9 — Echo Plus/Dot/Dot 3 root stores (98%/98%/90% common,
+//             18%/19%/27% deprecated). Fire TV and Echo Spot are NOT
+//             probeable: their boot-time instance sends no alerts.
+//   Fig 5   — the family shares "amazon-main" (== android-sdk) and
+//             "amazon-legacy"; Echo Dot 3 overlaps only via the OTA client.
+#include "devices/catalog.hpp"
+
+namespace iotls::devices::detail {
+
+namespace t = iotls::tls;
+
+namespace {
+
+/// Deprecated-set sampling fraction hitting `target_fraction` inclusion in
+/// expectation, accounting for `forced` always-included CAs out of 87.
+tls::ClientConfig amazon_ssl3_fallback() {
+  // Table 5: "Falls back to using SSL 3.0".
+  t::ClientConfig cfg = family_config("amazon-main");
+  cfg.versions = {t::ProtocolVersion::Ssl3_0};
+  cfg.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                       t::TLS_RSA_WITH_3DES_EDE_CBC_SHA,
+                       t::TLS_RSA_WITH_RC4_128_SHA};
+  return cfg;
+}
+
+/// Shared boot-time configuration for Fire TV / Echo Spot: a GnuTLS-style
+/// stack that drops failed connections silently — which is why those two
+/// devices are absent from Table 9 despite being Amazon devices.
+tls::ClientConfig amazon_boot_config() {
+  t::ClientConfig cfg;
+  cfg.versions = {t::ProtocolVersion::Tls1_2};
+  cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                       t::TLS_RSA_WITH_AES_128_GCM_SHA256};
+  cfg.library = t::TlsLibrary::GnuTls;
+  return cfg;
+}
+
+tls::ClientConfig amazon_ota_plain() {
+  t::ClientConfig cfg = family_config("amazon-ota");
+  cfg.request_ocsp_staple = false;
+  return cfg;
+}
+
+FallbackSpec amazon_fallback() {
+  FallbackSpec fb;
+  fb.on_incomplete_handshake = true;
+  fb.on_failed_handshake = false;
+  fb.behavior = "Falls back to using SSL 3.0";
+  fb.fallback_config = amazon_ssl3_fallback();
+  return fb;
+}
+
+DestinationSpec named_dest(std::string hostname, std::string instance,
+                           bool susceptible, std::string payload = "",
+                           bool intermittent = false) {
+  DestinationSpec d;
+  d.hostname = std::move(hostname);
+  d.instance_id = std::move(instance);
+  d.downgrade_susceptible = susceptible;
+  d.sensitive_payload = std::move(payload);
+  d.intermittent = intermittent;
+  return d;
+}
+
+}  // namespace
+
+std::vector<DeviceProfile> build_amazon_devices() {
+  std::vector<DeviceProfile> out;
+
+  const TlsInstanceSpec main_instance{"amazon-main",
+                                      family_config("amazon-main")};
+  const TlsInstanceSpec legacy_instance{"amazon-legacy",
+                                        family_config("amazon-legacy")};
+  const TlsInstanceSpec ota_instance{"amazon-ota",
+                                     family_config("amazon-ota")};
+  const TlsInstanceSpec ota_plain_instance{"amazon-ota-plain",
+                                           amazon_ota_plain()};
+  const TlsInstanceSpec boot_instance{"amazon-boot", amazon_boot_config()};
+
+  // ---------------- Amazon Echo Plus ----------------
+  {
+    DeviceProfile d;
+    d.name = "Amazon Echo Plus";
+    d.category = "Audio";
+    d.instances = {main_instance, legacy_instance, ota_plain_instance};
+    // Table 7: 1/8 destinations vulnerable; Table 5: 6/7 downgrade (the OTA
+    // destination only shows up after a successful login — intermittent).
+    d.destinations = make_destinations("echo.amazon-sim.com", 6,
+                                       "amazon-main", /*susceptible=*/6);
+    d.destinations.push_back(named_dest("device-auth.amazon-sim.com",
+                                        "amazon-legacy", false,
+                                        "Authorization: Bearer echoplus-token"));
+    d.destinations.back().traffic_weight = 0.03;  // rare auth flow
+    d.destinations.push_back(named_dest("ota.amazon-sim.com",
+                                        "amazon-ota-plain", false, "",
+                                        /*intermittent=*/true));
+    d.fallback = amazon_fallback();
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.98,
+        .deprecated_fraction = 0.18,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+        .inconclusive_common = 1.0 - 105.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 72.0 / 87.0,
+    };
+    d.monthly_connections_per_destination = 5200;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Amazon Echo Dot ----------------
+  {
+    DeviceProfile d;
+    d.name = "Amazon Echo Dot";
+    d.category = "Audio";
+    d.instances = {main_instance, legacy_instance, ota_instance};
+    // Table 5: 7/9 downgrade; Table 7: 1/9 vulnerable.
+    d.destinations = make_destinations("echo.amazon-sim.com", 7,
+                                       "amazon-main", /*susceptible=*/7);
+    d.destinations.push_back(named_dest("device-auth.amazon-sim.com",
+                                        "amazon-legacy", false,
+                                        "Authorization: Bearer echodot-token"));
+    d.destinations.back().traffic_weight = 0.03;  // rare auth flow
+    d.destinations.push_back(
+        named_dest("ota.amazon-sim.com", "amazon-ota", false));
+    d.fallback = amazon_fallback();
+    d.revocation.ocsp_stapling = true;  // Table 8
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.98,
+        .deprecated_fraction = 0.19,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+        .inconclusive_common = 1.0 - 119.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 72.0 / 87.0,
+    };
+    d.monthly_connections_per_destination = 5300;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Amazon Echo Dot 3 ----------------
+  {
+    DeviceProfile d;
+    d.name = "Amazon Echo Dot 3";
+    d.category = "Audio";
+    // Distinct main stack (§5.3: smallest fingerprint overlap with the
+    // family; not susceptible to the downgrade, and — unlike the rest of
+    // the family — absent from Table 6's old-version list).
+    t::ClientConfig dot3 = family_config("amazon-main");
+    dot3.versions = {t::ProtocolVersion::Tls1_2};
+    dot3.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                          t::TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305,
+                          t::TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+                          t::TLS_RSA_WITH_AES_128_GCM_SHA256};
+    dot3.session_ticket = true;
+    d.instances = {TlsInstanceSpec{"amazon-dot3", dot3}, ota_plain_instance};
+    d.destinations = make_destinations("echo.amazon-sim.com", 6,
+                                       "amazon-dot3");
+    d.destinations.push_back(
+        named_dest("ota.amazon-sim.com", "amazon-ota-plain", false));
+    // No fallback (Table 5), no interception vulnerability (Table 7).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.90,
+        .deprecated_fraction = 0.27,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+        .inconclusive_common = 1.0 - 96.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 72.0 / 87.0,
+    };
+    // Released late 2018: joins the passive data partway through.
+    d.passive_start_offset = 10;
+    d.monthly_connections_per_destination = 5600;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Amazon Echo Spot ----------------
+  {
+    DeviceProfile d;
+    d.name = "Amazon Echo Spot";
+    d.category = "Audio";
+    d.instances = {boot_instance, main_instance, legacy_instance,
+                   ota_instance};
+    // Table 7: 1/17; Table 5: 11/15 (2 intermittent destinations).
+    d.destinations.push_back(
+        named_dest("boot.amazon-sim.com", "amazon-boot", false));
+    {
+      auto bulk = make_destinations("echospot.amazon-sim.com", 12,
+                                    "amazon-main", /*susceptible=*/11);
+      d.destinations.insert(d.destinations.end(), bulk.begin(), bulk.end());
+    }
+    d.destinations.push_back(named_dest("device-auth.amazon-sim.com",
+                                        "amazon-legacy", false,
+                                        "Authorization: Bearer echospot-token"));
+    d.destinations.back().traffic_weight = 0.03;  // rare auth flow
+    d.destinations.push_back(
+        named_dest("ota.amazon-sim.com", "amazon-ota", false));
+    d.destinations.push_back(named_dest("video.amazon-sim.com",
+                                        "amazon-main", false, "",
+                                        /*intermittent=*/true));
+    d.destinations.push_back(named_dest("music.amazon-sim.com",
+                                        "amazon-main", false, "",
+                                        /*intermittent=*/true));
+    d.fallback = amazon_fallback();
+    d.revocation.ocsp_stapling = true;  // Table 8
+    // Boot instance sends no alerts → not probeable (absent from Table 9).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.97,
+        .deprecated_fraction = 0.18,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+    };
+    d.monthly_connections_per_destination = 3900;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Amazon Fire TV ----------------
+  {
+    DeviceProfile d;
+    d.name = "Fire TV";
+    d.category = "TV";
+    d.instances = {boot_instance, main_instance, legacy_instance,
+                   ota_instance};
+    d.destinations.push_back(
+        named_dest("boot.amazon-sim.com", "amazon-boot", false));
+    {
+      // Table 5/7: 13/21 downgrade, 1/21 vulnerable.
+      auto bulk = make_destinations("firetv.amazon-sim.com", 16,
+                                    "amazon-main", /*susceptible=*/13);
+      d.destinations.insert(d.destinations.end(), bulk.begin(), bulk.end());
+    }
+    d.destinations.push_back(named_dest("device-auth.amazon-sim.com",
+                                        "amazon-legacy", false,
+                                        "Authorization: Bearer firetv-token"));
+    d.destinations.back().traffic_weight = 0.03;  // rare auth flow
+    d.destinations.push_back(
+        named_dest("ota.amazon-sim.com", "amazon-ota", false));
+    {
+      DestinationSpec ads = named_dest("ads.tracker-sim.net", "amazon-main",
+                                       false);
+      ads.first_party = false;
+      d.destinations.push_back(ads);
+      DestinationSpec metrics = named_dest("metrics.tracker-sim.net",
+                                           "amazon-main", false);
+      metrics.first_party = false;
+      d.destinations.push_back(metrics);
+    }
+    d.fallback = amazon_fallback();
+    d.revocation.ocsp_stapling = true;  // Table 8
+    d.monthly_connections_per_destination = 6200;
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.97,
+        .deprecated_fraction = 0.20,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+    };
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Amazon Cloudcam (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "Amazon Cloudcam";
+    d.category = "Cameras";
+    d.active = false;
+    d.instances = {main_instance, legacy_instance, ota_plain_instance};
+    d.destinations = make_destinations("cloudcam.amazon-sim.com", 3,
+                                       "amazon-main");
+    d.destinations.push_back(
+        named_dest("ota.amazon-sim.com", "amazon-ota-plain", false));
+    d.destinations.push_back(named_dest("device-auth.amazon-sim.com",
+                                        "amazon-legacy", false));
+    d.destinations.back().traffic_weight = 0.03;
+    // Lost manufacturer support during the study (§4.1).
+    d.passive_end_offset = 20;
+    d.monthly_connections_per_destination = 2400;
+    out.push_back(std::move(d));
+  }
+
+  return out;
+}
+
+}  // namespace iotls::devices::detail

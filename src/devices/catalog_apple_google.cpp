@@ -1,0 +1,215 @@
+// Apple, Google, and Microsoft (Harman Invoke) devices.
+//
+// Paper findings encoded here:
+//   Table 5 — Apple HomePod falls back to TLS 1.0 (7/9 destinations);
+//             Google Home Mini falls back to 3DES + SHA-1 (5/5).
+//   Table 6 — Google Home Mini accepts TLS 1.0/1.1; Apple devices do not.
+//   Table 8 — OCSP: Apple TV, HomePod; stapling: HomePod, Apple TV,
+//             Harman Invoke, Google Home Mini.
+//   Table 9 — Google Home Mini (100%/6%) and Harman Invoke (82%/59%)
+//             root stores; Apple devices are not probeable (Secure
+//             Transport sends no alerts, Table 4).
+//   Figs 1-3 — Apple TV & Google Home Mini adopt TLS 1.3 in 5/2019;
+//             Apple TV increases weak-cipher support in 10/2018.
+//   Fig 5   — Apple cluster; Invoke ↔ microsoft-sdk; Invoke's probe path
+//             shares the stock OpenSSL fingerprint.
+#include "devices/catalog.hpp"
+
+namespace iotls::devices::detail {
+
+namespace t = iotls::tls;
+
+namespace {
+
+using PV = t::ProtocolVersion;
+
+DestinationSpec named_dest(std::string hostname, std::string instance,
+                           bool susceptible, std::string payload = "") {
+  DestinationSpec d;
+  d.hostname = std::move(hostname);
+  d.instance_id = std::move(instance);
+  d.downgrade_susceptible = susceptible;
+  d.sensitive_payload = std::move(payload);
+  return d;
+}
+
+tls::ClientConfig apple_2018_config() {
+  // Before the 5/2019 update: TLS 1.2 only, weak ciphers added 10/2018.
+  t::ClientConfig cfg = family_config("apple");
+  cfg.versions = {PV::Tls1_2};
+  cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+                       t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                       t::TLS_RSA_WITH_AES_128_GCM_SHA256};
+  return cfg;
+}
+
+tls::ClientConfig apple_weakened_config() {
+  // Fig 2: Apple TV *increased* weak-cipher support in 10/2018.
+  t::ClientConfig cfg = apple_2018_config();
+  cfg.cipher_suites.push_back(t::TLS_RSA_WITH_3DES_EDE_CBC_SHA);
+  cfg.cipher_suites.push_back(t::TLS_RSA_WITH_RC4_128_SHA);
+  return cfg;
+}
+
+tls::ClientConfig apple_modern_config() {
+  // After 5/2019: the shared Secure Transport stack advertising TLS 1.3.
+  t::ClientConfig cfg = family_config("apple");
+  cfg.cipher_suites.push_back(t::TLS_RSA_WITH_3DES_EDE_CBC_SHA);
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<DeviceProfile> build_apple_google_devices() {
+  std::vector<DeviceProfile> out;
+
+  // ---------------- Apple TV ----------------
+  {
+    DeviceProfile d;
+    d.name = "Apple TV";
+    d.category = "TV";
+    d.instances = {TlsInstanceSpec{"apple-main", apple_2018_config()}};
+    d.destinations = make_destinations("appletv.apple-sim.com", 5,
+                                       "apple-main");
+    {
+      DestinationSpec tracker =
+          named_dest("metrics.tracker-sim.net", "apple-main", false);
+      tracker.first_party = false;
+      d.destinations.push_back(tracker);
+    }
+    d.updates.push_back(UpdateEvent{common::Month{2018, 10}, "apple-main",
+                                    apple_weakened_config(),
+                                    "adds 3DES and RC4 ciphersuites"});
+    d.updates.push_back(UpdateEvent{common::Month{2019, 5}, "apple-main",
+                                    apple_modern_config(),
+                                    "adopts TLS 1.3"});
+    d.revocation.ocsp = true;           // Table 8
+    d.revocation.ocsp_stapling = true;  // Table 8
+    // Secure Transport sends no alerts → not probeable (Table 4).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 1.0,
+        .deprecated_fraction = 0.10,
+        .force_include = {"WoSign CA Free SSL"},
+    };
+    d.monthly_connections_per_destination = 9200;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Apple HomePod ----------------
+  {
+    DeviceProfile d;
+    d.name = "Apple HomePod";
+    d.category = "Audio";
+    d.instances = {TlsInstanceSpec{"apple-main", apple_modern_config()}};
+    // Table 5: 7/9 destinations downgrade to TLS 1.0.
+    d.destinations = make_destinations("homepod.apple-sim.com", 9,
+                                       "apple-main", /*susceptible=*/7);
+    FallbackSpec fb;
+    fb.on_incomplete_handshake = true;
+    fb.behavior = "Falls back to using TLS 1.0";
+    fb.fallback_config = apple_modern_config();
+    fb.fallback_config.versions = {PV::Tls1_0};
+    fb.fallback_config.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                                        t::TLS_RSA_WITH_AES_256_CBC_SHA,
+                                        t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    d.fallback = fb;
+    d.revocation.ocsp = true;           // Table 8
+    d.revocation.ocsp_stapling = true;  // Table 8
+    d.root_store = RootStoreSpec{
+        .common_fraction = 1.0,
+        .deprecated_fraction = 0.10,
+        .force_include = {"WoSign CA Free SSL"},
+    };
+    // HomePod shipped February 2018 (§4.1 ≥6 months of traffic).
+    d.passive_start_offset = 2;
+    d.monthly_connections_per_destination = 7600;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Google Home Mini ----------------
+  {
+    DeviceProfile d;
+    d.name = "Google Home Mini";
+    d.category = "Audio";
+    tls::ClientConfig base = family_config("google-home");
+    base.cipher_suites.push_back(t::TLS_RSA_WITH_3DES_EDE_CBC_SHA);
+    d.instances = {TlsInstanceSpec{"google-main", base}};
+    // Table 5: downgrades on *all* its destinations (5/5).
+    d.destinations = make_destinations("home.google-sim.com", 5,
+                                       "google-main", /*susceptible=*/5);
+
+    tls::ClientConfig tls13 = base;
+    tls13.versions.push_back(PV::Tls1_3);
+    tls13.cipher_suites.insert(tls13.cipher_suites.begin(),
+                               t::TLS_AES_128_GCM_SHA256);
+    d.updates.push_back(UpdateEvent{common::Month{2019, 5}, "google-main",
+                                    tls13, "adopts TLS 1.3"});
+
+    FallbackSpec fb;
+    fb.on_incomplete_handshake = true;
+    fb.behavior =
+        "Falls back to supporting a weaker ciphersuite and signature "
+        "algorithm (TLS_RSA_WITH_3DES_EDE_CBC_SHA and RSA_PKCS1_SHA1)";
+    fb.fallback_config = base;
+    fb.fallback_config.cipher_suites = {t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    fb.fallback_config.signature_algorithms = {
+        t::SignatureScheme::RsaPkcs1Sha1};
+    d.fallback = fb;
+
+    d.revocation.ocsp_stapling = true;  // Table 8
+    // Table 9 row 1: 100% common (119/119), 6% deprecated (4/71).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 1.0,
+        .deprecated_fraction = 0.045,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+        .prefer_recent_deprecated = true,  // Fig 4: GHM's store skews recent
+        .inconclusive_common = 1.0 - 119.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 71.0 / 87.0,
+    };
+    d.monthly_connections_per_destination = 9800;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Harman Invoke ----------------
+  {
+    DeviceProfile d;
+    d.name = "Harman Invoke";
+    d.category = "Audio";
+    // Probe path (first destination) is the stock-OpenSSL updater — which
+    // is exactly why probing works on this device (§5.3). Its firmware
+    // disables pre-1.2 versions (Invoke is absent from Table 6); the
+    // fingerprint is unchanged (versions below the 1.2 maximum are not
+    // visible in a pre-1.3 ClientHello).
+    t::ClientConfig openssl_cfg = family_config("openssl-iot");
+    openssl_cfg.versions = {PV::Tls1_2};
+    t::ClientConfig microsoft_cfg = family_config("microsoft");
+    microsoft_cfg.versions = {PV::Tls1_2};
+    d.instances = {TlsInstanceSpec{"openssl-iot", openssl_cfg},
+                   TlsInstanceSpec{"microsoft-voice", microsoft_cfg}};
+    d.destinations.push_back(
+        named_dest("updates.harman-sim.com", "openssl-iot", false));
+    {
+      auto voice = make_destinations("cortana.microsoft-sim.com", 3,
+                                     "microsoft-voice");
+      d.destinations.insert(d.destinations.end(), voice.begin(), voice.end());
+    }
+    d.revocation.ocsp_stapling = true;  // Table 8
+    // Table 9 row 8: 82% common (67/82), 59% deprecated (41/70).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.82,
+        .deprecated_fraction = 0.59,
+        .force_include = {"WoSign CA Free SSL", "CNNIC Root",
+                          "Certinomis - Root CA"},
+        .inconclusive_common = 1.0 - 82.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 70.0 / 87.0,
+    };
+    // Cortana support ended during the study (§4.1).
+    d.passive_end_offset = 22;
+    d.monthly_connections_per_destination = 1900;
+    out.push_back(std::move(d));
+  }
+
+  return out;
+}
+
+}  // namespace iotls::devices::detail

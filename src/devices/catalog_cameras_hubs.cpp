@@ -1,0 +1,396 @@
+// Cameras and smart hubs.
+//
+// Paper findings encoded here:
+//   Table 6 — Zmodo, Yi, Amcrest, Wink Hub 2, Philips Hub accept TLS 1.0/1.1.
+//   Table 7 — Zmodo (6/6), Amcrest (2/2), Yi (1/1, via the 3-consecutive-
+//             failure validation disable), Wink Hub 2 (1/2),
+//             Smartthings Hub (1/3) are interception-vulnerable; Zmodo
+//             leaks "encrypt_key", Amcrest its command server.
+//   Table 8 — Wink Hub 2 and Smartthings Hub support OCSP stapling.
+//   Table 9 — Wink Hub 2 root store (92% common / 38% deprecated).
+//   Fig 1   — Blink Hub transitions to TLS 1.2 in 7/2018; Insteon Hub's
+//             old-version fraction varies with destination mix, then its
+//             legacy instance is upgraded in 9/2019.
+//   Fig 2   — Smartthings Hub stops advertising weak ciphers in 3/2020;
+//             Blink Hub in 5/2019.
+//   Fig 5   — Wink Hub 2 and Smartthings Hub share the stock OpenSSL
+//             fingerprint (Wink's probe path).
+#include "devices/catalog.hpp"
+
+namespace iotls::devices::detail {
+
+namespace t = iotls::tls;
+
+namespace {
+
+using PV = t::ProtocolVersion;
+
+DestinationSpec named_dest(std::string hostname, std::string instance,
+                           std::string payload = "") {
+  DestinationSpec d;
+  d.hostname = std::move(hostname);
+  d.instance_id = std::move(instance);
+  d.sensitive_payload = std::move(payload);
+  return d;
+}
+
+tls::ClientConfig no_validation_config(std::vector<std::uint16_t> suites) {
+  t::ClientConfig cfg;
+  cfg.versions = {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2};
+  cfg.cipher_suites = std::move(suites);
+  cfg.library = t::TlsLibrary::OpenSsl;
+  cfg.verify_policy = x509::VerifyPolicy::none();
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<DeviceProfile> build_camera_hub_devices() {
+  std::vector<DeviceProfile> out;
+
+  // ---------------- Blink Camera (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "Blink Camera";
+    d.category = "Cameras";
+    d.active = false;
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    cfg.library = t::TlsLibrary::GnuTls;
+    t::ClientConfig cam_legacy;
+    cam_legacy.versions = {PV::Tls1_0};  // multiple maxima (§5.1)
+    cam_legacy.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    cam_legacy.library = t::TlsLibrary::GnuTls;
+    d.instances = {TlsInstanceSpec{"blinkcam-main", cfg},
+                   TlsInstanceSpec{"blinkcam-legacy", cam_legacy}};
+    d.destinations = make_destinations("cam.blink-sim.com", 3,
+                                       "blinkcam-main");
+    d.destinations.push_back(
+        named_dest("sync.cam.blink-sim.com", "blinkcam-legacy"));
+    d.destinations.back().traffic_weight = 0.04;
+    d.passive_end_offset = 14;  // broke mid-study (§4.1)
+    d.monthly_connections_per_destination = 2100;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Zmodo Doorbell ----------------
+  {
+    DeviceProfile d;
+    d.name = "Zmodo Doorbell";
+    d.category = "Cameras";
+    d.instances = {TlsInstanceSpec{
+        "zmodo-main",
+        no_validation_config({t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                              t::TLS_RSA_WITH_RC4_128_SHA,
+                              t::TLS_RSA_WITH_3DES_EDE_CBC_SHA})}};
+    // Table 7: 6/6 destinations vulnerable; leaks its media key.
+    for (int i = 0; i < 6; ++i) {
+      d.destinations.push_back(named_dest(
+          "svc0" + std::to_string(i) + ".zmodo-sim.com", "zmodo-main",
+          i == 0 ? "encrypt_key=ZM-MEDIA-KEY-0042" : ""));
+    }
+    d.monthly_connections_per_destination = 2600;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Yi Camera ----------------
+  {
+    DeviceProfile d;
+    d.name = "Yi Camera";
+    d.category = "Cameras";
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    cfg.library = t::TlsLibrary::WolfSsl;  // same alert both ways: unprobeable
+    cfg.session_ticket = true;
+    d.instances = {TlsInstanceSpec{"yi-main", cfg}};
+    d.destinations = {named_dest("api.yitechnology-sim.com", "yi-main")};
+    // §5.2: "disables certificate validation completely upon 3 consecutive
+    // failed connections" — which is exactly how Table 7 marks it 1/1.
+    d.disable_validation_after_failures = 3;
+    d.monthly_connections_per_destination = 3100;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- D-Link Camera ----------------
+  {
+    DeviceProfile d;
+    d.name = "D-Link Camera";
+    d.category = "Cameras";
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+                         t::TLS_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    cfg.library = t::TlsLibrary::WolfSsl;
+    d.instances = {TlsInstanceSpec{"dlink-main", cfg}};
+    d.destinations = make_destinations("dlink-sim.com", 3, "dlink-main");
+    d.monthly_connections_per_destination = 1700;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Amcrest Camera ----------------
+  {
+    DeviceProfile d;
+    d.name = "Amcrest Camera";
+    d.category = "Cameras";
+    d.instances = {TlsInstanceSpec{
+        "amcrest-main",
+        no_validation_config({t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                              t::TLS_RSA_WITH_3DES_EDE_CBC_SHA,
+                              t::TLS_RSA_WITH_RC4_128_SHA})}};
+    d.destinations = {
+        named_dest("p2p.amcrest-sim.com", "amcrest-main",
+                   "command-server=cmd.amcrest-sim.com;user=admin"),
+        named_dest("relay.amcrest-sim.com", "amcrest-main"),
+    };
+    d.monthly_connections_per_destination = 2300;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Ring Doorbell (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "Ring Doorbell";
+    d.category = "Cameras";
+    d.active = false;
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    cfg.library = t::TlsLibrary::OpenSsl;
+    t::ClientConfig ring_legacy;
+    ring_legacy.versions = {PV::Tls1_1};  // multiple maxima (§5.1)
+    ring_legacy.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    ring_legacy.library = t::TlsLibrary::OpenSsl;
+    d.instances = {TlsInstanceSpec{"ring-main", cfg},
+                   TlsInstanceSpec{"ring-legacy", ring_legacy}};
+    // Fig 3: Ring's destinations adopt PFS in 4/2018 (server-side change;
+    // see testbed/cloud evolution for *.ring-sim.com).
+    d.destinations = make_destinations("ring-sim.com", 4, "ring-main");
+    d.destinations.push_back(named_dest("fw.ring-sim.com", "ring-legacy"));
+    d.destinations.back().traffic_weight = 0.04;
+    d.monthly_connections_per_destination = 4400;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Blink Hub ----------------
+  {
+    DeviceProfile d;
+    d.name = "Blink Hub";
+    d.category = "Smart Hubs";
+    t::ClientConfig legacy;
+    legacy.versions = {PV::Tls1_0, PV::Tls1_1};
+    legacy.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                            t::TLS_RSA_WITH_3DES_EDE_CBC_SHA,
+                            t::TLS_RSA_WITH_RC4_128_SHA};
+    legacy.library = t::TlsLibrary::GnuTls;
+    d.instances = {TlsInstanceSpec{"blink-main", legacy}};
+    d.destinations = make_destinations("hub.blink-sim.com", 3, "blink-main");
+
+    // Fig 1: transitions to TLS 1.2 in 7/2018.
+    t::ClientConfig modern = legacy;
+    modern.versions = {PV::Tls1_2};
+    modern.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                            t::TLS_RSA_WITH_AES_128_GCM_SHA256,
+                            t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    d.updates.push_back(UpdateEvent{common::Month{2018, 7}, "blink-main",
+                                    modern, "transitions to TLS 1.2"});
+    // Fig 2: stops advertising weak ciphers in 5/2019.
+    t::ClientConfig cleaned = modern;
+    cleaned.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                             t::TLS_RSA_WITH_AES_128_GCM_SHA256,
+                             t::TLS_RSA_WITH_AES_256_CBC_SHA};
+    d.updates.push_back(UpdateEvent{common::Month{2019, 5}, "blink-main",
+                                    cleaned,
+                                    "stops advertising weak ciphersuites"});
+    d.monthly_connections_per_destination = 2700;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Smartthings Hub ----------------
+  {
+    DeviceProfile d;
+    d.name = "Smartthings Hub";
+    d.category = "Smart Hubs";
+    t::ClientConfig main_cfg;
+    main_cfg.versions = {PV::Tls1_2};
+    main_cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                              t::TLS_RSA_WITH_AES_128_GCM_SHA256,
+                              t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    main_cfg.library = t::TlsLibrary::WolfSsl;  // unprobeable boot path
+    main_cfg.request_ocsp_staple = true;        // Table 8 stapling evidence
+    t::ClientConfig video_cfg = no_validation_config(
+        {t::TLS_RSA_WITH_AES_128_CBC_SHA, t::TLS_RSA_WITH_RC4_128_SHA});
+    // The video instance skips validation but the hub still rejects old
+    // versions everywhere (absent from Table 6).
+    video_cfg.versions = {PV::Tls1_2};
+    t::ClientConfig fw_cfg = family_config("openssl-iot");
+    fw_cfg.versions = {PV::Tls1_2};  // fingerprint-neutral restriction
+    d.instances = {TlsInstanceSpec{"smartthings-main", main_cfg},
+                   TlsInstanceSpec{"smartthings-video", video_cfg},
+                   TlsInstanceSpec{"openssl-iot", fw_cfg}};
+    d.destinations = {
+        named_dest("api.smartthings-sim.com", "smartthings-main"),
+        named_dest("video.smartthings-sim.com", "smartthings-video"),
+        named_dest("fw.smartthings-sim.com", "openssl-iot"),
+    };
+    // Fig 2: stops advertising weak ciphers in 3/2020 (both first-party
+    // stacks; the shared OpenSSL updater keeps its stock configuration).
+    t::ClientConfig cleaned = main_cfg;
+    cleaned.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                             t::TLS_RSA_WITH_AES_128_GCM_SHA256};
+    d.updates.push_back(UpdateEvent{common::Month{2020, 3},
+                                    "smartthings-main", cleaned,
+                                    "stops advertising weak ciphersuites"});
+    t::ClientConfig video_cleaned = video_cfg;
+    video_cleaned.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    d.updates.push_back(UpdateEvent{common::Month{2020, 3},
+                                    "smartthings-video", video_cleaned,
+                                    "stops advertising weak ciphersuites"});
+    d.revocation.ocsp_stapling = true;  // Table 8
+    d.monthly_connections_per_destination = 3300;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Philips Hub ----------------
+  {
+    DeviceProfile d;
+    d.name = "Philips Hub";
+    d.category = "Smart Hubs";
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    cfg.library = t::TlsLibrary::GnuTls;  // silent on failure: unprobeable
+    d.instances = {TlsInstanceSpec{"philips-main", cfg},
+                   TlsInstanceSpec{"openssl-iot",
+                                   family_config("openssl-iot")}};
+    d.destinations = {
+        named_dest("bridge.philips-sim.com", "philips-main"),
+        named_dest("time.philips-sim.com", "philips-main"),
+        named_dest("fw.philips-sim.com", "openssl-iot"),
+    };
+    d.monthly_connections_per_destination = 2900;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Wink Hub 2 ----------------
+  {
+    DeviceProfile d;
+    d.name = "Wink Hub 2";
+    d.category = "Smart Hubs";
+    t::ClientConfig cloud_cfg = no_validation_config(
+        {t::TLS_RSA_WITH_3DES_EDE_CBC_SHA, t::TLS_RSA_WITH_AES_128_CBC_SHA});
+    cloud_cfg.versions = {PV::Tls1_1};  // second maximum version (§5.1)
+    cloud_cfg.request_ocsp_staple = true;  // Table 8 stapling evidence
+    d.instances = {TlsInstanceSpec{"openssl-iot",
+                                   family_config("openssl-iot")},
+                   TlsInstanceSpec{"wink-cloud", cloud_cfg}};
+    // First destination is the probe path (stock OpenSSL, §5.3).
+    // Fig 2: the cloud destination *establishes* 3DES — its server prefers
+    // it (see testbed/cloud). Low weight: a rare sync flow.
+    d.destinations = {
+        named_dest("api.wink-sim.com", "openssl-iot"),
+        named_dest("cloud.wink-sim.com", "wink-cloud"),
+    };
+    d.destinations[1].traffic_weight = 0.04;
+    d.revocation.ocsp_stapling = true;  // Table 8
+    // Table 9 row 5: 92% common (109/119), 38% deprecated (27/72).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.92,
+        .deprecated_fraction = 0.375,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+        .inconclusive_common = 1.0 - 119.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 72.0 / 87.0,
+    };
+    d.monthly_connections_per_destination = 2500;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Sengled Hub (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "Sengled Hub";
+    d.category = "Smart Hubs";
+    d.active = false;
+    t::ClientConfig cfg = family_config("mbedtls-embedded");
+    cfg.library = t::TlsLibrary::WolfSsl;
+    cfg.cipher_suites.push_back(t::TLS_RSA_WITH_3DES_EDE_CBC_SHA);
+    t::ClientConfig sengled_legacy;
+    sengled_legacy.versions = {PV::Tls1_1};  // multiple maxima (§5.1)
+    sengled_legacy.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    sengled_legacy.library = t::TlsLibrary::WolfSsl;
+    d.instances = {TlsInstanceSpec{"sengled-main", cfg},
+                   TlsInstanceSpec{"sengled-legacy", sengled_legacy}};
+    d.destinations = make_destinations("sengled-sim.com", 2, "sengled-main");
+    d.destinations.push_back(
+        named_dest("fw.sengled-sim.com", "sengled-legacy"));
+    d.destinations.back().traffic_weight = 0.04;
+    d.passive_end_offset = 8;  // ≥6 months, then lost connectivity (§4.1)
+    d.monthly_connections_per_destination = 1500;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Switchbot Hub ----------------
+  {
+    DeviceProfile d;
+    d.name = "Switchbot Hub";
+    d.category = "Smart Hubs";
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305};
+    cfg.library = t::TlsLibrary::WolfSsl;
+    d.instances = {TlsInstanceSpec{"switchbot-main", cfg}};
+    d.destinations = make_destinations("switchbot-sim.com", 2,
+                                       "switchbot-main");
+    d.monthly_connections_per_destination = 1600;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Insteon Hub (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "Insteon Hub";
+    d.category = "Smart Hubs";
+    d.active = false;
+    t::ClientConfig legacy;
+    legacy.versions = {PV::Tls1_0};
+    legacy.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                            t::TLS_RSA_WITH_RC4_128_SHA};
+    legacy.library = t::TlsLibrary::GnuTls;
+    t::ClientConfig modern;
+    modern.versions = {PV::Tls1_2};
+    modern.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                            t::TLS_RSA_WITH_AES_128_GCM_SHA256};
+    modern.library = t::TlsLibrary::GnuTls;
+    d.instances = {TlsInstanceSpec{"insteon-legacy", legacy},
+                   TlsInstanceSpec{"insteon-main", modern}};
+    // Fig 1: the old-version fraction tracks how often the legacy
+    // destination is contacted month to month; the legacy instance itself
+    // is upgraded in 9/2019, after which old versions disappear.
+    d.destinations = {
+        named_dest("legacy.insteon-sim.com", "insteon-legacy"),
+        named_dest("app.insteon-sim.com", "insteon-main"),
+        named_dest("alerts.insteon-sim.com", "insteon-main"),
+    };
+    t::ClientConfig upgraded = modern;
+    d.updates.push_back(UpdateEvent{common::Month{2019, 9}, "insteon-legacy",
+                                    upgraded, "transitions to TLS 1.2"});
+    d.monthly_connections_per_destination = 1800;
+    out.push_back(std::move(d));
+  }
+
+  return out;
+}
+
+}  // namespace iotls::devices::detail

@@ -1,0 +1,431 @@
+// Home-automation devices, TVs (non-Amazon), and appliances.
+//
+// Paper findings encoded here:
+//   Fig 1   — Wemo Plug advertises an insecure TLS version for all its
+//             connections, the whole study; Samsung appliances and the LG
+//             Dishwasher advertise TLS 1.2 but establish older versions
+//             (their servers stop at TLS 1.1).
+//   Table 5 — Roku TV collapses from 73 offered suites to just
+//             TLS_RSA_WITH_RC4_128_SHA on either failure type (8/15).
+//   Table 6 — TP-Link Bulb, Meross, Roku, LG TV, Smarter brewer accept
+//             TLS 1.0/1.1; Samsung Fridge/Dryer accept only TLS 1.1;
+//             Wemo Plug accepts TLS 1.0 but not 1.1.
+//   Table 7 — Smarter brewer (1/1) and LG TV (1/2) vulnerable; LG TV leaks
+//             "deviceSecret".
+//   Table 8 — Samsung TV: CRL+OCSP+stapling; LG TV, Samsung Fridge: stapling.
+//   Table 9 — Roku TV (91%/41%) and LG TV (93%/59%; roots deprecated as
+//             early as 2013) root stores.
+#include "devices/catalog.hpp"
+
+#include "fingerprint/database.hpp"
+
+namespace iotls::devices::detail {
+
+namespace t = iotls::tls;
+
+namespace {
+
+using PV = t::ProtocolVersion;
+
+DestinationSpec named_dest(std::string hostname, std::string instance,
+                           std::string payload = "") {
+  DestinationSpec d;
+  d.hostname = std::move(hostname);
+  d.instance_id = std::move(instance);
+  d.sensitive_payload = std::move(payload);
+  return d;
+}
+
+/// The Tuya/embedded stack: mbedtls-shaped ClientHello, but with WolfSSL's
+/// alerting (both probe cases → bad_certificate), so these devices are not
+/// probeable — only 8 devices are (Table 9).
+tls::ClientConfig embedded_config() {
+  t::ClientConfig cfg = family_config("mbedtls-embedded");
+  cfg.library = t::TlsLibrary::WolfSsl;
+  return cfg;
+}
+
+/// Roku offers 73 ciphersuites (Table 5): the full pre-1.3 catalogue plus
+/// vendor-specific code points unknown to the IANA registry. NULL/ANON
+/// suites are excluded — §5.1: no device ever advertised those.
+std::vector<std::uint16_t> roku_73_suites() {
+  std::vector<std::uint16_t> suites;
+  for (const auto& info : t::all_suites()) {
+    if (!info.tls13_only && !info.is_null_or_anon()) {
+      suites.push_back(info.id);
+    }
+  }
+  std::uint16_t filler = 0xFE00;
+  while (suites.size() < 73) suites.push_back(filler++);
+  return suites;
+}
+
+}  // namespace
+
+std::vector<DeviceProfile> build_home_tv_appliance_devices() {
+  std::vector<DeviceProfile> out;
+
+  // ---------------- Smartlife Bulb / Smartlife Remote ----------------
+  // Same vendor firmware → identical instance → shared fingerprint (Fig 5).
+  for (const char* name : {"Smartlife Bulb", "Smartlife Remote"}) {
+    DeviceProfile d;
+    d.name = name;
+    d.category = "Home Automation";
+    // The vendor's OTA checker is a second stack with a TLS 1.1 maximum;
+    // it only fires after a successful cloud session (intermittent), which
+    // keeps these devices out of Table 6 while still contributing to the
+    // §5.1 "multiple maximum versions" count.
+    t::ClientConfig checker;
+    checker.versions = {PV::Tls1_1};
+    checker.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    checker.library = t::TlsLibrary::WolfSsl;
+    d.instances = {TlsInstanceSpec{"tuya-embedded", embedded_config()},
+                   TlsInstanceSpec{"tuya-checker", checker}};
+    d.destinations = make_destinations("tuya-sim.com", 2, "tuya-embedded");
+    d.destinations.push_back(named_dest("fw.tuya-sim.com", "tuya-checker"));
+    d.destinations.back().intermittent = true;
+    d.destinations.back().traffic_weight = 0.04;
+    d.monthly_connections_per_destination = 1400;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Meross Dooropener ----------------
+  {
+    DeviceProfile d;
+    d.name = "Meross Dooropener";
+    d.category = "Home Automation";
+    t::ClientConfig cfg = embedded_config();
+    cfg.versions = {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2};  // Table 6
+    cfg.cipher_suites.push_back(t::TLS_RSA_WITH_3DES_EDE_CBC_SHA);
+    d.instances = {TlsInstanceSpec{"meross-main", cfg}};
+    d.destinations = {named_dest("iot.meross-sim.com", "meross-main")};
+    d.monthly_connections_per_destination = 1300;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- TP-Link Bulb ----------------
+  {
+    DeviceProfile d;
+    d.name = "TP-Link Bulb";
+    d.category = "Home Automation";
+    t::ClientConfig cfg = embedded_config();
+    cfg.versions = {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2};  // Table 6
+    cfg.cipher_suites.push_back(t::TLS_RSA_WITH_3DES_EDE_CBC_SHA);
+    cfg.cipher_suites.push_back(t::TLS_RSA_WITH_RC4_128_SHA);
+    d.instances = {TlsInstanceSpec{"tplink-legacy", cfg}};
+    d.destinations = make_destinations("tplink-sim.com", 2, "tplink-legacy");
+    d.monthly_connections_per_destination = 1500;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Nest Thermostat ----------------
+  {
+    DeviceProfile d;
+    d.name = "Nest Thermostat";
+    d.category = "Home Automation";
+    d.reboot_safe = false;  // §5.2 excludes it from probing
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305,
+                         t::TLS_RSA_WITH_AES_128_GCM_SHA256};
+    cfg.library = t::TlsLibrary::Generic;
+    d.instances = {TlsInstanceSpec{"nest-main", cfg}};
+    d.destinations = make_destinations("nest-sim.com", 3, "nest-main");
+    d.monthly_connections_per_destination = 2800;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- TP-Link Plug ----------------
+  {
+    DeviceProfile d;
+    d.name = "TP-Link Plug";
+    d.category = "Home Automation";
+    // Exactly the mbedtls-client reference shape → shares that fingerprint
+    // in the reference database.
+    d.instances = {TlsInstanceSpec{"tplink-embedded", embedded_config()}};
+    d.destinations = make_destinations("tplink-sim.com", 2,
+                                       "tplink-embedded");
+    d.monthly_connections_per_destination = 1500;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Wemo Plug ----------------
+  {
+    DeviceProfile d;
+    d.name = "Wemo Plug";
+    d.category = "Home Automation";
+    // Fig 1: the only device advertising an insecure maximum version for
+    // every connection, the entire study. Table 6: accepts 1.0, not 1.1.
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_0};
+    cfg.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_RC4_128_SHA,
+                         t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    cfg.library = t::TlsLibrary::WolfSsl;
+    d.instances = {TlsInstanceSpec{"wemo-main", cfg}};
+    d.destinations = make_destinations("wemo-sim.com", 2, "wemo-main");
+    d.monthly_connections_per_destination = 1900;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Samsung TV (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "Samsung TV";
+    d.category = "TV";
+    d.active = false;
+    t::ClientConfig cfg = family_config("samsung-tizen");
+    cfg.request_ocsp_staple = true;
+    // Legacy notification helper capped at TLS 1.1 (multiple maxima, §5.1).
+    t::ClientConfig legacy_cfg;
+    legacy_cfg.versions = {PV::Tls1_1};
+    legacy_cfg.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    legacy_cfg.library = t::TlsLibrary::Generic;
+    d.instances = {TlsInstanceSpec{"samsung-tv", cfg},
+                   TlsInstanceSpec{"samsung-tv-legacy", legacy_cfg}};
+    d.destinations = make_destinations("tv.samsung-sim.com", 4, "samsung-tv");
+    d.destinations.push_back(named_dest("notify.tv.samsung-sim.com",
+                                        "samsung-tv-legacy"));
+    d.destinations.back().traffic_weight = 0.04;
+    {
+      DestinationSpec ads = named_dest("ads.tracker-sim.net", "samsung-tv");
+      ads.first_party = false;
+      d.destinations.push_back(ads);
+    }
+    d.revocation = RevocationSpec{.crl = true, .ocsp = true,
+                                  .ocsp_stapling = true};  // Table 8
+    d.monthly_connections_per_destination = 4300;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- LG TV ----------------
+  {
+    DeviceProfile d;
+    d.name = "LG TV";
+    d.category = "TV";
+    t::ClientConfig novalidate;
+    novalidate.versions = {PV::Tls1_1};  // second maximum version (§5.1)
+    novalidate.cipher_suites = {t::TLS_RSA_WITH_RC4_128_SHA,
+                                t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    novalidate.library = t::TlsLibrary::OpenSsl;
+    novalidate.verify_policy = x509::VerifyPolicy::none();
+    novalidate.request_ocsp_staple = true;  // Table 8 stapling evidence
+    d.instances = {TlsInstanceSpec{"openssl-iot",
+                                   family_config("openssl-iot")},
+                   TlsInstanceSpec{"lgtv-novalidate", novalidate}};
+    // First destination = probe path (stock OpenSSL). The second is the
+    // Table 7 vulnerability and — with its RC4-preferring server — one of
+    // the only two insecure-establishing flows in the study (Fig 2).
+    d.destinations = {
+        named_dest("api.lgtv-sim.com", "openssl-iot"),
+        named_dest("device.lgtv-sim.com", "lgtv-novalidate",
+                   "deviceSecret=LG-WEBOS-SECRET-77"),
+    };
+    d.destinations[1].traffic_weight = 0.04;  // rare pairing flow
+    d.revocation.ocsp_stapling = true;  // Table 8
+    // Table 9 row 7: 93%/59%; includes roots deprecated as early as 2013
+    // (TurkTrust) — last updated 7/2019 (§5.2).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.93,
+        .deprecated_fraction = 0.585,
+        .force_include = {"TurkTrust Elektronik Sertifika", "CNNIC Root",
+                          "WoSign CA Free SSL"},
+        .inconclusive_common = 1.0 - 103.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 82.0 / 87.0,
+    };
+    d.monthly_connections_per_destination = 4800;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Roku TV ----------------
+  {
+    DeviceProfile d;
+    d.name = "Roku TV";
+    d.category = "TV";
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2};  // Table 6
+    cfg.cipher_suites = roku_73_suites();
+    cfg.session_ticket = true;
+    cfg.library = t::TlsLibrary::OpenSsl;  // probeable (Table 9)
+    d.instances = {TlsInstanceSpec{"roku-main", cfg},
+                   TlsInstanceSpec{"openssl-iot",
+                                   family_config("openssl-iot")}};
+    // Table 5: 8/15 destinations downgrade.
+    d.destinations = make_destinations("roku-sim.com", 13, "roku-main",
+                                       /*susceptible=*/8);
+    d.destinations.push_back(named_dest("channels.roku-sim.com",
+                                        "openssl-iot"));
+    {
+      DestinationSpec ads = named_dest("ads.tracker-sim.net", "roku-main");
+      ads.first_party = false;
+      d.destinations.push_back(ads);
+    }
+    FallbackSpec fb;
+    fb.on_incomplete_handshake = true;
+    fb.on_failed_handshake = true;  // the only device with both (Table 5)
+    fb.behavior =
+        "Falls back from offering 73 ciphersuites to just 1 "
+        "(TLS_RSA_WITH_RC4_128_SHA)";
+    fb.fallback_config = cfg;
+    fb.fallback_config.cipher_suites = {t::TLS_RSA_WITH_RC4_128_SHA};
+    d.fallback = fb;
+    // Table 9 row 6: 91% common (96/106), 41% deprecated (33/81).
+    d.root_store = RootStoreSpec{
+        .common_fraction = 0.91,
+        .deprecated_fraction = 0.41,
+        .force_include = {"WoSign CA Free SSL", "Certinomis - Root CA"},
+        .inconclusive_common = 1.0 - 106.0 / 122.0,
+        .inconclusive_deprecated = 1.0 - 81.0 / 87.0,
+    };
+    d.monthly_connections_per_destination = 5000;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- GE Microwave ----------------
+  {
+    DeviceProfile d;
+    d.name = "GE Microwave";
+    d.category = "Appliances";
+    t::ClientConfig cfg = embedded_config();
+    cfg.cipher_suites.push_back(t::TLS_RSA_WITH_3DES_EDE_CBC_SHA);
+    d.instances = {TlsInstanceSpec{"ge-main", cfg}};
+    d.destinations = {named_dest("appliance.ge-sim.com", "ge-main")};
+    d.monthly_connections_per_destination = 900;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Samsung Washer (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "Samsung Washer";
+    d.category = "Appliances";
+    d.active = false;
+    t::ClientConfig washer_legacy;
+    washer_legacy.versions = {PV::Tls1_1};  // multiple maxima (§5.1)
+    washer_legacy.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    washer_legacy.library = t::TlsLibrary::Generic;
+    d.instances = {TlsInstanceSpec{"samsung-appliance",
+                                   family_config("samsung-tizen")},
+                   TlsInstanceSpec{"washer-legacy", washer_legacy}};
+    // Fig 1: advertises TLS 1.2, establishes 1.1 — its servers stop at 1.1
+    // (see testbed/cloud).
+    d.destinations = make_destinations("washer.samsung-sim.com", 2,
+                                       "samsung-appliance");
+    d.destinations.push_back(
+        named_dest("check.washer.samsung-sim.com", "washer-legacy"));
+    d.destinations.back().traffic_weight = 0.04;
+    d.monthly_connections_per_destination = 800;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Samsung Dryer ----------------
+  {
+    DeviceProfile d;
+    d.name = "Samsung Dryer";
+    d.category = "Appliances";
+    d.reboot_safe = false;  // §5.2 excludes it from probing
+    d.instances = {TlsInstanceSpec{"samsung-appliance",
+                                   family_config("samsung-tizen")}};
+    d.destinations = make_destinations("dryer.samsung-sim.com", 2,
+                                       "samsung-appliance");
+    d.monthly_connections_per_destination = 800;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Samsung Fridge ----------------
+  {
+    DeviceProfile d;
+    d.name = "Samsung Fridge";
+    d.category = "Appliances";
+    d.reboot_safe = false;  // §5.2 excludes it from probing
+    t::ClientConfig cfg = family_config("samsung-tizen");
+    cfg.request_ocsp_staple = true;
+    // The firmware updater is a separate stack with a lower maximum
+    // version (multi-instance + multiple maxima, §5.1/§5.3).
+    t::ClientConfig ota_cfg;
+    ota_cfg.versions = {PV::Tls1_1};
+    ota_cfg.cipher_suites = {t::TLS_RSA_WITH_AES_256_CBC_SHA,
+                             t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    ota_cfg.library = t::TlsLibrary::Generic;
+    d.instances = {TlsInstanceSpec{"samsung-fridge", cfg},
+                   TlsInstanceSpec{"samsung-ota", ota_cfg}};
+    d.destinations = make_destinations("fridge.samsung-sim.com", 3,
+                                       "samsung-fridge");
+    d.destinations.push_back(
+        named_dest("ota.fridge.samsung-sim.com", "samsung-ota"));
+    d.destinations.back().traffic_weight = 0.05;
+    d.revocation.ocsp_stapling = true;  // Table 8
+    d.monthly_connections_per_destination = 1100;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Smarter iKettle ----------------
+  {
+    DeviceProfile d;
+    // Appears as "Smarter Brewer" in the paper's Tables 6-7 (the Smarter
+    // brand's brewing appliance); Table 1 lists the iKettle.
+    d.name = "Smarter iKettle";
+    d.category = "Appliances";
+    t::ClientConfig cfg;
+    cfg.versions = {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2};  // Table 6
+    cfg.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_RC4_128_SHA};
+    cfg.library = t::TlsLibrary::WolfSsl;
+    cfg.verify_policy = x509::VerifyPolicy::none();  // Table 7: 1/1
+    d.instances = {TlsInstanceSpec{"smarter-main", cfg}};
+    d.destinations = {named_dest("brew.smarter-sim.com", "smarter-main")};
+    d.monthly_connections_per_destination = 600;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- Behmor Brewer ----------------
+  {
+    DeviceProfile d;
+    d.name = "Behmor Brewer";
+    d.category = "Appliances";
+    // A Go-built firmware: its ClientHello matches the golang-net-http
+    // reference fingerprint (§5.3 device↔application sharing), though the
+    // alerting behaviour is GnuTLS-silent.
+    t::ClientConfig cfg = fingerprint::reference_config("golang-net-http");
+    cfg.library = t::TlsLibrary::GnuTls;
+    d.instances = {TlsInstanceSpec{"behmor-main", cfg}};
+    d.destinations = {named_dest("coffee.behmor-sim.com", "behmor-main")};
+    d.monthly_connections_per_destination = 600;
+    out.push_back(std::move(d));
+  }
+
+  // ---------------- LG Dishwasher (passive only) ----------------
+  {
+    DeviceProfile d;
+    d.name = "LG Dishwasher";
+    d.category = "Appliances";
+    d.active = false;
+    t::ClientConfig cfg;
+    // Advertises a 1.2 maximum but still supports 1.1 — so its 1.1-limited
+    // servers pull every connection down to 1.1 (Fig 1).
+    cfg.versions = {PV::Tls1_1, PV::Tls1_2};
+    cfg.cipher_suites = {t::TLS_RSA_WITH_AES_128_GCM_SHA256,
+                         t::TLS_RSA_WITH_AES_128_CBC_SHA,
+                         t::TLS_RSA_WITH_3DES_EDE_CBC_SHA};
+    cfg.library = t::TlsLibrary::GnuTls;
+    t::ClientConfig dish_legacy;
+    dish_legacy.versions = {PV::Tls1_1};  // multiple maxima (§5.1)
+    dish_legacy.cipher_suites = {t::TLS_RSA_WITH_AES_128_CBC_SHA};
+    dish_legacy.library = t::TlsLibrary::GnuTls;
+    d.instances = {TlsInstanceSpec{"lg-appliance", cfg},
+                   TlsInstanceSpec{"dishwasher-legacy", dish_legacy}};
+    // Fig 1: advertises TLS 1.2, establishes 1.1 (server-limited).
+    d.destinations = make_destinations("dishwasher.lg-sim.com", 2,
+                                       "lg-appliance");
+    d.destinations.push_back(
+        named_dest("check.dishwasher.lg-sim.com", "dishwasher-legacy"));
+    d.destinations.back().traffic_weight = 0.04;
+    d.monthly_connections_per_destination = 700;
+    out.push_back(std::move(d));
+  }
+
+  return out;
+}
+
+}  // namespace iotls::devices::detail

@@ -1,0 +1,92 @@
+#include "devices/profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iotls::devices {
+
+const TlsInstanceSpec& DeviceProfile::instance(const std::string& id) const {
+  const auto it = std::find_if(
+      instances.begin(), instances.end(),
+      [&](const TlsInstanceSpec& spec) { return spec.id == id; });
+  if (it == instances.end()) {
+    throw std::out_of_range(name + ": unknown TLS instance " + id);
+  }
+  return *it;
+}
+
+const TlsInstanceSpec& DeviceProfile::instance_for_destination(
+    const DestinationSpec& dest) const {
+  return instance(dest.instance_id);
+}
+
+tls::ClientConfig DeviceProfile::config_at(const std::string& instance_id,
+                                           common::Month when) const {
+  tls::ClientConfig config = instance(instance_id).config;
+  for (const auto& update : updates) {
+    if (update.instance_id == instance_id && update.when <= when) {
+      config = update.new_config;
+    }
+  }
+  return config;
+}
+
+bool DeviceProfile::generates_traffic_in(common::Month when) const {
+  const int offset = when.diff(common::kStudyStart);
+  return offset >= passive_start_offset && offset <= passive_end_offset;
+}
+
+pki::RootStore DeviceProfile::build_root_store(
+    const pki::CaUniverse& universe) const {
+  common::Rng rng = common::Rng::derive(seed, "root-store:" + name);
+  pki::RootStore store;
+
+  for (const auto& ca_name : root_store.force_include) {
+    store.add(universe.authority(ca_name).root());
+  }
+
+  // Exact-count selection (not Bernoulli sampling): the Table 9 inclusion
+  // fractions are device properties, not random variables. Forced entries
+  // that belong to a set count toward its quota.
+  auto take = [&](const std::vector<std::string>& candidates,
+                  double fraction, bool prefer_recent) {
+    const auto target = static_cast<std::size_t>(
+        fraction * static_cast<double>(candidates.size()) + 0.5);
+    std::size_t have = 0;
+    for (const auto& ca_name : candidates) {
+      if (store.contains(universe.authority(ca_name).root().tbs.subject)) {
+        ++have;
+      }
+    }
+    auto pool = candidates;
+    rng.shuffle(pool);
+    if (prefer_recent) {
+      std::stable_sort(pool.begin(), pool.end(),
+                       [&](const std::string& a, const std::string& b) {
+                         return universe.removal_year(a).value_or(0) >
+                                universe.removal_year(b).value_or(0);
+                       });
+    }
+    for (const auto& ca_name : pool) {
+      if (have >= target) break;
+      const auto& root = universe.authority(ca_name).root();
+      if (store.contains(root.tbs.subject)) continue;
+      store.add(root);
+      ++have;
+    }
+  };
+
+  take(universe.common_ca_names(), root_store.common_fraction, false);
+  take(universe.deprecated_ca_names(), root_store.deprecated_fraction,
+       root_store.prefer_recent_deprecated);
+  return store;
+}
+
+bool DeviceProfile::any_validation() const {
+  return std::any_of(instances.begin(), instances.end(),
+                     [](const TlsInstanceSpec& spec) {
+                       return spec.config.verify_policy.validate;
+                     });
+}
+
+}  // namespace iotls::devices

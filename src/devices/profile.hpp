@@ -1,0 +1,137 @@
+// Device models.
+//
+// A DeviceProfile is the simulation's stand-in for a physical IoT device:
+// its TLS instances (§3 treats devices as compounds of multiple TLS
+// implementations), its destinations, its boot-time connection schedule, its
+// firmware-update timeline, and its misbehaviours — every field is
+// parameterised from a finding the paper reports (tables cited inline).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simtime.hpp"
+#include "pki/root_store.hpp"
+#include "pki/universe.hpp"
+#include "tls/client.hpp"
+
+namespace iotls::devices {
+
+/// One TLS instance: implementation + configuration → one fingerprint.
+struct TlsInstanceSpec {
+  std::string id;            // e.g. "amazon-main", "openssl-embedded"
+  tls::ClientConfig config;
+};
+
+/// Composition of the device's trusted root store relative to the CA
+/// universe, plus probe-reliability parameters (Table 9's varying
+/// denominators come from probes that produce no usable traffic).
+struct RootStoreSpec {
+  double common_fraction = 1.0;       // P(include a common CA)
+  double deprecated_fraction = 0.0;   // P(include a deprecated CA)
+  /// Always included regardless of sampling (the distrusted CAs §5.2 finds
+  /// on every probeable device).
+  std::vector<std::string> force_include;
+  /// Prefer recently-removed CAs when filling the deprecated quota — the
+  /// Google Home Mini's store skews recent (Fig 4).
+  bool prefer_recent_deprecated = false;
+  /// Probability that a single probe attempt is inconclusive.
+  double inconclusive_common = 0.0;
+  double inconclusive_deprecated = 0.0;
+};
+
+struct DestinationSpec {
+  std::string hostname;
+  std::string instance_id;     // which TLS instance talks to it
+  bool first_party = true;
+  /// Table 5: whether connections to this destination downgrade on failure.
+  bool downgrade_susceptible = false;
+  /// Destination only appears in some experiment runs — contacted after a
+  /// success response from an earlier connection (§4.2 TrafficPassthrough
+  /// discussion). Reconciles the differing totals of Tables 5 and 7.
+  bool intermittent = false;
+  /// Relative passive-traffic volume (update checkers and similar rare
+  /// flows get small weights; they still count for "advertises multiple
+  /// maximum versions" without dominating the Fig 1-3 fractions).
+  double traffic_weight = 1.0;
+  /// Sensitive token transmitted after the handshake (§5.2 found e.g.
+  /// "encrypt_key", "deviceSecret", bearer tokens); empty = nothing
+  /// sensitive.
+  std::string sensitive_payload;
+};
+
+/// Security downgrade on connection failure (Table 5).
+struct FallbackSpec {
+  bool on_incomplete_handshake = false;
+  bool on_failed_handshake = false;
+  std::string behavior;               // Table 5 "Behavior" column text
+  tls::ClientConfig fallback_config;  // what the retry advertises
+};
+
+/// Certificate-revocation checking support (Table 8).
+struct RevocationSpec {
+  bool crl = false;
+  bool ocsp = false;
+  bool ocsp_stapling = false;
+};
+
+/// A firmware update that swaps an instance's configuration at a given
+/// month of the passive study (the Fig 1-3 transitions).
+struct UpdateEvent {
+  common::Month when;
+  std::string instance_id;
+  tls::ClientConfig new_config;
+  std::string description;  // e.g. "adopts TLS 1.3"
+};
+
+struct DeviceProfile {
+  std::string name;
+  std::string category;   // Table 1 column
+  /// Participates in active experiments (Table 1 devices without '*').
+  bool active = true;
+  /// Suitable for the repeated reboots probing needs (§5.2 excludes
+  /// washer/dryer/thermostat/fridge).
+  bool reboot_safe = true;
+  /// Passive-traffic coverage window, as month offsets into the study
+  /// (devices broke / lost support — §4.1).
+  int passive_start_offset = 0;
+  int passive_end_offset = 26;
+
+  std::vector<TlsInstanceSpec> instances;
+  std::vector<DestinationSpec> destinations;
+  std::optional<FallbackSpec> fallback;
+  RevocationSpec revocation;
+  RootStoreSpec root_store;
+  std::vector<UpdateEvent> updates;
+
+  /// Yi Camera (§5.2): disables certificate validation entirely after this
+  /// many consecutive failed connections (0 = never).
+  int disable_validation_after_failures = 0;
+
+  /// Average connections per destination per month in passive data
+  /// (scales the ≈17M total; see analysis/longitudinal).
+  int monthly_connections_per_destination = 40;
+
+  std::uint64_t seed = 1;
+
+  // ---- helpers ----
+  [[nodiscard]] const TlsInstanceSpec& instance(const std::string& id) const;
+  [[nodiscard]] const TlsInstanceSpec& instance_for_destination(
+      const DestinationSpec& dest) const;
+  /// Instance configuration as of a given month, with updates applied.
+  [[nodiscard]] tls::ClientConfig config_at(const std::string& instance_id,
+                                            common::Month when) const;
+  [[nodiscard]] bool generates_traffic_in(common::Month when) const;
+
+  /// Materialize this device's root store from the CA universe
+  /// (deterministic in the device seed).
+  [[nodiscard]] pki::RootStore build_root_store(
+      const pki::CaUniverse& universe) const;
+
+  /// True if any instance validates certificates at all.
+  [[nodiscard]] bool any_validation() const;
+};
+
+}  // namespace iotls::devices

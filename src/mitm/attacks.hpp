@@ -1,0 +1,79 @@
+// The interception attacks of Table 2 — certificate forgery recipes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pki/universe.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls::mitm {
+
+/// Table 2 attack kinds.
+enum class AttackKind {
+  /// Self-signed leaf: defeated by any validation at all.
+  NoValidation,
+  /// Legitimate chain for a domain *we* control: defeated only by
+  /// hostname validation.
+  WrongHostname,
+  /// Our legitimate leaf used as an issuing CA: defeated only by
+  /// BasicConstraints validation.
+  InvalidBasicConstraints,
+};
+
+std::string attack_name(AttackKind kind);
+std::string attack_description(AttackKind kind);  // Table 2 text
+const std::vector<AttackKind>& all_attacks();
+
+/// Connection-failure injections used by the downgrade experiments (§5.1).
+enum class FailureKind {
+  /// Never answer the ClientHello.
+  IncompleteHandshake,
+  /// Present a self-signed certificate so validation fails.
+  FailedHandshake,
+};
+
+std::string failure_name(FailureKind kind);
+
+/// What the interceptor presents as its server identity.
+struct ForgedIdentity {
+  std::vector<x509::Certificate> chain;  // leaf first
+  crypto::RsaKeyPair keys;               // leaf private key
+};
+
+/// Builds forged identities. Owns the attacker keypair and — mirroring the
+/// paper's free ZeroSSL certificate — a legitimate CA-issued certificate
+/// for a domain the attacker controls.
+class AttackForge {
+ public:
+  AttackForge(const pki::CaUniverse& universe, std::uint64_t seed);
+
+  /// The attacker's own (legitimately certified) domain.
+  [[nodiscard]] const std::string& attacker_domain() const {
+    return attacker_domain_;
+  }
+
+  [[nodiscard]] ForgedIdentity forge(AttackKind kind,
+                                     const std::string& victim_host) const;
+
+  /// Self-signed identity for the FailedHandshake injection.
+  [[nodiscard]] ForgedIdentity self_signed(
+      const std::string& victim_host) const;
+
+  /// Probe payloads (§4.2): a chain anchored at a *spoofed* copy of
+  /// `real_root`, and one anchored at a CA nobody trusts.
+  [[nodiscard]] ForgedIdentity spoofed_ca_chain(
+      const x509::Certificate& real_root,
+      const std::string& victim_host) const;
+  [[nodiscard]] ForgedIdentity unknown_ca_chain(
+      const std::string& victim_host) const;
+
+ private:
+  crypto::RsaKeyPair attacker_keys_;
+  std::string attacker_domain_;
+  x509::Certificate attacker_cert_;         // legit, for attacker_domain_
+  std::vector<x509::Certificate> attacker_chain_;
+  x509::Certificate unknown_root_;          // self-signed, arbitrary subject
+};
+
+}  // namespace iotls::mitm

@@ -1,0 +1,102 @@
+// The on-path interceptor — this repository's mitmproxy.
+//
+// Installed into the network's interceptor slot, it answers device
+// connections with forged identities (Table 2 attacks, §4.2 probe
+// payloads), injects handshake failures (Table 5), negotiates old versions
+// on otherwise-legitimate servers (Table 6), and supports the
+// TrafficPassthrough mode of §4.2.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "mitm/attacks.hpp"
+#include "net/network.hpp"
+#include "testbed/cloud.hpp"
+#include "tls/server.hpp"
+
+namespace iotls::mitm {
+
+/// What the interceptor does to a connection.
+struct InterceptMode {
+  enum class Kind {
+    /// Forge per Table 2.
+    Attack,
+    /// Inject a handshake failure (Table 5).
+    Failure,
+    /// Present a chain anchored at a spoofed copy of `probe_root`.
+    SpoofedCaProbe,
+    /// Present a chain anchored at an unknown CA.
+    UnknownCaProbe,
+    /// Let the real server answer, but force an old protocol version in
+    /// its ServerHello (Table 6).
+    OldVersionProbe,
+  };
+
+  Kind kind = Kind::Attack;
+  AttackKind attack = AttackKind::NoValidation;
+  FailureKind failure = FailureKind::IncompleteHandshake;
+  std::optional<x509::Certificate> probe_root;
+  tls::ProtocolVersion old_version = tls::ProtocolVersion::Tls1_0;
+
+  static InterceptMode make_attack(AttackKind kind);
+  static InterceptMode make_failure(FailureKind kind);
+  static InterceptMode spoofed_ca(x509::Certificate real_root);
+  static InterceptMode unknown_ca();
+  static InterceptMode make_old_version(tls::ProtocolVersion version);
+};
+
+/// One intercepted connection, as the attacker saw it.
+struct Interception {
+  std::string hostname;
+  bool saw_client_hello = false;
+  std::optional<tls::ClientHello> client_hello;
+  bool handshake_complete = false;
+  common::Bytes recovered_plaintext;
+  std::optional<tls::Alert> alert_received;
+
+  /// The paper's interception-success criterion: the attacker completed
+  /// the handshake and can read the client's application data.
+  [[nodiscard]] bool compromised() const {
+    return handshake_complete && !recovered_plaintext.empty();
+  }
+};
+
+class Interceptor {
+ public:
+  /// `cloud` is needed only for OldVersionProbe (to impersonate nobody and
+  /// let the genuine config through with a version override).
+  Interceptor(const pki::CaUniverse& universe, testbed::CloudFarm& cloud,
+              std::uint64_t seed = 0xA77AC);
+
+  void set_mode(InterceptMode mode) { mode_ = mode; }
+  [[nodiscard]] const InterceptMode& mode() const { return mode_; }
+
+  /// Hostnames to leave untouched (TrafficPassthrough, §4.2).
+  void set_passthrough(std::set<std::string> hostnames);
+  void clear_passthrough() { passthrough_.clear(); }
+
+  /// Install into / remove from the network's on-path slot.
+  void install(net::Network& network);
+  void uninstall(net::Network& network);
+
+  /// Interceptions observed since the last drain (sessions still live are
+  /// harvested on demand).
+  std::vector<Interception> drain();
+
+  [[nodiscard]] const AttackForge& forge() const { return forge_; }
+
+ private:
+  std::shared_ptr<tls::ServerSession> intercept(
+      const std::string& hostname, const net::Network::SessionFactory& real);
+
+  AttackForge forge_;
+  testbed::CloudFarm* cloud_;
+  InterceptMode mode_ = InterceptMode::make_attack(AttackKind::NoValidation);
+  std::set<std::string> passthrough_;
+  std::vector<std::pair<std::string, std::shared_ptr<tls::TlsServer>>>
+      sessions_;
+};
+
+}  // namespace iotls::mitm

@@ -1,0 +1,145 @@
+#include "net/capture.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace iotls::net {
+
+tls::ProtocolVersion HandshakeRecord::max_advertised_version() const {
+  if (advertised_versions.empty()) {
+    throw common::ProtocolError("record has no advertised versions");
+  }
+  return *std::max_element(advertised_versions.begin(),
+                           advertised_versions.end());
+}
+
+bool HandshakeRecord::advertises_insecure_suite() const {
+  return std::any_of(advertised_suites.begin(), advertised_suites.end(),
+                     tls::suite_is_insecure);
+}
+
+bool HandshakeRecord::advertises_strong_suite() const {
+  return std::any_of(advertised_suites.begin(), advertised_suites.end(),
+                     tls::suite_is_strong);
+}
+
+bool HandshakeRecord::established_insecure_suite() const {
+  return established_suite.has_value() &&
+         tls::suite_is_insecure(*established_suite);
+}
+
+bool HandshakeRecord::established_strong_suite() const {
+  return established_suite.has_value() &&
+         tls::suite_is_strong(*established_suite);
+}
+
+ConnectionObserver::ConnectionObserver(std::string device,
+                                       std::string hostname,
+                                       common::Month month) {
+  record_.device = std::move(device);
+  record_.destination = std::move(hostname);
+  record_.month = month;
+}
+
+tls::Transport::Tap ConnectionObserver::tap() {
+  return [this](bool client_to_server, const tls::TlsRecord& rec) {
+    observe(client_to_server, rec);
+  };
+}
+
+void ConnectionObserver::observe(bool client_to_server,
+                                 const tls::TlsRecord& rec) {
+  switch (rec.type) {
+    case tls::ContentType::Alert: {
+      const auto alert = tls::Alert::parse(rec.payload);
+      if (client_to_server) {
+        record_.client_alert = alert;
+      } else {
+        record_.server_alert = alert;
+      }
+      return;
+    }
+    case tls::ContentType::ApplicationData:
+      record_.application_data_seen = true;
+      return;
+    case tls::ContentType::ChangeCipherSpec:
+      return;
+    case tls::ContentType::Handshake:
+      break;
+  }
+
+  const auto msg = tls::HandshakeMessage::parse(rec.payload);
+  if (client_to_server && msg.type == tls::HandshakeType::ClientHello) {
+    const auto hello = tls::ClientHello::parse(msg.body);
+    record_.advertised_versions = hello.advertised_versions();
+    record_.advertised_suites = hello.cipher_suites;
+    for (const auto& ext : hello.extensions) {
+      record_.extension_types.push_back(ext.type);
+    }
+    const auto* groups_ext = tls::find_extension(
+        hello.extensions, tls::ExtensionType::SupportedGroups);
+    if (groups_ext != nullptr) {
+      for (const auto g : tls::parse_supported_groups(groups_ext->payload)) {
+        record_.advertised_groups.push_back(static_cast<std::uint16_t>(g));
+      }
+    }
+    const auto* sigs_ext = tls::find_extension(
+        hello.extensions, tls::ExtensionType::SignatureAlgorithms);
+    if (sigs_ext != nullptr) {
+      for (const auto s :
+           tls::parse_signature_algorithms(sigs_ext->payload)) {
+        record_.advertised_sigalgs.push_back(static_cast<std::uint16_t>(s));
+      }
+    }
+    record_.requested_ocsp_staple = hello.requests_ocsp_stapling();
+    const auto sni = hello.sni();
+    record_.sent_sni = sni.has_value();
+    if (sni.has_value()) record_.destination = *sni;
+    return;
+  }
+  if (!client_to_server && msg.type == tls::HandshakeType::ServerHello) {
+    const auto hello = tls::ServerHello::parse(msg.body);
+    record_.established_version = hello.negotiated_version();
+    record_.established_suite = hello.cipher_suite;
+    return;
+  }
+  if (client_to_server && msg.type == tls::HandshakeType::Finished) {
+    saw_client_finished_ = true;
+    return;
+  }
+  if (!client_to_server && msg.type == tls::HandshakeType::Finished &&
+      saw_client_finished_) {
+    record_.handshake_complete = true;
+    return;
+  }
+}
+
+void CaptureLog::add(HandshakeRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::vector<const HandshakeRecord*> CaptureLog::for_device(
+    const std::string& device) const {
+  std::vector<const HandshakeRecord*> out;
+  for (const auto& r : records_) {
+    if (r.device == device) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<std::string> CaptureLog::devices() const {
+  std::set<std::string> names;
+  for (const auto& r : records_) names.insert(r.device);
+  return {names.begin(), names.end()};
+}
+
+std::vector<std::string> CaptureLog::destinations_of(
+    const std::string& device) const {
+  std::set<std::string> names;
+  for (const auto& r : records_) {
+    if (r.device == device) names.insert(r.destination);
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace iotls::net

@@ -1,0 +1,78 @@
+#include "net/guard.hpp"
+
+#include "tls/alert.hpp"
+
+namespace iotls::net {
+
+/// Wraps the real server session; inspects the first ClientHello.
+class InHomeGuard::GuardSession : public tls::ServerSession {
+ public:
+  GuardSession(InHomeGuard* guard, std::string hostname,
+               std::shared_ptr<tls::ServerSession> real)
+      : guard_(guard), hostname_(std::move(hostname)), real_(std::move(real)) {}
+
+  std::vector<tls::TlsRecord> on_record(const tls::TlsRecord& rec) override {
+    if (!inspected_ && rec.type == tls::ContentType::Handshake) {
+      inspected_ = true;
+      const auto msg = tls::HandshakeMessage::parse(rec.payload);
+      if (msg.type == tls::HandshakeType::ClientHello) {
+        const auto hello = tls::ClientHello::parse(msg.body);
+        const std::string reason = guard_->violation(hello);
+        if (!reason.empty()) {
+          const bool block = guard_->policy_.block;
+          guard_->events_.push_back({hostname_, reason, block});
+          if (block) {
+            blocked_ = true;
+            const tls::Alert alert{tls::AlertLevel::Fatal,
+                                   tls::AlertDescription::InsufficientSecurity};
+            return {tls::TlsRecord{tls::ContentType::Alert,
+                                   tls::ProtocolVersion::Tls1_2,
+                                   alert.serialize()}};
+          }
+        }
+      }
+    }
+    if (blocked_) return {};
+    return real_->on_record(rec);
+  }
+
+  void on_close() override { real_->on_close(); }
+
+ private:
+  InHomeGuard* guard_;
+  std::string hostname_;
+  std::shared_ptr<tls::ServerSession> real_;
+  bool inspected_ = false;
+  bool blocked_ = false;
+};
+
+std::string InHomeGuard::violation(const tls::ClientHello& hello) const {
+  if (hello.max_advertised_version() < policy_.min_max_version) {
+    return "maximum advertised version " +
+           tls::version_name(hello.max_advertised_version()) + " below " +
+           tls::version_name(policy_.min_max_version);
+  }
+  if (policy_.flag_null_anon_suites &&
+      hello.advertises_null_or_anon_suite()) {
+    return "NULL/ANON ciphersuite offered";
+  }
+  if (policy_.flag_insecure_suites && hello.advertises_insecure_suite()) {
+    return "insecure ciphersuite offered (DES/3DES/RC4/EXPORT)";
+  }
+  return "";
+}
+
+void InHomeGuard::install(Network& network) {
+  network.set_interceptor(
+      [this](const std::string& hostname,
+             const Network::SessionFactory& real) {
+        return std::make_shared<GuardSession>(this, hostname,
+                                              real(hostname));
+      });
+}
+
+void InHomeGuard::uninstall(Network& network) {
+  network.clear_interceptor();
+}
+
+}  // namespace iotls::net

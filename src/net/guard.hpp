@@ -1,0 +1,61 @@
+// The §6 in-home guard — a trusted network component interposed between
+// devices and the Internet (Hesselman et al.'s SPIN, as the paper proposes
+// for IoT): it inspects each ClientHello and pauses/blocks connections
+// whose parameters violate the home's security policy, reporting the
+// issue to the user.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "tls/messages.hpp"
+
+namespace iotls::net {
+
+struct GuardPolicy {
+  /// Connections advertising a maximum below this are flagged.
+  tls::ProtocolVersion min_max_version = tls::ProtocolVersion::Tls1_2;
+  bool flag_insecure_suites = true;
+  bool flag_null_anon_suites = true;
+  /// false = observe-only (flag but let the connection proceed);
+  /// true = block flagged connections with a fatal alert.
+  bool block = true;
+};
+
+struct GuardEvent {
+  std::string hostname;
+  std::string reason;
+  bool blocked = false;
+};
+
+/// Occupies the network's on-path slot; every connection flows through it.
+class InHomeGuard {
+ public:
+  explicit InHomeGuard(GuardPolicy policy = GuardPolicy{})
+      : policy_(policy) {}
+
+  void install(Network& network);
+  void uninstall(Network& network);
+
+  [[nodiscard]] const GuardPolicy& policy() const { return policy_; }
+  void set_policy(GuardPolicy policy) { policy_ = policy; }
+
+  [[nodiscard]] const std::vector<GuardEvent>& events() const {
+    return events_;
+  }
+  void clear_events() { events_.clear(); }
+
+  /// Why a hello violates the policy; empty = compliant. (Exposed for
+  /// tests and for observe-only reporting.)
+  [[nodiscard]] std::string violation(const tls::ClientHello& hello) const;
+
+ private:
+  class GuardSession;
+
+  GuardPolicy policy_;
+  std::vector<GuardEvent> events_;
+};
+
+}  // namespace iotls::net

@@ -1,0 +1,57 @@
+#include "net/network.hpp"
+
+namespace iotls::net {
+
+void Network::register_server(const std::string& hostname,
+                              SessionFactory factory) {
+  servers_[hostname] = std::move(factory);
+}
+
+bool Network::has_server(const std::string& hostname) const {
+  return servers_.count(hostname) > 0;
+}
+
+void Network::set_interceptor(Interceptor interceptor) {
+  interceptor_ = std::move(interceptor);
+}
+
+void Network::clear_interceptor() { interceptor_ = nullptr; }
+
+Network::Connection Network::connect(const std::string& hostname,
+                                     const std::string& device,
+                                     common::Month month) {
+  const auto it = servers_.find(hostname);
+  SessionFactory real_factory;
+  if (it != servers_.end()) {
+    real_factory = it->second;
+  } else {
+    real_factory = [](const std::string& host)
+        -> std::shared_ptr<tls::ServerSession> {
+      throw common::ProtocolError("no server registered for " + host);
+    };
+  }
+
+  std::shared_ptr<tls::ServerSession> session;
+  if (interceptor_) {
+    session = interceptor_(hostname, real_factory);
+  } else {
+    session = real_factory(hostname);
+  }
+  if (session == nullptr) {
+    throw common::ProtocolError("no session for " + hostname);
+  }
+
+  Connection conn;
+  conn.session = session;
+  conn.observer = std::make_shared<ConnectionObserver>(device, hostname,
+                                                       month);
+  conn.transport = std::make_unique<tls::Transport>(session);
+  conn.transport->add_tap(conn.observer->tap());
+  return conn;
+}
+
+void Network::finish(const Connection& connection) {
+  capture_.add(connection.observer->record());
+}
+
+}  // namespace iotls::net

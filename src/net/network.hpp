@@ -1,0 +1,66 @@
+// The simulated home network: hostname-addressed servers, a gateway capture
+// point on every connection, and an optional on-path interceptor slot
+// (where mitmproxy sits in the paper's active experiments).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/capture.hpp"
+#include "tls/transport.hpp"
+
+namespace iotls::net {
+
+class Network {
+ public:
+  /// Creates the server side of one connection to `hostname`.
+  using SessionFactory =
+      std::function<std::shared_ptr<tls::ServerSession>(
+          const std::string& hostname)>;
+
+  /// On-path interceptor: decides what actually answers a connection to
+  /// `hostname`. `real` builds the legitimate server session (so a
+  /// passthrough interceptor can just return real(hostname)).
+  using Interceptor =
+      std::function<std::shared_ptr<tls::ServerSession>(
+          const std::string& hostname, const SessionFactory& real)>;
+
+  /// Register (or replace) the authoritative server for a hostname.
+  void register_server(const std::string& hostname, SessionFactory factory);
+  [[nodiscard]] bool has_server(const std::string& hostname) const;
+
+  void set_interceptor(Interceptor interceptor);
+  void clear_interceptor();
+  [[nodiscard]] bool intercepting() const {
+    return static_cast<bool>(interceptor_);
+  }
+
+  /// One client connection. The returned transport is tapped by a gateway
+  /// observer whose record lands in capture() when the connection object is
+  /// destroyed (or flush() is called).
+  struct Connection {
+    std::unique_ptr<tls::Transport> transport;
+    std::shared_ptr<tls::ServerSession> session;
+    std::shared_ptr<ConnectionObserver> observer;
+  };
+
+  /// Throws ProtocolError if no server (and no interceptor) handles the
+  /// hostname.
+  Connection connect(const std::string& hostname, const std::string& device,
+                     common::Month month);
+
+  /// Record the connection's observation into the capture log.
+  void finish(const Connection& connection);
+
+  [[nodiscard]] CaptureLog& capture() { return capture_; }
+  [[nodiscard]] const CaptureLog& capture() const { return capture_; }
+
+ private:
+  std::map<std::string, SessionFactory> servers_;
+  Interceptor interceptor_;
+  CaptureLog capture_;
+};
+
+}  // namespace iotls::net

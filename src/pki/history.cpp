@@ -1,0 +1,84 @@
+#include "pki/history.hpp"
+
+#include <stdexcept>
+
+namespace iotls::pki {
+
+const StoreVersion& PlatformStoreHistory::earliest() const {
+  if (versions.empty()) throw std::logic_error("history has no versions");
+  return versions.front();
+}
+
+const StoreVersion& PlatformStoreHistory::latest() const {
+  if (versions.empty()) throw std::logic_error("history has no versions");
+  return versions.back();
+}
+
+std::optional<int> PlatformStoreHistory::removal_year(
+    const std::string& ca) const {
+  bool seen = false;
+  for (const auto& v : versions) {
+    const bool present = v.ca_names.count(ca) > 0;
+    if (seen && !present) return v.year;
+    if (present) seen = true;
+  }
+  return std::nullopt;
+}
+
+std::set<std::string> derive_common(
+    const std::vector<PlatformStoreHistory>& histories) {
+  std::set<std::string> common;
+  bool first = true;
+  for (const auto& h : histories) {
+    const auto& latest = h.latest().ca_names;
+    if (first) {
+      common = latest;
+      first = false;
+      continue;
+    }
+    std::set<std::string> next;
+    for (const auto& name : common) {
+      if (latest.count(name)) next.insert(name);
+    }
+    common = std::move(next);
+  }
+  return common;
+}
+
+std::set<std::string> derive_deprecated(
+    const std::vector<PlatformStoreHistory>& histories) {
+  // Per §4.2: start with the earliest version of each store; take every
+  // cert removed in successor versions; exclude certs still present in the
+  // latest version of any store (once-removed-but-restored).
+  std::set<std::string> removed;
+  for (const auto& h : histories) {
+    for (const auto& name : h.earliest().ca_names) {
+      if (h.removal_year(name).has_value()) removed.insert(name);
+    }
+  }
+  std::set<std::string> out;
+  for (const auto& name : removed) {
+    bool in_some_latest = false;
+    for (const auto& h : histories) {
+      if (h.latest().ca_names.count(name)) {
+        in_some_latest = true;
+        break;
+      }
+    }
+    if (!in_some_latest) out.insert(name);
+  }
+  return out;
+}
+
+std::optional<int> latest_removal_year(
+    const std::vector<PlatformStoreHistory>& histories,
+    const std::string& ca) {
+  std::optional<int> latest;
+  for (const auto& h : histories) {
+    const auto year = h.removal_year(ca);
+    if (year && (!latest || *year > *latest)) latest = year;
+  }
+  return latest;
+}
+
+}  // namespace iotls::pki

@@ -1,0 +1,70 @@
+// Versioned platform root-store histories (the paper's Table 3 sources) and
+// the §4.2 derivation of the two probe sets:
+//
+//   * Common CA certificates — unexpired certs present in the *latest*
+//     version of every platform store.
+//   * Deprecated CA certificates — certs present in the *earliest* version
+//     of some store, removed in a successor version, still unexpired, and
+//     not present in any store's latest version.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/simtime.hpp"
+
+namespace iotls::pki {
+
+/// Why a CA left the ecosystem. The paper distinguishes administrative
+/// removals (key rotation) from explicit distrust (WoSign, TurkTrust, ...).
+enum class RemovalReason {
+  Administrative,
+  Distrusted,
+};
+
+struct DistrustRecord {
+  std::string ca_name;
+  int year = 0;                 // year of distrust action
+  std::string platform;         // who acted ("Mozilla", "Google", ...)
+  std::string incident;         // short description
+};
+
+/// One tagged version of a platform's root store; membership is by CA name
+/// (the universe maps names to actual certificates).
+struct StoreVersion {
+  std::string tag;
+  int year = 0;
+  std::set<std::string> ca_names;
+};
+
+struct PlatformStoreHistory {
+  std::string platform;           // "Ubuntu", "Android", "Mozilla", "Microsoft"
+  std::string source_comment;     // Table 3 "Comments" column
+  std::vector<StoreVersion> versions;  // oldest first
+
+  [[nodiscard]] const StoreVersion& earliest() const;
+  [[nodiscard]] const StoreVersion& latest() const;
+
+  /// Year a CA was removed from this platform (first version where a
+  /// previously-present name disappears); nullopt if never removed.
+  [[nodiscard]] std::optional<int> removal_year(const std::string& ca) const;
+};
+
+/// CA names present in the latest version of every history.
+std::set<std::string> derive_common(
+    const std::vector<PlatformStoreHistory>& histories);
+
+/// CA names removed-before-expiry per the paper's §4.2 definition.
+std::set<std::string> derive_deprecated(
+    const std::vector<PlatformStoreHistory>& histories);
+
+/// Latest removal year across platforms (Fig 4 uses the latest if a cert
+/// was removed from multiple stores); nullopt if never removed anywhere.
+std::optional<int> latest_removal_year(
+    const std::vector<PlatformStoreHistory>& histories,
+    const std::string& ca);
+
+}  // namespace iotls::pki

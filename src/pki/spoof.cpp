@@ -1,0 +1,51 @@
+#include "pki/spoof.hpp"
+
+namespace iotls::pki {
+
+x509::Certificate make_spoofed_ca(const x509::Certificate& real_root,
+                                  const crypto::RsaKeyPair& attacker_keys) {
+  x509::TbsCertificate tbs;
+  tbs.serial = real_root.tbs.serial;       // spoofed
+  tbs.issuer = real_root.tbs.issuer;       // spoofed
+  tbs.subject = real_root.tbs.subject;     // spoofed
+  tbs.validity = real_root.tbs.validity;
+  tbs.subject_public_key = attacker_keys.pub;  // ours
+  tbs.extensions = real_root.tbs.extensions;
+  return x509::issue_certificate(tbs, attacker_keys.priv);
+}
+
+std::vector<x509::Certificate> forge_chain(
+    const x509::Certificate& ca, const crypto::RsaPrivateKey& ca_key,
+    const std::string& hostname, const crypto::RsaPublicKey& leaf_key,
+    x509::Validity validity) {
+  x509::TbsCertificate tbs;
+  common::ByteWriter serial;
+  serial.u64(0xF0F0F0F0ULL);
+  tbs.serial = serial.take();
+  tbs.issuer = ca.tbs.subject;
+  tbs.subject = x509::DistinguishedName::cn(hostname);
+  tbs.validity = validity;
+  tbs.subject_public_key = leaf_key;
+  tbs.extensions.basic_constraints = x509::BasicConstraints{false, {}};
+  tbs.extensions.subject_alt_names.push_back(hostname);
+  const x509::Certificate leaf = x509::issue_certificate(tbs, ca_key);
+  return {leaf, ca};
+}
+
+x509::Certificate make_self_signed_leaf(const std::string& hostname,
+                                        const crypto::RsaKeyPair& keys,
+                                        x509::Validity validity) {
+  x509::TbsCertificate tbs;
+  common::ByteWriter serial;
+  serial.u64(0xABCDABCDULL);
+  tbs.serial = serial.take();
+  tbs.issuer = x509::DistinguishedName::cn(hostname);
+  tbs.subject = x509::DistinguishedName::cn(hostname);
+  tbs.validity = validity;
+  tbs.subject_public_key = keys.pub;
+  tbs.extensions.basic_constraints = x509::BasicConstraints{false, {}};
+  tbs.extensions.subject_alt_names.push_back(hostname);
+  return x509::issue_certificate(tbs, keys.priv);
+}
+
+}  // namespace iotls::pki

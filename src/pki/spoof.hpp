@@ -1,0 +1,38 @@
+// Spoofed-certificate factory — the core of the root-store probing attack.
+//
+// A *spoofed CA certificate* copies a real root's Subject Name, Issuer Name
+// and Serial Number but is built around a key the prober controls (§4.2).
+// A client that trusts the real root will locate it by subject name and then
+// fail *signature* validation (decrypt_error / bad_certificate), while a
+// client that does not trust it fails with unknown_ca — the observable
+// difference this library measures.
+#pragma once
+
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls::pki {
+
+/// Build a self-signed CA certificate with subject/issuer/serial copied from
+/// `real_root` but `attacker_keys` as its key material.
+x509::Certificate make_spoofed_ca(const x509::Certificate& real_root,
+                                  const crypto::RsaKeyPair& attacker_keys);
+
+/// Forge a full chain [leaf, ca] for `hostname`, where `ca` is any
+/// self-signed CA certificate whose private key we hold (a spoofed CA or an
+/// arbitrary self-signed root).
+std::vector<x509::Certificate> forge_chain(
+    const x509::Certificate& ca, const crypto::RsaPrivateKey& ca_key,
+    const std::string& hostname, const crypto::RsaPublicKey& leaf_key,
+    x509::Validity validity = x509::Validity{});
+
+/// A plain self-signed *leaf* for `hostname` — the NoValidation attack
+/// payload (Table 2).
+x509::Certificate make_self_signed_leaf(const std::string& hostname,
+                                        const crypto::RsaKeyPair& keys,
+                                        x509::Validity validity =
+                                            x509::Validity{});
+
+}  // namespace iotls::pki

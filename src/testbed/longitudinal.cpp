@@ -1,0 +1,247 @@
+#include "testbed/longitudinal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "testbed/testbed.hpp"
+
+namespace iotls::testbed {
+
+void PassiveDataset::add(PassiveConnectionGroup group) {
+  groups_.push_back(std::move(group));
+}
+
+std::uint64_t PassiveDataset::total_connections() const {
+  std::uint64_t total = 0;
+  for (const auto& g : groups_) total += g.count;
+  return total;
+}
+
+std::uint64_t PassiveDataset::device_connections(
+    const std::string& device) const {
+  std::uint64_t total = 0;
+  for (const auto& g : groups_) {
+    if (g.record.device == device) total += g.count;
+  }
+  return total;
+}
+
+std::vector<std::string> PassiveDataset::devices() const {
+  std::set<std::string> names;
+  for (const auto& g : groups_) names.insert(g.record.device);
+  return {names.begin(), names.end()};
+}
+
+std::vector<const PassiveConnectionGroup*> PassiveDataset::for_device(
+    const std::string& device) const {
+  std::vector<const PassiveConnectionGroup*> out;
+  for (const auto& g : groups_) {
+    if (g.record.device == device) out.push_back(&g);
+  }
+  return out;
+}
+
+namespace {
+
+std::string join_u16(const std::vector<std::uint16_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> split_u16(const std::string& text) {
+  std::vector<std::uint16_t> out;
+  if (text.empty()) return out;
+  for (const auto& part : common::split(text, ',')) {
+    out.push_back(static_cast<std::uint16_t>(std::stoul(part)));
+  }
+  return out;
+}
+
+std::string join_versions(const std::vector<tls::ProtocolVersion>& versions) {
+  std::vector<std::uint16_t> raw;
+  for (const auto v : versions) raw.push_back(static_cast<std::uint16_t>(v));
+  return join_u16(raw);
+}
+
+std::vector<tls::ProtocolVersion> split_versions(const std::string& text) {
+  std::vector<tls::ProtocolVersion> out;
+  for (const auto raw : split_u16(text)) {
+    out.push_back(tls::version_from_wire(raw));
+  }
+  return out;
+}
+
+std::string alert_field(const std::optional<tls::Alert>& alert) {
+  if (!alert) return "-";
+  return std::to_string(static_cast<int>(alert->level)) + ":" +
+         std::to_string(static_cast<int>(alert->description));
+}
+
+std::optional<tls::Alert> parse_alert_field(const std::string& field) {
+  if (field == "-") return std::nullopt;
+  const auto parts = common::split(field, ':');
+  if (parts.size() != 2) throw common::ParseError("bad alert field");
+  tls::Alert alert;
+  alert.level = static_cast<tls::AlertLevel>(std::stoi(parts[0]));
+  alert.description =
+      static_cast<tls::AlertDescription>(std::stoi(parts[1]));
+  return alert;
+}
+
+constexpr const char* kDatasetHeader =
+    "device\tdestination\tmonth\tcount\tadvertised_versions\t"
+    "advertised_suites\textension_types\tgroups\tsigalgs\tocsp_staple\t"
+    "sni\testablished_version\testablished_suite\tcomplete\tapp_data\t"
+    "client_alert\tserver_alert";
+
+}  // namespace
+
+std::string dataset_to_tsv(const PassiveDataset& dataset) {
+  std::string out = std::string(kDatasetHeader) + "\n";
+  for (const auto& g : dataset.groups()) {
+    const auto& r = g.record;
+    out += r.device + '\t' + r.destination + '\t' + r.month.str() + '\t' +
+           std::to_string(g.count) + '\t' +
+           join_versions(r.advertised_versions) + '\t' +
+           join_u16(r.advertised_suites) + '\t' +
+           join_u16(r.extension_types) + '\t' +
+           join_u16(r.advertised_groups) + '\t' +
+           join_u16(r.advertised_sigalgs) + '\t' +
+           (r.requested_ocsp_staple ? "1" : "0") + '\t' +
+           (r.sent_sni ? "1" : "0") + '\t' +
+           (r.established_version
+                ? std::to_string(
+                      static_cast<std::uint16_t>(*r.established_version))
+                : "-") +
+           '\t' +
+           (r.established_suite ? std::to_string(*r.established_suite)
+                                : "-") +
+           '\t' + (r.handshake_complete ? "1" : "0") + '\t' +
+           (r.application_data_seen ? "1" : "0") + '\t' +
+           alert_field(r.client_alert) + '\t' + alert_field(r.server_alert) +
+           '\n';
+  }
+  return out;
+}
+
+PassiveDataset dataset_from_tsv(const std::string& tsv) {
+  PassiveDataset dataset;
+  std::istringstream stream(tsv);
+  std::string line;
+  if (!std::getline(stream, line) || line != kDatasetHeader) {
+    throw common::ParseError("unrecognized dataset header");
+  }
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    const auto fields = common::split(line, '\t');
+    if (fields.size() != 17) {
+      throw common::ParseError("dataset row has wrong field count");
+    }
+    PassiveConnectionGroup group;
+    auto& r = group.record;
+    r.device = fields[0];
+    r.destination = fields[1];
+    const auto ym = common::split(fields[2], '-');
+    if (ym.size() != 2) throw common::ParseError("bad month field");
+    r.month = common::Month{std::stoi(ym[0]), std::stoi(ym[1])};
+    group.count = std::stoull(fields[3]);
+    r.advertised_versions = split_versions(fields[4]);
+    r.advertised_suites = split_u16(fields[5]);
+    r.extension_types = split_u16(fields[6]);
+    r.advertised_groups = split_u16(fields[7]);
+    r.advertised_sigalgs = split_u16(fields[8]);
+    r.requested_ocsp_staple = fields[9] == "1";
+    r.sent_sni = fields[10] == "1";
+    if (fields[11] != "-") {
+      r.established_version = tls::version_from_wire(
+          static_cast<std::uint16_t>(std::stoul(fields[11])));
+    }
+    if (fields[12] != "-") {
+      r.established_suite =
+          static_cast<std::uint16_t>(std::stoul(fields[12]));
+    }
+    r.handshake_complete = fields[13] == "1";
+    r.application_data_seen = fields[14] == "1";
+    r.client_alert = parse_alert_field(fields[15]);
+    r.server_alert = parse_alert_field(fields[16]);
+    dataset.add(std::move(group));
+  }
+  return dataset;
+}
+
+void save_dataset(const PassiveDataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw common::ProtocolError("cannot open " + path);
+  out << dataset_to_tsv(dataset);
+}
+
+PassiveDataset load_dataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw common::ProtocolError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return dataset_from_tsv(buf.str());
+}
+
+PassiveDataset generate_passive_dataset(const GeneratorOptions& options) {
+  Testbed::Options tb_options;
+  tb_options.seed = options.seed;
+  tb_options.universe = options.universe;
+  tb_options.active_only = false;
+  Testbed testbed(tb_options);
+
+  common::Rng count_rng = common::Rng::derive(options.seed, "passive-counts");
+  PassiveDataset dataset;
+
+  const auto months = common::month_range(options.first, options.last);
+  for (const auto& profile : devices::device_catalog()) {
+    if (!options.devices.empty() &&
+        std::find(options.devices.begin(), options.devices.end(),
+                  profile.name) == options.devices.end()) {
+      continue;
+    }
+    DeviceRuntime& runtime = testbed.runtime(profile.name);
+
+    for (const auto& month : months) {
+      if (!profile.generates_traffic_in(month)) continue;
+      // Mid-month sampling date.
+      testbed.set_date(common::SimDate::start_of(month).plus_days(14));
+
+      for (const auto& dest : profile.destinations) {
+        // Month-to-month activity jitter: destinations are contacted more
+        // or less often (this is what drives the Insteon Hub's varying
+        // old-version fraction in Fig 1).
+        const double jitter = 0.35 + 1.3 * count_rng.uniform01();
+        const auto count = static_cast<std::uint64_t>(std::max(
+            1.0, profile.monthly_connections_per_destination * jitter *
+                     options.count_scale * dest.traffic_weight *
+                     (dest.first_party ? 1.0 : 0.4)));
+
+        const std::size_t before = testbed.network().capture().size();
+        (void)runtime.connect_to(dest, testbed.date());
+        const auto& records = testbed.network().capture().records();
+
+        // connect_to may have produced two captures (fallback retry); fold
+        // them all into the month's groups.
+        for (std::size_t i = before; i < records.size(); ++i) {
+          PassiveConnectionGroup group;
+          group.record = records[i];
+          group.record.month = month;
+          group.count = count;
+          dataset.add(std::move(group));
+        }
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace iotls::testbed

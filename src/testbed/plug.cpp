@@ -1,0 +1,13 @@
+#include "testbed/plug.hpp"
+
+namespace iotls::testbed {
+
+BootResult SmartPlug::power_cycle(common::SimDate now,
+                                  bool include_intermittent) {
+  powered_ = false;  // off...
+  powered_ = true;   // ...and back on
+  ++cycles_;
+  return runtime_->boot(now, include_intermittent);
+}
+
+}  // namespace iotls::testbed

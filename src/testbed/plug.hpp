@@ -1,0 +1,30 @@
+// Smart plugs — the paper's traffic trigger (§4.1: "we programmatically use
+// TP-Link power plugs to turn devices off and back on again").
+#pragma once
+
+#include "testbed/runtime.hpp"
+
+namespace iotls::testbed {
+
+/// A power switch attached to one device. Power-cycling reboots the device,
+/// which replays its boot-time connection schedule — the repeatable TLS
+/// trigger every active experiment uses.
+class SmartPlug {
+ public:
+  explicit SmartPlug(DeviceRuntime& runtime) : runtime_(&runtime) {}
+
+  /// Turn the device off and on; returns the boot-time connections.
+  BootResult power_cycle(common::SimDate now,
+                         bool include_intermittent = false);
+
+  [[nodiscard]] bool powered() const { return powered_; }
+  [[nodiscard]] int cycle_count() const { return cycles_; }
+  [[nodiscard]] DeviceRuntime& runtime() { return *runtime_; }
+
+ private:
+  DeviceRuntime* runtime_;
+  bool powered_ = true;
+  int cycles_ = 0;
+};
+
+}  // namespace iotls::testbed

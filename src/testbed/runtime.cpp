@@ -1,0 +1,126 @@
+#include "testbed/runtime.hpp"
+
+#include <algorithm>
+
+#include "testbed/cloud.hpp"
+
+namespace iotls::testbed {
+
+int BootResult::successes() const {
+  return static_cast<int>(std::count_if(
+      connections.begin(), connections.end(),
+      [](const ConnectionOutcome& c) { return c.final_result().success(); }));
+}
+
+int BootResult::failures() const {
+  return static_cast<int>(connections.size()) - successes();
+}
+
+DeviceRuntime::DeviceRuntime(const devices::DeviceProfile& profile,
+                             const pki::CaUniverse& universe,
+                             net::Network& network,
+                             const pki::RevocationList* revocations)
+    : profile_(profile),
+      network_(network),
+      roots_(profile.build_root_store(universe)),
+      revocations_(revocations) {
+  // Every device must be able to verify the legitimate cloud: its store
+  // always contains the farm's issuing CA (DESIGN.md: the paper's devices
+  // all completed legitimate connections before any attack was mounted).
+  roots_.add(universe.authority(CloudFarm::kDefaultCaName).root());
+}
+
+tls::ClientConfig DeviceRuntime::effective_config(
+    const devices::DestinationSpec& dest, common::SimDate now) const {
+  tls::ClientConfig config =
+      profile_.config_at(dest.instance_id, now.to_month());
+  if (validation_disabled_) {
+    config.verify_policy = x509::VerifyPolicy::none();
+  }
+  // Table 8: only the CRL/OCSP devices consult the revocation list.
+  if (revocations_ != nullptr &&
+      (profile_.revocation.crl || profile_.revocation.ocsp)) {
+    config.revocation_list = revocations_;
+  }
+  return config;
+}
+
+tls::ClientResult DeviceRuntime::run_connection(
+    const devices::DestinationSpec& dest, const tls::ClientConfig& config,
+    common::SimDate now) {
+  auto connection =
+      network_.connect(dest.hostname, profile_.name, now.to_month());
+  common::Rng rng = common::Rng::derive(
+      profile_.seed ^ connection_counter_++, "conn:" + dest.hostname);
+  tls::TlsClient client(config, &roots_, rng, now);
+
+  const common::Bytes payload =
+      dest.sensitive_payload.empty()
+          ? common::to_bytes("GET /telemetry?device=" + profile_.name)
+          : common::to_bytes(dest.sensitive_payload);
+  tls::ClientResult result =
+      client.connect(*connection.transport, dest.hostname, payload);
+  network_.finish(connection);
+  return result;
+}
+
+void DeviceRuntime::note_outcome(const tls::ClientResult& result) {
+  if (result.success()) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  ++consecutive_failures_;
+  if (profile_.disable_validation_after_failures > 0 &&
+      consecutive_failures_ >= profile_.disable_validation_after_failures) {
+    validation_disabled_ = true;  // the Yi Camera quirk (§5.2)
+  }
+}
+
+ConnectionOutcome DeviceRuntime::connect_to(
+    const devices::DestinationSpec& dest, common::SimDate now) {
+  ConnectionOutcome outcome;
+  outcome.destination = &dest;
+  outcome.result = run_connection(dest, effective_config(dest, now), now);
+  note_outcome(outcome.result);
+
+  // Table 5: retry with the downgraded configuration on failure.
+  if (!outcome.result.success() && profile_.fallback.has_value() &&
+      dest.downgrade_susceptible) {
+    const auto& fb = *profile_.fallback;
+    const bool incomplete =
+        outcome.result.outcome == tls::HandshakeOutcome::NoServerResponse;
+    const bool failed =
+        outcome.result.outcome == tls::HandshakeOutcome::ValidationFailed ||
+        outcome.result.outcome == tls::HandshakeOutcome::ServerAlert;
+    if ((incomplete && fb.on_incomplete_handshake) ||
+        (failed && fb.on_failed_handshake)) {
+      tls::ClientConfig fallback_config = fb.fallback_config;
+      if (validation_disabled_) {
+        fallback_config.verify_policy = x509::VerifyPolicy::none();
+      }
+      outcome.used_fallback = true;
+      outcome.fallback_result =
+          run_connection(dest, fallback_config, now);
+      note_outcome(*outcome.fallback_result);
+    }
+  }
+  return outcome;
+}
+
+BootResult DeviceRuntime::boot(common::SimDate now,
+                               bool include_intermittent) {
+  ++boot_counter_;
+  BootResult result;
+  for (const auto& dest : profile_.destinations) {
+    if (dest.intermittent && !include_intermittent) continue;
+    result.connections.push_back(connect_to(dest, now));
+  }
+  return result;
+}
+
+void DeviceRuntime::reset_failure_state() {
+  consecutive_failures_ = 0;
+  validation_disabled_ = false;
+}
+
+}  // namespace iotls::testbed

@@ -1,0 +1,48 @@
+#include "testbed/testbed.hpp"
+
+#include <stdexcept>
+
+namespace iotls::testbed {
+
+Testbed::Testbed(Options options)
+    : universe_(options.universe != nullptr ? options.universe
+                                            : &pki::CaUniverse::standard()) {
+  cloud_ = std::make_unique<CloudFarm>(*universe_, options.seed);
+
+  for (const auto& profile : devices::device_catalog()) {
+    for (const auto& dest : profile.destinations) {
+      cloud_->add_destination(dest.hostname);
+    }
+    if (options.active_only && !profile.active) continue;
+    auto runtime = std::make_unique<DeviceRuntime>(profile, *universe_,
+                                                   network_, &revocations_);
+    plugs_.emplace(profile.name, std::make_unique<SmartPlug>(*runtime));
+    runtimes_.emplace(profile.name, std::move(runtime));
+  }
+  cloud_->install(network_);
+}
+
+DeviceRuntime& Testbed::runtime(const std::string& device_name) {
+  const auto it = runtimes_.find(device_name);
+  if (it == runtimes_.end()) {
+    throw std::out_of_range("no runtime for device " + device_name);
+  }
+  return *it->second;
+}
+
+SmartPlug& Testbed::plug(const std::string& device_name) {
+  const auto it = plugs_.find(device_name);
+  if (it == plugs_.end()) {
+    throw std::out_of_range("no plug for device " + device_name);
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Testbed::device_names() const {
+  std::vector<std::string> out;
+  out.reserve(runtimes_.size());
+  for (const auto& [name, runtime] : runtimes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace iotls::testbed

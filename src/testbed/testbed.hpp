@@ -1,0 +1,57 @@
+// Testbed assembly: the simulated smart home of §4.1 — all 40 devices, a
+// smart plug per active device, the cloud farm, and the capture gateway.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "testbed/cloud.hpp"
+#include "testbed/plug.hpp"
+#include "testbed/runtime.hpp"
+
+namespace iotls::testbed {
+
+class Testbed {
+ public:
+  struct Options {
+    std::uint64_t seed = 42;
+    /// Defaults to CaUniverse::standard().
+    const pki::CaUniverse* universe = nullptr;
+    /// Only instantiate runtimes for active devices (cheaper for the
+    /// active experiments; the passive generator sets this false).
+    bool active_only = true;
+  };
+
+  Testbed() : Testbed(Options{}) {}
+  explicit Testbed(Options options);
+
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] CloudFarm& cloud() { return *cloud_; }
+  [[nodiscard]] const pki::CaUniverse& universe() const { return *universe_; }
+
+  [[nodiscard]] DeviceRuntime& runtime(const std::string& device_name);
+  [[nodiscard]] SmartPlug& plug(const std::string& device_name);
+  [[nodiscard]] std::vector<std::string> device_names() const;
+
+  /// Set the wall-clock for the whole testbed (cloud evolution +
+  /// certificate validity).
+  void set_date(common::SimDate date) { cloud_->set_current_date(date); }
+  [[nodiscard]] common::SimDate date() const {
+    return cloud_->current_date();
+  }
+
+  /// The ecosystem CRL consulted by the Table 8 CRL/OCSP devices.
+  [[nodiscard]] pki::RevocationList& revocations() { return revocations_; }
+
+ private:
+  const pki::CaUniverse* universe_;
+  net::Network network_;
+  pki::RevocationList revocations_;
+  std::unique_ptr<CloudFarm> cloud_;
+  std::map<std::string, std::unique_ptr<DeviceRuntime>> runtimes_;
+  std::map<std::string, std::unique_ptr<SmartPlug>> plugs_;
+};
+
+}  // namespace iotls::testbed

@@ -1,0 +1,68 @@
+#include "tls/alert.hpp"
+
+namespace iotls::tls {
+
+common::Bytes Alert::serialize() const {
+  return {static_cast<std::uint8_t>(level),
+          static_cast<std::uint8_t>(description)};
+}
+
+Alert Alert::parse(common::BytesView data) {
+  if (data.size() != 2) throw common::ParseError("alert must be 2 bytes");
+  Alert a;
+  if (data[0] != 1 && data[0] != 2) {
+    throw common::ParseError("bad alert level");
+  }
+  a.level = static_cast<AlertLevel>(data[0]);
+  a.description = static_cast<AlertDescription>(data[1]);
+  return a;
+}
+
+std::string alert_name(AlertDescription d) {
+  switch (d) {
+    case AlertDescription::CloseNotify: return "close_notify";
+    case AlertDescription::UnexpectedMessage: return "unexpected_message";
+    case AlertDescription::BadRecordMac: return "bad_record_mac";
+    case AlertDescription::RecordOverflow: return "record_overflow";
+    case AlertDescription::HandshakeFailure: return "handshake_failure";
+    case AlertDescription::BadCertificate: return "bad_certificate";
+    case AlertDescription::UnsupportedCertificate:
+      return "unsupported_certificate";
+    case AlertDescription::CertificateRevoked: return "certificate_revoked";
+    case AlertDescription::CertificateExpired: return "certificate_expired";
+    case AlertDescription::CertificateUnknown: return "certificate_unknown";
+    case AlertDescription::IllegalParameter: return "illegal_parameter";
+    case AlertDescription::UnknownCa: return "unknown_ca";
+    case AlertDescription::AccessDenied: return "access_denied";
+    case AlertDescription::DecodeError: return "decode_error";
+    case AlertDescription::DecryptError: return "decrypt_error";
+    case AlertDescription::ProtocolVersion: return "protocol_version";
+    case AlertDescription::InsufficientSecurity:
+      return "insufficient_security";
+    case AlertDescription::InternalError: return "internal_error";
+    case AlertDescription::UserCanceled: return "user_canceled";
+    case AlertDescription::NoRenegotiation: return "no_renegotiation";
+    case AlertDescription::UnsupportedExtension:
+      return "unsupported_extension";
+  }
+  return "unknown_alert";
+}
+
+std::string alert_level_name(AlertLevel l) {
+  return l == AlertLevel::Warning ? "warning" : "fatal";
+}
+
+std::string alert_display(const std::optional<Alert>& alert) {
+  if (!alert) return "No Alert";
+  switch (alert->description) {
+    case AlertDescription::UnknownCa: return "Unknown CA";
+    case AlertDescription::DecryptError: return "Decrypt Error";
+    case AlertDescription::BadCertificate: return "Bad Certificate";
+    case AlertDescription::CertificateUnknown: return "Certificate Unknown";
+    case AlertDescription::CertificateExpired: return "Certificate Expired";
+    case AlertDescription::HandshakeFailure: return "Handshake Failure";
+    default: return alert_name(alert->description);
+  }
+}
+
+}  // namespace iotls::tls

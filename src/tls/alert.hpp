@@ -1,0 +1,62 @@
+// TLS Alert Messages (RFC 5246 §7.2 / RFC 8446 §6).
+//
+// Alerts are the paper's side channel: `unknown_ca` vs `decrypt_error` /
+// `bad_certificate` distinguishes "issuer not in root store" from "issuer
+// found but signature invalid" (§4.2, Table 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace iotls::tls {
+
+enum class AlertLevel : std::uint8_t {
+  Warning = 1,
+  Fatal = 2,
+};
+
+enum class AlertDescription : std::uint8_t {
+  CloseNotify = 0,
+  UnexpectedMessage = 10,
+  BadRecordMac = 20,
+  RecordOverflow = 22,
+  HandshakeFailure = 40,
+  BadCertificate = 42,
+  UnsupportedCertificate = 43,
+  CertificateRevoked = 44,
+  CertificateExpired = 45,
+  CertificateUnknown = 46,
+  IllegalParameter = 47,
+  UnknownCa = 48,
+  AccessDenied = 49,
+  DecodeError = 50,
+  DecryptError = 51,
+  ProtocolVersion = 70,
+  InsufficientSecurity = 71,
+  InternalError = 80,
+  UserCanceled = 90,
+  NoRenegotiation = 100,
+  UnsupportedExtension = 110,
+};
+
+struct Alert {
+  AlertLevel level = AlertLevel::Fatal;
+  AlertDescription description = AlertDescription::InternalError;
+
+  bool operator==(const Alert&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static Alert parse(common::BytesView data);
+};
+
+std::string alert_name(AlertDescription d);
+std::string alert_level_name(AlertLevel l);
+
+/// Render like the paper's Table 4 cells ("Unknown CA", "Decrypt Error",
+/// "No Alert" for nullopt).
+std::string alert_display(const std::optional<Alert>& alert);
+
+}  // namespace iotls::tls

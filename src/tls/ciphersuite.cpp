@@ -1,0 +1,129 @@
+#include "tls/ciphersuite.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace iotls::tls {
+
+namespace {
+
+std::vector<CipherSuiteInfo> build_catalogue() {
+  using KX = KeyExchange;
+  using C = BulkCipher;
+  using M = MacScheme;
+  return {
+      // NULL / export / legacy (insecure family).
+      {0x0001, "TLS_RSA_WITH_NULL_MD5", KX::Rsa, C::Null, M::NullMac, false, false},
+      {0x0002, "TLS_RSA_WITH_NULL_SHA", KX::Rsa, C::Null, M::Sha1, false, false},
+      {0x0003, "TLS_RSA_EXPORT_WITH_RC4_40_MD5", KX::Rsa, C::Rc4, M::Sha1, true, false},
+      {0x0004, "TLS_RSA_WITH_RC4_128_MD5", KX::Rsa, C::Rc4, M::Sha1, false, false},
+      {0x0005, "TLS_RSA_WITH_RC4_128_SHA", KX::Rsa, C::Rc4, M::Sha1, false, false},
+      {0x0008, "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA", KX::Rsa, C::Des, M::Sha1, true, false},
+      {0x0009, "TLS_RSA_WITH_DES_CBC_SHA", KX::Rsa, C::Des, M::Sha1, false, false},
+      {0x000A, "TLS_RSA_WITH_3DES_EDE_CBC_SHA", KX::Rsa, C::TripleDes, M::Sha1, false, false},
+      {0x0013, "TLS_DHE_DSS_WITH_3DES_EDE_CBC_SHA", KX::Dhe, C::TripleDes, M::Sha1, false, false},
+      {0x0016, "TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA", KX::Dhe, C::TripleDes, M::Sha1, false, false},
+
+      // Anonymous DH.
+      {0x0034, "TLS_DH_anon_WITH_AES_128_CBC_SHA", KX::Anon, C::Aes128, M::Sha1, false, false},
+      {0x003A, "TLS_DH_anon_WITH_AES_256_CBC_SHA", KX::Anon, C::Aes256, M::Sha1, false, false},
+
+      // RSA key transport with AES (no PFS).
+      {0x002F, "TLS_RSA_WITH_AES_128_CBC_SHA", KX::Rsa, C::Aes128, M::Sha1, false, false},
+      {0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA", KX::Rsa, C::Aes256, M::Sha1, false, false},
+      {0x003C, "TLS_RSA_WITH_AES_128_CBC_SHA256", KX::Rsa, C::Aes128, M::Sha256, false, false},
+      {0x003D, "TLS_RSA_WITH_AES_256_CBC_SHA256", KX::Rsa, C::Aes256, M::Sha256, false, false},
+      {0x009C, "TLS_RSA_WITH_AES_128_GCM_SHA256", KX::Rsa, C::Aes128, M::AeadGcm, false, false},
+      {0x009D, "TLS_RSA_WITH_AES_256_GCM_SHA384", KX::Rsa, C::Aes256, M::AeadGcm, false, false},
+
+      // DHE with AES (PFS).
+      {0x0033, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA", KX::Dhe, C::Aes128, M::Sha1, false, false},
+      {0x0039, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA", KX::Dhe, C::Aes256, M::Sha1, false, false},
+      {0x0067, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256", KX::Dhe, C::Aes128, M::Sha256, false, false},
+      {0x006B, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256", KX::Dhe, C::Aes256, M::Sha256, false, false},
+      {0x009E, "TLS_DHE_RSA_WITH_AES_128_GCM_SHA256", KX::Dhe, C::Aes128, M::AeadGcm, false, false},
+      {0x009F, "TLS_DHE_RSA_WITH_AES_256_GCM_SHA384", KX::Dhe, C::Aes256, M::AeadGcm, false, false},
+
+      // ECDHE families (PFS).
+      {0xC007, "TLS_ECDHE_ECDSA_WITH_RC4_128_SHA", KX::Ecdhe, C::Rc4, M::Sha1, false, false},
+      {0xC009, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA", KX::Ecdhe, C::Aes128, M::Sha1, false, false},
+      {0xC00A, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA", KX::Ecdhe, C::Aes256, M::Sha1, false, false},
+      {0xC011, "TLS_ECDHE_RSA_WITH_RC4_128_SHA", KX::Ecdhe, C::Rc4, M::Sha1, false, false},
+      {0xC012, "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA", KX::Ecdhe, C::TripleDes, M::Sha1, false, false},
+      {0xC013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", KX::Ecdhe, C::Aes128, M::Sha1, false, false},
+      {0xC014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA", KX::Ecdhe, C::Aes256, M::Sha1, false, false},
+      {0xC023, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256", KX::Ecdhe, C::Aes128, M::Sha256, false, false},
+      {0xC027, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256", KX::Ecdhe, C::Aes128, M::Sha256, false, false},
+      {0xC028, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384", KX::Ecdhe, C::Aes256, M::Sha384, false, false},
+      {0xC02B, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", KX::Ecdhe, C::Aes128, M::AeadGcm, false, false},
+      {0xC02C, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384", KX::Ecdhe, C::Aes256, M::AeadGcm, false, false},
+      {0xC02F, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", KX::Ecdhe, C::Aes128, M::AeadGcm, false, false},
+      {0xC030, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384", KX::Ecdhe, C::Aes256, M::AeadGcm, false, false},
+      {0xCCA8, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", KX::Ecdhe, C::ChaCha20, M::AeadPoly1305, false, false},
+      {0xCCA9, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256", KX::Ecdhe, C::ChaCha20, M::AeadPoly1305, false, false},
+
+      // TLS 1.3.
+      {0x1301, "TLS_AES_128_GCM_SHA256", KX::Tls13, C::Aes128, M::AeadGcm, false, true},
+      {0x1302, "TLS_AES_256_GCM_SHA384", KX::Tls13, C::Aes256, M::AeadGcm, false, true},
+      {0x1303, "TLS_CHACHA20_POLY1305_SHA256", KX::Tls13, C::ChaCha20, M::AeadPoly1305, false, true},
+  };
+}
+
+const std::map<std::uint16_t, CipherSuiteInfo>& catalogue_by_id() {
+  static const std::map<std::uint16_t, CipherSuiteInfo> kMap = [] {
+    std::map<std::uint16_t, CipherSuiteInfo> m;
+    for (const auto& s : build_catalogue()) m[s.id] = s;
+    return m;
+  }();
+  return kMap;
+}
+
+}  // namespace
+
+const std::vector<CipherSuiteInfo>& all_suites() {
+  static const std::vector<CipherSuiteInfo> kAll = build_catalogue();
+  return kAll;
+}
+
+const CipherSuiteInfo* suite_info(std::uint16_t id) {
+  const auto& m = catalogue_by_id();
+  const auto it = m.find(id);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+const CipherSuiteInfo* suite_by_name(const std::string& name) {
+  for (const auto& s : all_suites()) {
+    if (name == s.name) return suite_info(s.id);
+  }
+  return nullptr;
+}
+
+std::string suite_name(std::uint16_t id) {
+  const CipherSuiteInfo* info = suite_info(id);
+  if (info != nullptr) return info->name;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%04X", id);
+  return buf;
+}
+
+bool suite_is_insecure(std::uint16_t id) {
+  const CipherSuiteInfo* info = suite_info(id);
+  return info != nullptr && info->is_insecure();
+}
+
+bool suite_is_strong(std::uint16_t id) {
+  const CipherSuiteInfo* info = suite_info(id);
+  return info != nullptr && info->is_strong();
+}
+
+bool suite_is_null_or_anon(std::uint16_t id) {
+  const CipherSuiteInfo* info = suite_info(id);
+  return info != nullptr && info->is_null_or_anon();
+}
+
+bool suite_is_tls13(std::uint16_t id) {
+  const CipherSuiteInfo* info = suite_info(id);
+  return info != nullptr && info->tls13_only;
+}
+
+}  // namespace iotls::tls

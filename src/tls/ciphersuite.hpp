@@ -1,0 +1,105 @@
+// Ciphersuite catalogue with the paper's security classification.
+//
+// §2 "Ciphersuites": DES/3DES/RC4/EXPORT demand immediate remediation
+// (*insecure*); NULL/ANON provide no authentication/encryption; DHE/ECDHE
+// provide perfect forward secrecy (*strong*).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iotls::tls {
+
+enum class KeyExchange {
+  Rsa,       // RSA key transport — no forward secrecy
+  Dhe,       // ephemeral finite-field DH — PFS
+  Ecdhe,     // ephemeral "EC" DH (modelled as ffdhe, see crypto/dh) — PFS
+  Null,      // no key exchange
+  Anon,      // unauthenticated DH
+  Tls13,     // TLS 1.3 suites: key exchange via key_share, always ephemeral
+};
+
+enum class BulkCipher {
+  Null,
+  Rc4,
+  Des,
+  TripleDes,
+  Aes128,
+  Aes256,
+  ChaCha20,
+};
+
+enum class MacScheme {
+  NullMac,
+  Sha1,
+  Sha256,
+  Sha384,
+  AeadGcm,
+  AeadPoly1305,
+};
+
+struct CipherSuiteInfo {
+  std::uint16_t id = 0;
+  const char* name = "";
+  KeyExchange kex = KeyExchange::Rsa;
+  BulkCipher cipher = BulkCipher::Null;
+  MacScheme mac = MacScheme::NullMac;
+  bool is_export = false;   // EXPORT-grade (deliberately weakened)
+  bool tls13_only = false;
+
+  /// §2: DES, 3DES, RC4, EXPORT → insecure.
+  [[nodiscard]] bool is_insecure() const {
+    return is_export || cipher == BulkCipher::Rc4 ||
+           cipher == BulkCipher::Des || cipher == BulkCipher::TripleDes;
+  }
+  /// §2: DHE/ECDHE (and all TLS 1.3 suites) → perfect forward secrecy.
+  [[nodiscard]] bool is_strong() const {
+    return kex == KeyExchange::Dhe || kex == KeyExchange::Ecdhe ||
+           kex == KeyExchange::Tls13;
+  }
+  [[nodiscard]] bool is_null_or_anon() const {
+    return kex == KeyExchange::Null || kex == KeyExchange::Anon ||
+           cipher == BulkCipher::Null;
+  }
+};
+
+/// Look up a suite by wire id; nullptr if unknown to the catalogue.
+const CipherSuiteInfo* suite_info(std::uint16_t id);
+
+/// Look up by IANA-style name; nullptr if unknown.
+const CipherSuiteInfo* suite_by_name(const std::string& name);
+
+/// The full catalogue (stable order).
+const std::vector<CipherSuiteInfo>& all_suites();
+
+std::string suite_name(std::uint16_t id);
+
+/// Classification helpers operating on wire ids (unknown ids are neither
+/// insecure nor strong).
+bool suite_is_insecure(std::uint16_t id);
+bool suite_is_strong(std::uint16_t id);
+bool suite_is_null_or_anon(std::uint16_t id);
+bool suite_is_tls13(std::uint16_t id);
+
+// Well-known ids used throughout the device catalogue.
+inline constexpr std::uint16_t TLS_RSA_WITH_RC4_128_SHA = 0x0005;
+inline constexpr std::uint16_t TLS_RSA_WITH_3DES_EDE_CBC_SHA = 0x000A;
+inline constexpr std::uint16_t TLS_RSA_WITH_AES_128_CBC_SHA = 0x002F;
+inline constexpr std::uint16_t TLS_RSA_WITH_AES_256_CBC_SHA = 0x0035;
+inline constexpr std::uint16_t TLS_RSA_WITH_AES_128_GCM_SHA256 = 0x009C;
+inline constexpr std::uint16_t TLS_DHE_RSA_WITH_AES_128_GCM_SHA256 = 0x009E;
+inline constexpr std::uint16_t TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA = 0xC013;
+inline constexpr std::uint16_t TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 = 0xC02F;
+inline constexpr std::uint16_t TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384 = 0xC030;
+inline constexpr std::uint16_t TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305 = 0xCCA8;
+inline constexpr std::uint16_t TLS_AES_128_GCM_SHA256 = 0x1301;
+inline constexpr std::uint16_t TLS_AES_256_GCM_SHA384 = 0x1302;
+inline constexpr std::uint16_t TLS_CHACHA20_POLY1305_SHA256 = 0x1303;
+inline constexpr std::uint16_t TLS_RSA_EXPORT_WITH_RC4_40_MD5 = 0x0003;
+inline constexpr std::uint16_t TLS_RSA_WITH_DES_CBC_SHA = 0x0009;
+inline constexpr std::uint16_t TLS_RSA_WITH_NULL_SHA = 0x0002;
+inline constexpr std::uint16_t TLS_DH_ANON_WITH_AES_128_CBC_SHA = 0x0034;
+
+}  // namespace iotls::tls

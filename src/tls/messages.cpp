@@ -1,0 +1,288 @@
+#include "tls/messages.hpp"
+
+#include <algorithm>
+
+namespace iotls::tls {
+
+std::string handshake_type_name(HandshakeType t) {
+  switch (t) {
+    case HandshakeType::ClientHello: return "client_hello";
+    case HandshakeType::ServerHello: return "server_hello";
+    case HandshakeType::Certificate: return "certificate";
+    case HandshakeType::ServerKeyExchange: return "server_key_exchange";
+    case HandshakeType::ServerHelloDone: return "server_hello_done";
+    case HandshakeType::ClientKeyExchange: return "client_key_exchange";
+    case HandshakeType::Finished: return "finished";
+    case HandshakeType::NewSessionTicket: return "new_session_ticket";
+    case HandshakeType::CertificateStatus: return "certificate_status";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void write_random(common::ByteWriter& w, const Random32& r) {
+  w.raw(common::BytesView(r.data(), r.size()));
+}
+
+Random32 read_random(common::ByteReader& r) {
+  const common::Bytes b = r.raw(32);
+  Random32 out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+}  // namespace
+
+// ---------- ClientHello ----------
+
+common::Bytes ClientHello::serialize() const {
+  common::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(legacy_version));
+  write_random(w, random);
+  w.vec(session_id, 1);
+  common::ByteWriter suites;
+  for (const auto s : cipher_suites) suites.u16(s);
+  w.vec(suites.bytes(), 2);
+  common::ByteWriter comp;
+  for (const auto c : compression_methods) comp.u8(c);
+  w.vec(comp.bytes(), 1);
+  write_extensions(w, extensions);
+  return w.take();
+}
+
+ClientHello ClientHello::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  ClientHello ch;
+  ch.legacy_version = version_from_wire(r.u16());
+  ch.random = read_random(r);
+  ch.session_id = r.vec(1);
+  common::ByteReader suites = r.sub(2);
+  ch.cipher_suites.clear();
+  while (!suites.empty()) ch.cipher_suites.push_back(suites.u16());
+  common::ByteReader comp = r.sub(1);
+  ch.compression_methods.clear();
+  while (!comp.empty()) ch.compression_methods.push_back(comp.u8());
+  ch.extensions = read_extensions(r);
+  r.expect_end("ClientHello");
+  return ch;
+}
+
+std::optional<std::string> ClientHello::sni() const {
+  const Extension* ext = find_extension(extensions, ExtensionType::ServerName);
+  if (ext == nullptr) return std::nullopt;
+  return parse_sni(ext->payload);
+}
+
+std::vector<ProtocolVersion> ClientHello::advertised_versions() const {
+  const Extension* ext =
+      find_extension(extensions, ExtensionType::SupportedVersions);
+  if (ext != nullptr) return parse_supported_versions(ext->payload);
+  return {legacy_version};
+}
+
+ProtocolVersion ClientHello::max_advertised_version() const {
+  return max_version(advertised_versions());
+}
+
+bool ClientHello::requests_ocsp_stapling() const {
+  return find_extension(extensions, ExtensionType::StatusRequest) != nullptr;
+}
+
+bool ClientHello::advertises_insecure_suite() const {
+  return std::any_of(cipher_suites.begin(), cipher_suites.end(),
+                     suite_is_insecure);
+}
+
+bool ClientHello::advertises_strong_suite() const {
+  return std::any_of(cipher_suites.begin(), cipher_suites.end(),
+                     suite_is_strong);
+}
+
+bool ClientHello::advertises_null_or_anon_suite() const {
+  return std::any_of(cipher_suites.begin(), cipher_suites.end(),
+                     suite_is_null_or_anon);
+}
+
+// ---------- ServerHello ----------
+
+common::Bytes ServerHello::serialize() const {
+  common::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(version));
+  write_random(w, random);
+  w.vec(session_id, 1);
+  w.u16(cipher_suite);
+  w.u8(compression_method);
+  write_extensions(w, extensions);
+  return w.take();
+}
+
+ServerHello ServerHello::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  ServerHello sh;
+  sh.version = version_from_wire(r.u16());
+  sh.random = read_random(r);
+  sh.session_id = r.vec(1);
+  sh.cipher_suite = r.u16();
+  sh.compression_method = r.u8();
+  sh.extensions = read_extensions(r);
+  r.expect_end("ServerHello");
+  return sh;
+}
+
+ProtocolVersion ServerHello::negotiated_version() const {
+  const Extension* ext =
+      find_extension(extensions, ExtensionType::SupportedVersions);
+  if (ext != nullptr) {
+    const auto versions = parse_supported_versions(ext->payload);
+    if (versions.size() == 1) return versions[0];
+  }
+  return version;
+}
+
+// ---------- CertificateMsg ----------
+
+common::Bytes CertificateMsg::serialize() const {
+  common::ByteWriter list;
+  for (const auto& cert : chain) list.vec(cert.serialize(), 3);
+  common::ByteWriter w;
+  w.vec(list.bytes(), 3);
+  return w.take();
+}
+
+CertificateMsg CertificateMsg::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  CertificateMsg msg;
+  common::ByteReader list = r.sub(3);
+  while (!list.empty()) {
+    const common::Bytes cert_bytes = list.vec(3);
+    msg.chain.push_back(x509::Certificate::parse(cert_bytes));
+  }
+  r.expect_end("CertificateMsg");
+  return msg;
+}
+
+// ---------- ServerKeyExchange ----------
+
+common::Bytes ServerKeyExchange::serialize() const {
+  common::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(group));
+  w.vec(server_public, 2);
+  w.vec(signature, 2);
+  return w.take();
+}
+
+ServerKeyExchange ServerKeyExchange::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  ServerKeyExchange ske;
+  ske.group = static_cast<crypto::DhGroup>(r.u16());
+  ske.server_public = r.vec(2);
+  ske.signature = r.vec(2);
+  r.expect_end("ServerKeyExchange");
+  return ske;
+}
+
+common::Bytes ServerKeyExchange::signed_payload(
+    const Random32& client_random, const Random32& server_random) const {
+  common::ByteWriter w;
+  w.raw(common::BytesView(client_random.data(), client_random.size()));
+  w.raw(common::BytesView(server_random.data(), server_random.size()));
+  w.u16(static_cast<std::uint16_t>(group));
+  w.vec(server_public, 2);
+  return w.take();
+}
+
+// ---------- ServerHelloDone ----------
+
+ServerHelloDone ServerHelloDone::parse(common::BytesView body) {
+  if (!body.empty()) throw common::ParseError("ServerHelloDone not empty");
+  return {};
+}
+
+// ---------- NewSessionTicket ----------
+
+common::Bytes NewSessionTicket::serialize() const {
+  common::ByteWriter w;
+  w.u32(lifetime_hint_seconds);
+  w.vec(ticket, 2);
+  return w.take();
+}
+
+NewSessionTicket NewSessionTicket::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  NewSessionTicket nst;
+  nst.lifetime_hint_seconds = r.u32();
+  nst.ticket = r.vec(2);
+  r.expect_end("NewSessionTicket");
+  return nst;
+}
+
+// ---------- CertificateStatus ----------
+
+common::Bytes CertificateStatus::serialize() const {
+  common::ByteWriter w;
+  w.u8(1);  // status_type: ocsp
+  w.vec(ocsp_response, 3);
+  return w.take();
+}
+
+CertificateStatus CertificateStatus::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  if (r.u8() != 1) throw common::ParseError("unsupported status type");
+  CertificateStatus status;
+  status.ocsp_response = r.vec(3);
+  r.expect_end("CertificateStatus");
+  return status;
+}
+
+// ---------- ClientKeyExchange ----------
+
+common::Bytes ClientKeyExchange::serialize() const {
+  common::ByteWriter w;
+  w.vec(exchange_data, 2);
+  return w.take();
+}
+
+ClientKeyExchange ClientKeyExchange::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  ClientKeyExchange cke;
+  cke.exchange_data = r.vec(2);
+  r.expect_end("ClientKeyExchange");
+  return cke;
+}
+
+// ---------- Finished ----------
+
+common::Bytes Finished::serialize() const {
+  common::ByteWriter w;
+  w.vec(verify_data, 1);
+  return w.take();
+}
+
+Finished Finished::parse(common::BytesView body) {
+  common::ByteReader r(body);
+  Finished f;
+  f.verify_data = r.vec(1);
+  r.expect_end("Finished");
+  return f;
+}
+
+// ---------- HandshakeMessage ----------
+
+common::Bytes HandshakeMessage::serialize() const {
+  common::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.vec(body, 3);
+  return w.take();
+}
+
+HandshakeMessage HandshakeMessage::parse(common::BytesView data) {
+  common::ByteReader r(data);
+  HandshakeMessage msg;
+  msg.type = static_cast<HandshakeType>(r.u8());
+  msg.body = r.vec(3);
+  r.expect_end("HandshakeMessage");
+  return msg;
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,181 @@
+// Handshake messages with full wire serialization.
+//
+// The flow is the classic TLS<=1.2 shape (ClientHello, ServerHello,
+// Certificate, optional ServerKeyExchange, ServerHelloDone,
+// ClientKeyExchange, Finished); TLS 1.3 negotiation rides on the
+// supported_versions / key_share extensions over the same message skeleton —
+// a documented simplification (DESIGN.md): the paper's analyses read
+// ClientHello contents, ServerHello outcomes, and alerts, all of which are
+// bit-faithful here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "tls/ciphersuite.hpp"
+#include "tls/extension.hpp"
+#include "tls/version.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls::tls {
+
+enum class HandshakeType : std::uint8_t {
+  ClientHello = 1,
+  ServerHello = 2,
+  NewSessionTicket = 4,    // RFC 5077 session resumption
+  Certificate = 11,
+  ServerKeyExchange = 12,
+  ServerHelloDone = 14,
+  ClientKeyExchange = 16,
+  Finished = 20,
+  CertificateStatus = 22,  // RFC 6066 stapled OCSP response
+};
+
+std::string handshake_type_name(HandshakeType t);
+
+using Random32 = std::array<std::uint8_t, 32>;
+
+struct ClientHello {
+  /// Legacy record-layer version field == the client's max pre-1.3 version.
+  ProtocolVersion legacy_version = ProtocolVersion::Tls1_2;
+  Random32 random{};
+  common::Bytes session_id;
+  std::vector<std::uint16_t> cipher_suites;
+  std::vector<std::uint8_t> compression_methods{0};
+  std::vector<Extension> extensions;
+
+  bool operator==(const ClientHello&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static ClientHello parse(common::BytesView body);
+
+  // --- study-relevant accessors ---
+  [[nodiscard]] std::optional<std::string> sni() const;
+  /// All versions this hello advertises (supported_versions if present,
+  /// otherwise every version <= legacy_version down to SSL 3.0 is *not*
+  /// implied — only the legacy_version itself is counted, matching how
+  /// the paper reads maximum advertised versions).
+  [[nodiscard]] std::vector<ProtocolVersion> advertised_versions() const;
+  [[nodiscard]] ProtocolVersion max_advertised_version() const;
+  [[nodiscard]] bool requests_ocsp_stapling() const;
+  [[nodiscard]] bool advertises_insecure_suite() const;
+  [[nodiscard]] bool advertises_strong_suite() const;
+  [[nodiscard]] bool advertises_null_or_anon_suite() const;
+};
+
+struct ServerHello {
+  ProtocolVersion version = ProtocolVersion::Tls1_2;
+  Random32 random{};
+  common::Bytes session_id;
+  std::uint16_t cipher_suite = 0;
+  std::uint8_t compression_method = 0;
+  std::vector<Extension> extensions;
+
+  bool operator==(const ServerHello&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static ServerHello parse(common::BytesView body);
+
+  /// Effective negotiated version (supported_versions wins over the field).
+  [[nodiscard]] ProtocolVersion negotiated_version() const;
+};
+
+struct CertificateMsg {
+  std::vector<x509::Certificate> chain;  // leaf first
+
+  bool operator==(const CertificateMsg&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static CertificateMsg parse(common::BytesView body);
+};
+
+struct ServerKeyExchange {
+  crypto::DhGroup group = crypto::DhGroup::X25519;
+  common::Bytes server_public;
+  /// RSA signature by the server key over (client_random || server_random
+  /// || group || server_public).
+  common::Bytes signature;
+
+  bool operator==(const ServerKeyExchange&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static ServerKeyExchange parse(common::BytesView body);
+
+  /// The bytes the signature covers.
+  [[nodiscard]] common::Bytes signed_payload(const Random32& client_random,
+                                             const Random32& server_random)
+      const;
+};
+
+struct ServerHelloDone {
+  bool operator==(const ServerHelloDone&) const = default;
+  [[nodiscard]] common::Bytes serialize() const { return {}; }
+  static ServerHelloDone parse(common::BytesView body);
+};
+
+/// RFC 5077 NewSessionTicket: an opaque, server-encrypted session state
+/// blob. Presenting it in a later ClientHello's session_ticket extension
+/// resumes the session with an abbreviated handshake — notably *without*
+/// a Certificate message (resumption trusts the original validation).
+struct NewSessionTicket {
+  std::uint32_t lifetime_hint_seconds = 7200;
+  common::Bytes ticket;
+
+  bool operator==(const NewSessionTicket&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static NewSessionTicket parse(common::BytesView body);
+};
+
+/// RFC 6066 CertificateStatus: the stapled OCSP response a server sends
+/// when the client's status_request was honoured (Table 8's stapling
+/// evidence, now visible on the server side of captures too).
+struct CertificateStatus {
+  common::Bytes ocsp_response;
+
+  bool operator==(const CertificateStatus&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static CertificateStatus parse(common::BytesView body);
+};
+
+struct ClientKeyExchange {
+  /// RSA kex: PKCS#1-encrypted premaster. (EC)DHE kex: client public value.
+  common::Bytes exchange_data;
+
+  bool operator==(const ClientKeyExchange&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static ClientKeyExchange parse(common::BytesView body);
+};
+
+struct Finished {
+  common::Bytes verify_data;
+
+  bool operator==(const Finished&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static Finished parse(common::BytesView body);
+};
+
+/// Type-tagged handshake frame: u8 type || u24 length || body.
+struct HandshakeMessage {
+  HandshakeType type = HandshakeType::ClientHello;
+  common::Bytes body;
+
+  bool operator==(const HandshakeMessage&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static HandshakeMessage parse(common::BytesView data);
+
+  template <typename T>
+  static HandshakeMessage wrap(HandshakeType type, const T& msg) {
+    return HandshakeMessage{type, msg.serialize()};
+  }
+};
+
+}  // namespace iotls::tls

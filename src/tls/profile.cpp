@@ -1,0 +1,96 @@
+#include "tls/profile.hpp"
+
+#include <vector>
+
+namespace iotls::tls {
+
+std::string library_name(TlsLibrary lib) {
+  switch (lib) {
+    case TlsLibrary::MbedTls: return "Mbedtls";
+    case TlsLibrary::OpenSsl: return "OpenSSL";
+    case TlsLibrary::OracleJava: return "Oracle Java";
+    case TlsLibrary::WolfSsl: return "WolfSSL";
+    case TlsLibrary::GnuTls: return "GNU TLS";
+    case TlsLibrary::SecureTransport: return "Secure Transport";
+    case TlsLibrary::AndroidSdk: return "android-sdk";
+    case TlsLibrary::Generic: return "generic";
+  }
+  return "unknown";
+}
+
+std::string library_version_label(TlsLibrary lib) {
+  switch (lib) {
+    case TlsLibrary::MbedTls: return "Mbedtls (v2.21.0)";
+    case TlsLibrary::OpenSsl: return "OpenSSL (v1.1.1i)";
+    case TlsLibrary::OracleJava: return "Oracle Java (v18.0)";
+    case TlsLibrary::WolfSsl: return "WolfSSL (v4.1.0)";
+    case TlsLibrary::GnuTls: return "GNU TLS (v3.6.15)";
+    case TlsLibrary::SecureTransport: return "Secure Transport (macOS v11.3)";
+    default: return library_name(lib);
+  }
+}
+
+std::optional<Alert> alert_for_verify_error(TlsLibrary lib,
+                                            x509::VerifyError err) {
+  using VE = x509::VerifyError;
+  using AD = AlertDescription;
+  if (err == VE::Ok) return std::nullopt;
+
+  const auto fatal = [](AD d) { return Alert{AlertLevel::Fatal, d}; };
+
+  switch (lib) {
+    case TlsLibrary::MbedTls:
+      // Table 4: bad signature → Bad Certificate, unknown CA → Unknown CA.
+      switch (err) {
+        case VE::UnknownIssuer: return fatal(AD::UnknownCa);
+        case VE::BadSignature: return fatal(AD::BadCertificate);
+        case VE::Expired: return fatal(AD::CertificateExpired);
+        default: return fatal(AD::BadCertificate);
+      }
+    case TlsLibrary::OpenSsl:
+    case TlsLibrary::AndroidSdk:
+      // Table 4: bad signature → Decrypt Error, unknown CA → Unknown CA.
+      switch (err) {
+        case VE::UnknownIssuer: return fatal(AD::UnknownCa);
+        case VE::BadSignature: return fatal(AD::DecryptError);
+        case VE::Expired: return fatal(AD::CertificateExpired);
+        case VE::HostnameMismatch: return fatal(AD::BadCertificate);
+        default: return fatal(AD::BadCertificate);
+      }
+    case TlsLibrary::OracleJava:
+      // Table 4: Certificate Unknown for both probe cases.
+      return fatal(AD::CertificateUnknown);
+    case TlsLibrary::WolfSsl:
+      // Table 4: Bad Certificate for both probe cases.
+      return fatal(AD::BadCertificate);
+    case TlsLibrary::GnuTls:
+    case TlsLibrary::SecureTransport:
+      // Table 4: no alert — the connection is dropped silently.
+      return std::nullopt;
+    case TlsLibrary::Generic:
+      switch (err) {
+        case VE::UnknownIssuer: return fatal(AD::UnknownCa);
+        case VE::BadSignature: return fatal(AD::DecryptError);
+        default: return fatal(AD::BadCertificate);
+      }
+  }
+  return std::nullopt;
+}
+
+bool library_amenable_to_probing(TlsLibrary lib) {
+  const auto spoofed =
+      alert_for_verify_error(lib, x509::VerifyError::BadSignature);
+  const auto unknown =
+      alert_for_verify_error(lib, x509::VerifyError::UnknownIssuer);
+  return spoofed.has_value() && unknown.has_value() && *spoofed != *unknown;
+}
+
+const std::vector<TlsLibrary>& table4_libraries() {
+  static const std::vector<TlsLibrary> kLibs = {
+      TlsLibrary::MbedTls, TlsLibrary::OpenSsl,  TlsLibrary::OracleJava,
+      TlsLibrary::WolfSsl, TlsLibrary::GnuTls,   TlsLibrary::SecureTransport,
+  };
+  return kLibs;
+}
+
+}  // namespace iotls::tls

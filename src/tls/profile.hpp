@@ -1,0 +1,44 @@
+// TLS library behaviour profiles.
+//
+// Table 4 of the paper tests six real TLS libraries for the alerts they emit
+// on (a) a known CA with an invalid signature and (b) an unknown CA. Only
+// MbedTLS and OpenSSL are *amenable* — they emit different alerts for the
+// two cases. These profiles reproduce exactly those published behaviours on
+// top of the shared minitls client state machine.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tls/alert.hpp"
+#include "x509/verify.hpp"
+
+namespace iotls::tls {
+
+enum class TlsLibrary {
+  MbedTls,
+  OpenSsl,
+  OracleJava,
+  WolfSsl,
+  GnuTls,
+  SecureTransport,
+  AndroidSdk,   // fingerprint-distinct OpenSSL/BoringSSL derivative
+  Generic,      // an unremarkable correct client
+};
+
+std::string library_name(TlsLibrary lib);
+std::string library_version_label(TlsLibrary lib);  // Table 4 row labels
+
+/// Alert (if any) a library's client sends when certificate verification
+/// fails with the given error. nullopt = connection dropped silently.
+std::optional<Alert> alert_for_verify_error(TlsLibrary lib,
+                                            x509::VerifyError err);
+
+/// A library is amenable to root-store probing iff the known-CA-bad-
+/// signature alert differs from the unknown-CA alert (§4.2).
+bool library_amenable_to_probing(TlsLibrary lib);
+
+/// All libraries in Table 4 order.
+const std::vector<TlsLibrary>& table4_libraries();
+
+}  // namespace iotls::tls

@@ -1,0 +1,29 @@
+#include "tls/rc4.hpp"
+
+#include <array>
+
+namespace iotls::tls {
+
+common::Bytes rc4_xor(common::BytesView key, common::BytesView data) {
+  if (key.empty() || key.size() > 256) {
+    throw common::CryptoError("rc4: key must be 1..256 bytes");
+  }
+  std::array<std::uint8_t, 256> s{};
+  for (int i = 0; i < 256; ++i) s[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s[i] + key[i % key.size()]);
+    std::swap(s[i], s[j]);
+  }
+  common::Bytes out(data.begin(), data.end());
+  std::uint8_t x = 0, y = 0;
+  for (auto& byte : out) {
+    x = static_cast<std::uint8_t>(x + 1);
+    y = static_cast<std::uint8_t>(y + s[x]);
+    std::swap(s[x], s[y]);
+    byte ^= s[static_cast<std::uint8_t>(s[x] + s[y])];
+  }
+  return out;
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,14 @@
+// RC4 stream cipher — genuinely implemented because RC4 suites are central
+// to the study (Roku TV's downgrade target, the ≈60% RC4-advertising
+// comparison with Kotzias et al.). Known-broken; present for protocol
+// fidelity only.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace iotls::tls {
+
+/// XOR data with the RC4 keystream (encrypt == decrypt).
+common::Bytes rc4_xor(common::BytesView key, common::BytesView data);
+
+}  // namespace iotls::tls

@@ -1,0 +1,46 @@
+#include "tls/record.hpp"
+
+namespace iotls::tls {
+
+std::string content_type_name(ContentType t) {
+  switch (t) {
+    case ContentType::ChangeCipherSpec: return "change_cipher_spec";
+    case ContentType::Alert: return "alert";
+    case ContentType::Handshake: return "handshake";
+    case ContentType::ApplicationData: return "application_data";
+  }
+  return "unknown";
+}
+
+common::Bytes TlsRecord::serialize() const {
+  if (payload.size() > kMaxRecordPayload) {
+    throw common::ProtocolError("record payload exceeds 2^14 bytes");
+  }
+  common::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(static_cast<std::uint16_t>(version));
+  w.vec(payload, 2);
+  return w.take();
+}
+
+TlsRecord TlsRecord::parse(common::ByteReader& r) {
+  TlsRecord rec;
+  const std::uint8_t t = r.u8();
+  if (t < 20 || t > 23) throw common::ParseError("bad record content type");
+  rec.type = static_cast<ContentType>(t);
+  rec.version = version_from_wire(r.u16());
+  rec.payload = r.vec(2);
+  if (rec.payload.size() > kMaxRecordPayload) {
+    throw common::ParseError("record payload exceeds 2^14 bytes");
+  }
+  return rec;
+}
+
+TlsRecord TlsRecord::parse(common::BytesView data) {
+  common::ByteReader r(data);
+  TlsRecord rec = parse(r);
+  r.expect_end("TlsRecord");
+  return rec;
+}
+
+}  // namespace iotls::tls

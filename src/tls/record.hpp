@@ -1,0 +1,37 @@
+// TLS record layer framing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "tls/version.hpp"
+
+namespace iotls::tls {
+
+enum class ContentType : std::uint8_t {
+  ChangeCipherSpec = 20,
+  Alert = 21,
+  Handshake = 22,
+  ApplicationData = 23,
+};
+
+std::string content_type_name(ContentType t);
+
+/// One TLS record: 5-byte header (type, version, length) + payload.
+struct TlsRecord {
+  ContentType type = ContentType::Handshake;
+  ProtocolVersion version = ProtocolVersion::Tls1_2;
+  common::Bytes payload;
+
+  bool operator==(const TlsRecord&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static TlsRecord parse(common::BytesView data);
+  /// Parse one record from a stream position; advances the reader.
+  static TlsRecord parse(common::ByteReader& r);
+};
+
+inline constexpr std::size_t kMaxRecordPayload = 1 << 14;
+
+}  // namespace iotls::tls

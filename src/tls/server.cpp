@@ -1,0 +1,386 @@
+#include "tls/server.hpp"
+
+#include <algorithm>
+
+#include "crypto/kdf.hpp"
+#include "crypto/sha256.hpp"
+
+namespace iotls::tls {
+
+TlsServer::TlsServer(ServerConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  // Stateless ticket key, stable per server identity (seed).
+  common::ByteWriter seed_bytes;
+  seed_bytes.u64(config_.seed);
+  ticket_key_ = crypto::hkdf({}, seed_bytes.bytes(), "server ticket key", 32);
+}
+
+TlsRecord TlsServer::handshake_record(const HandshakeMessage& msg) {
+  transcript_ = common::concat({transcript_, msg.serialize()});
+  // Records use the pre-1.3 convention of labelling with TLS 1.2 max.
+  const ProtocolVersion record_version =
+      negotiated_version_ >= ProtocolVersion::Tls1_2 ? ProtocolVersion::Tls1_2
+                                                     : negotiated_version_;
+  return TlsRecord{ContentType::Handshake, record_version, msg.serialize()};
+}
+
+std::vector<TlsRecord> TlsServer::fail(AlertDescription desc) {
+  state_ = State::Failed;
+  const Alert alert{AlertLevel::Fatal, desc};
+  return {TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
+                    alert.serialize()}};
+}
+
+std::vector<TlsRecord> TlsServer::on_record(const TlsRecord& record) {
+  if (record.type == ContentType::Alert) {
+    obs_.alert_received = Alert::parse(record.payload);
+    state_ = State::Failed;
+    return {};
+  }
+
+  try {
+    switch (state_) {
+      case State::ExpectClientHello: {
+        if (record.type != ContentType::Handshake) {
+          return fail(AlertDescription::UnexpectedMessage);
+        }
+        const auto msg = HandshakeMessage::parse(record.payload);
+        if (msg.type != HandshakeType::ClientHello) {
+          return fail(AlertDescription::UnexpectedMessage);
+        }
+        return handle_client_hello(msg);
+      }
+      case State::ExpectClientKeyExchange: {
+        if (record.type != ContentType::Handshake) {
+          return fail(AlertDescription::UnexpectedMessage);
+        }
+        const auto msg = HandshakeMessage::parse(record.payload);
+        if (msg.type != HandshakeType::ClientKeyExchange) {
+          return fail(AlertDescription::UnexpectedMessage);
+        }
+        return handle_client_key_exchange(msg);
+      }
+      case State::ExpectFinished: {
+        if (record.type == ContentType::ChangeCipherSpec) return {};
+        if (record.type != ContentType::Handshake) {
+          return fail(AlertDescription::UnexpectedMessage);
+        }
+        const auto msg = HandshakeMessage::parse(record.payload);
+        if (msg.type != HandshakeType::Finished) {
+          return fail(AlertDescription::UnexpectedMessage);
+        }
+        return handle_finished(msg);
+      }
+      case State::Established:
+        if (record.type == ContentType::ApplicationData) {
+          return handle_app_data(record);
+        }
+        return {};
+      case State::Failed:
+        return {};
+    }
+  } catch (const common::ParseError&) {
+    return fail(AlertDescription::DecodeError);
+  } catch (const common::CryptoError&) {
+    return fail(AlertDescription::DecryptError);
+  }
+  return {};
+}
+
+std::vector<TlsRecord> TlsServer::handle_client_hello(
+    const HandshakeMessage& msg) {
+  const ClientHello hello = ClientHello::parse(msg.body);
+  obs_.saw_client_hello = true;
+  obs_.client_hello = hello;
+  client_random_ = hello.random;
+  transcript_ = common::concat({transcript_, msg.serialize()});
+
+  if (config_.silent_after_client_hello) {
+    state_ = State::Failed;
+    return {};
+  }
+
+  // RFC 5077: a non-empty session_ticket extension proposes resumption.
+  if (config_.session_tickets) {
+    auto abbreviated = try_resume(hello);
+    if (abbreviated.has_value()) return std::move(*abbreviated);
+  }
+
+  // --- Version negotiation ---
+  if (config_.force_version.has_value()) {
+    negotiated_version_ = *config_.force_version;
+  } else {
+    const bool has_supported_versions =
+        find_extension(hello.extensions, ExtensionType::SupportedVersions) !=
+        nullptr;
+    std::optional<ProtocolVersion> best;
+    if (has_supported_versions) {
+      // TLS 1.3-style: exact membership in the advertised list.
+      const auto client_versions = hello.advertised_versions();
+      for (const auto v : config_.versions) {
+        if (std::find(client_versions.begin(), client_versions.end(), v) ==
+            client_versions.end()) {
+          continue;
+        }
+        if (!best || v > *best) best = v;
+      }
+    } else {
+      // Pre-1.3: legacy_version is the client's *maximum*; the server may
+      // select any version it supports at or below it.
+      for (const auto v : config_.versions) {
+        if (v > hello.legacy_version || v == ProtocolVersion::Tls1_3) {
+          continue;
+        }
+        if (!best || v > *best) best = v;
+      }
+    }
+    if (!best) return fail(AlertDescription::ProtocolVersion);
+    negotiated_version_ = *best;
+  }
+
+  // --- Suite negotiation (server preference order) ---
+  const bool tls13 = negotiated_version_ == ProtocolVersion::Tls1_3;
+  if (config_.force_suite.has_value()) {
+    negotiated_suite_ = *config_.force_suite;
+  } else {
+    std::optional<std::uint16_t> chosen;
+    for (const auto s : config_.cipher_suites) {
+      if (suite_is_tls13(s) != tls13) continue;
+      if (std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
+                    s) == hello.cipher_suites.end()) {
+        continue;
+      }
+      chosen = s;
+      break;
+    }
+    if (!chosen) return fail(AlertDescription::HandshakeFailure);
+    negotiated_suite_ = *chosen;
+  }
+
+  // --- Build server flight ---
+  const common::Bytes random_bytes = rng_.bytes(32);
+  std::copy(random_bytes.begin(), random_bytes.end(), server_random_.begin());
+
+  ServerHello sh;
+  sh.version = std::min(negotiated_version_, ProtocolVersion::Tls1_2);
+  sh.random = server_random_;
+  sh.session_id = rng_.bytes(8);
+  sh.cipher_suite = negotiated_suite_;
+  if (negotiated_version_ == ProtocolVersion::Tls1_3) {
+    sh.extensions.push_back(
+        make_supported_versions({ProtocolVersion::Tls1_3}));
+  }
+  if (config_.ocsp_staple_support && hello.requests_ocsp_stapling()) {
+    sh.extensions.push_back({static_cast<std::uint16_t>(
+                                 ExtensionType::StatusRequest),
+                             {}});
+  }
+
+  std::vector<TlsRecord> out;
+  out.push_back(
+      handshake_record(HandshakeMessage::wrap(HandshakeType::ServerHello, sh)));
+
+  CertificateMsg cert_msg;
+  cert_msg.chain = config_.chain;
+  out.push_back(handshake_record(
+      HandshakeMessage::wrap(HandshakeType::Certificate, cert_msg)));
+
+  if (config_.ocsp_staple_support && hello.requests_ocsp_stapling() &&
+      !config_.chain.empty()) {
+    // Stapled OCSP response (RFC 6066). Simulation payload: a good-status
+    // assertion bound to the leaf's identity.
+    CertificateStatus status;
+    status.ocsp_response = common::to_bytes(
+        "ocsp-status=good;cert=" + config_.chain.front().fingerprint());
+    out.push_back(handshake_record(
+        HandshakeMessage::wrap(HandshakeType::CertificateStatus, status)));
+  }
+
+  const CipherSuiteInfo* info = suite_info(negotiated_suite_);
+  const bool ephemeral =
+      info != nullptr &&
+      (info->kex == KeyExchange::Dhe || info->kex == KeyExchange::Ecdhe ||
+       info->kex == KeyExchange::Tls13 || info->kex == KeyExchange::Anon);
+  if (ephemeral) {
+    // Pick a group the client offered if possible.
+    dh_group_ = crypto::DhGroup::X25519;
+    if (obs_.client_hello) {
+      const Extension* groups_ext = find_extension(
+          obs_.client_hello->extensions, ExtensionType::SupportedGroups);
+      if (groups_ext != nullptr) {
+        const auto groups = parse_supported_groups(groups_ext->payload);
+        if (!groups.empty()) dh_group_ = groups.front();
+      }
+    }
+    dh_keys_ = crypto::dh_generate(rng_, dh_group_);
+    ServerKeyExchange ske;
+    ske.group = dh_group_;
+    ske.server_public = dh_keys_->pub;
+    ske.signature = crypto::rsa_sign(
+        config_.keys.priv,
+        ske.signed_payload(client_random_, server_random_));
+    out.push_back(handshake_record(
+        HandshakeMessage::wrap(HandshakeType::ServerKeyExchange, ske)));
+  }
+
+  out.push_back(handshake_record(
+      HandshakeMessage::wrap(HandshakeType::ServerHelloDone,
+                             ServerHelloDone{})));
+
+  state_ = State::ExpectClientKeyExchange;
+  return out;
+}
+
+std::optional<std::vector<TlsRecord>> TlsServer::try_resume(
+    const ClientHello& hello) {
+  const Extension* ext =
+      find_extension(hello.extensions, ExtensionType::SessionTicket);
+  if (ext == nullptr || ext->payload.empty()) return std::nullopt;
+
+  const auto contents = unseal_ticket(ticket_key_, ext->payload);
+  if (!contents.has_value()) return std::nullopt;  // forged/stale → full HS
+  // The resumed suite must still be on offer, and pre-1.3 only (TLS 1.3
+  // resumption is a different mechanism).
+  if (std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
+                contents->cipher_suite) == hello.cipher_suites.end()) {
+    return std::nullopt;
+  }
+  if (hello.max_advertised_version() == ProtocolVersion::Tls1_3) {
+    return std::nullopt;
+  }
+
+  resumed_ = true;
+  negotiated_version_ =
+      std::min(hello.legacy_version, ProtocolVersion::Tls1_2);
+  negotiated_suite_ = contents->cipher_suite;
+
+  const common::Bytes random_bytes = rng_.bytes(32);
+  std::copy(random_bytes.begin(), random_bytes.end(), server_random_.begin());
+
+  ServerHello sh;
+  sh.version = negotiated_version_;
+  sh.random = server_random_;
+  sh.session_id = hello.session_id;  // echo = resumption accepted
+  sh.cipher_suite = negotiated_suite_;
+
+  std::vector<TlsRecord> out;
+  out.push_back(handshake_record(
+      HandshakeMessage::wrap(HandshakeType::ServerHello, sh)));
+  resumed_transcript_hash_ = crypto::Sha256::digest_bytes(transcript_);
+
+  keys_ = derive_resumed_keys(contents->master_secret, client_random_,
+                              server_random_, negotiated_suite_);
+  keys_->master_secret = contents->master_secret;
+  recv_protection_ = std::make_unique<RecordProtection>(
+      negotiated_suite_, keys_->client_key, keys_->client_mac_key,
+      keys_->client_nonce);
+  send_protection_ = std::make_unique<RecordProtection>(
+      negotiated_suite_, keys_->server_key, keys_->server_mac_key,
+      keys_->server_nonce);
+
+  Finished server_fin;
+  server_fin.verify_data = compute_verify_data(
+      keys_->master_secret, /*from_client=*/false, resumed_transcript_hash_);
+  out.push_back(handshake_record(
+      HandshakeMessage::wrap(HandshakeType::Finished, server_fin)));
+
+  state_ = State::ExpectFinished;
+  obs_.resumed = true;
+  return out;
+}
+
+std::vector<TlsRecord> TlsServer::handle_client_key_exchange(
+    const HandshakeMessage& msg) {
+  const ClientKeyExchange cke = ClientKeyExchange::parse(msg.body);
+  transcript_ = common::concat({transcript_, msg.serialize()});
+
+  common::Bytes premaster;
+  if (dh_keys_.has_value()) {
+    premaster = crypto::dh_shared_secret(dh_group_, dh_keys_->secret,
+                                         cke.exchange_data);
+  } else {
+    const auto decrypted =
+        crypto::rsa_decrypt(config_.keys.priv, cke.exchange_data);
+    if (!decrypted) return fail(AlertDescription::DecryptError);
+    premaster = *decrypted;
+  }
+
+  keys_ = derive_session_keys(premaster, client_random_, server_random_,
+                              negotiated_suite_);
+  recv_protection_ = std::make_unique<RecordProtection>(
+      negotiated_suite_, keys_->client_key, keys_->client_mac_key,
+      keys_->client_nonce);
+  send_protection_ = std::make_unique<RecordProtection>(
+      negotiated_suite_, keys_->server_key, keys_->server_mac_key,
+      keys_->server_nonce);
+
+  state_ = State::ExpectFinished;
+  return {};
+}
+
+std::vector<TlsRecord> TlsServer::handle_finished(
+    const HandshakeMessage& msg) {
+  const Finished fin = Finished::parse(msg.body);
+
+  if (resumed_) {
+    // Abbreviated handshake: the server Finished is already out; verify
+    // the client's over the same (CH + SH) transcript.
+    const auto expected = compute_verify_data(
+        keys_->master_secret, /*from_client=*/true, resumed_transcript_hash_);
+    if (!common::constant_time_equal(fin.verify_data, expected)) {
+      return fail(AlertDescription::DecryptError);
+    }
+    state_ = State::Established;
+    obs_.handshake_complete = true;
+    return {};
+  }
+
+  const auto transcript_hash = crypto::Sha256::digest_bytes(transcript_);
+  const auto expected = compute_verify_data(keys_->master_secret,
+                                            /*from_client=*/true,
+                                            transcript_hash);
+  if (!common::constant_time_equal(fin.verify_data, expected)) {
+    return fail(AlertDescription::DecryptError);
+  }
+  transcript_ = common::concat({transcript_, msg.serialize()});
+
+  std::vector<TlsRecord> out;
+  // RFC 5077: issue a ticket to clients that advertised the extension
+  // (pre-1.3 sessions only).
+  if (config_.session_tickets && obs_.client_hello.has_value() &&
+      negotiated_version_ != ProtocolVersion::Tls1_3 &&
+      find_extension(obs_.client_hello->extensions,
+                     ExtensionType::SessionTicket) != nullptr) {
+    NewSessionTicket nst;
+    nst.ticket =
+        seal_ticket(ticket_key_, negotiated_suite_, keys_->master_secret);
+    out.push_back(handshake_record(
+        HandshakeMessage::wrap(HandshakeType::NewSessionTicket, nst)));
+    obs_.ticket_issued = true;
+  }
+
+  Finished server_fin;
+  server_fin.verify_data = compute_verify_data(
+      keys_->master_secret, /*from_client=*/false, transcript_hash);
+
+  state_ = State::Established;
+  obs_.handshake_complete = true;
+  out.push_back(handshake_record(
+      HandshakeMessage::wrap(HandshakeType::Finished, server_fin)));
+  return out;
+}
+
+std::vector<TlsRecord> TlsServer::handle_app_data(const TlsRecord& record) {
+  const common::Bytes plaintext =
+      recv_protection_->unprotect(record.payload);
+  obs_.client_plaintext.insert(obs_.client_plaintext.end(), plaintext.begin(),
+                               plaintext.end());
+
+  common::Bytes response = response_payload_;
+  if (response.empty()) response = common::to_bytes("HTTP/1.1 200 OK\r\n\r\n");
+  return {TlsRecord{ContentType::ApplicationData,
+                    std::min(negotiated_version_, ProtocolVersion::Tls1_2),
+                    send_protection_->protect(response)}};
+}
+
+}  // namespace iotls::tls

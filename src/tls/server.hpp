@@ -1,0 +1,113 @@
+// minitls server state machine.
+//
+// Real cloud endpoints and the interceptor are both instances of TlsServer:
+// the interceptor is simply a server configured with a forged chain and,
+// optionally, misbehaviour knobs (silent drop for IncompleteHandshake,
+// version override for old-version negotiation probes).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "crypto/dh.hpp"
+#include "tls/alert.hpp"
+#include "tls/messages.hpp"
+#include "tls/secrets.hpp"
+#include "tls/transport.hpp"
+
+namespace iotls::tls {
+
+struct ServerConfig {
+  std::vector<ProtocolVersion> versions = {ProtocolVersion::Tls1_2};
+  /// Preference-ordered suites the server accepts.
+  std::vector<std::uint16_t> cipher_suites = {
+      TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+      TLS_RSA_WITH_AES_128_GCM_SHA256,
+  };
+  std::vector<x509::Certificate> chain;  // leaf first
+  crypto::RsaKeyPair keys;               // leaf private key
+  bool ocsp_staple_support = false;
+  /// Issue RFC 5077 session tickets to clients that advertise the
+  /// session_ticket extension, and accept them for abbreviated handshakes.
+  bool session_tickets = true;
+
+  // ---- misbehaviour knobs (used by the interceptor / probes) ----
+  /// Respond with exactly this version regardless of negotiation
+  /// (the Table 6 old-version probe). The client may still reject it.
+  std::optional<ProtocolVersion> force_version;
+  /// Select exactly this suite regardless of preference (still must be
+  /// offered by the client unless force_suite_unconditionally).
+  std::optional<std::uint16_t> force_suite;
+  /// Read the ClientHello and never answer (IncompleteHandshake, Table 5).
+  bool silent_after_client_hello = false;
+
+  std::uint64_t seed = 1;
+};
+
+/// Outcome visible to the server side (used by interceptor reports).
+struct ServerObservation {
+  bool saw_client_hello = false;
+  std::optional<ClientHello> client_hello;
+  bool handshake_complete = false;
+  /// The connection was resumed from a ticket (no Certificate sent).
+  bool resumed = false;
+  bool ticket_issued = false;
+  /// Plaintext application data recovered from the client, if any —
+  /// non-empty means the connection contents were readable (the paper's
+  /// interception-success criterion).
+  common::Bytes client_plaintext;
+  std::optional<Alert> alert_received;
+};
+
+class TlsServer : public ServerSession {
+ public:
+  explicit TlsServer(ServerConfig config);
+
+  std::vector<TlsRecord> on_record(const TlsRecord& record) override;
+
+  [[nodiscard]] const ServerObservation& observation() const { return obs_; }
+
+  /// Application payload to send in response to client data.
+  void set_response_payload(common::Bytes payload) {
+    response_payload_ = std::move(payload);
+  }
+
+ private:
+  enum class State { ExpectClientHello, ExpectClientKeyExchange,
+                     ExpectFinished, Established, Failed };
+
+  std::vector<TlsRecord> fail(AlertDescription desc);
+  std::vector<TlsRecord> handle_client_hello(const HandshakeMessage& msg);
+  /// Abbreviated flight for a valid ticket; nullopt = proceed with the
+  /// full handshake instead.
+  std::optional<std::vector<TlsRecord>> try_resume(const ClientHello& hello);
+  std::vector<TlsRecord> handle_client_key_exchange(
+      const HandshakeMessage& msg);
+  std::vector<TlsRecord> handle_finished(const HandshakeMessage& msg);
+  std::vector<TlsRecord> handle_app_data(const TlsRecord& record);
+
+  TlsRecord handshake_record(const HandshakeMessage& msg);
+
+  ServerConfig config_;
+  common::Rng rng_;
+  State state_ = State::ExpectClientHello;
+  ServerObservation obs_;
+
+  ProtocolVersion negotiated_version_ = ProtocolVersion::Tls1_2;
+  std::uint16_t negotiated_suite_ = 0;
+  Random32 client_random_{};
+  Random32 server_random_{};
+  std::optional<crypto::DhKeyPair> dh_keys_;
+  crypto::DhGroup dh_group_ = crypto::DhGroup::X25519;
+  common::Bytes transcript_;
+  common::Bytes ticket_key_;
+  bool resumed_ = false;
+  common::Bytes resumed_transcript_hash_;
+  std::optional<SessionKeys> keys_;
+  std::unique_ptr<RecordProtection> recv_protection_;
+  std::unique_ptr<RecordProtection> send_protection_;
+  common::Bytes response_payload_;
+};
+
+}  // namespace iotls::tls

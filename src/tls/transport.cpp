@@ -1,0 +1,28 @@
+#include "tls/transport.hpp"
+
+namespace iotls::tls {
+
+void Transport::send(const TlsRecord& record) {
+  if (closed_ || session_ == nullptr) {
+    throw common::ProtocolError("send on closed transport");
+  }
+  for (const auto& tap : taps_) tap(true, record);
+  std::vector<TlsRecord> replies = session_->on_record(record);
+  for (auto& reply : replies) {
+    for (const auto& tap : taps_) tap(false, reply);
+    inbox_.push_back(std::move(reply));
+  }
+}
+
+std::optional<TlsRecord> Transport::receive() {
+  if (inbox_pos_ >= inbox_.size()) return std::nullopt;
+  return inbox_[inbox_pos_++];
+}
+
+void Transport::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (session_ != nullptr) session_->on_close();
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,60 @@
+// Single-threaded, deterministic transport model.
+//
+// A client drives a ServerSession directly: every record the client sends is
+// delivered synchronously and the session's reply records are queued for the
+// client to read. The gateway capture and the interceptor both slot in as
+// taps/wrappers around this interface — equivalent to the paper's on-path
+// vantage point, with no threads and perfect reproducibility.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tls/record.hpp"
+
+namespace iotls::tls {
+
+/// Server side of one TLS connection (a real server, or an interceptor).
+class ServerSession {
+ public:
+  virtual ~ServerSession() = default;
+
+  /// Deliver one record from the client; returns records to send back.
+  virtual std::vector<TlsRecord> on_record(const TlsRecord& record) = 0;
+
+  /// The client closed the transport (normally or after a failure).
+  virtual void on_close() {}
+};
+
+/// Client-side handle for one connection.
+class Transport {
+ public:
+  /// Observation hook: (client_to_server, record). Multiple taps compose.
+  using Tap = std::function<void(bool client_to_server, const TlsRecord&)>;
+
+  explicit Transport(std::shared_ptr<ServerSession> session)
+      : session_(std::move(session)) {}
+
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+
+  /// Send a record; the session's replies become readable via receive().
+  void send(const TlsRecord& record);
+
+  /// Next queued record from the server, if any.
+  std::optional<TlsRecord> receive();
+
+  [[nodiscard]] bool has_pending() const { return !inbox_.empty(); }
+
+  void close();
+
+ private:
+  std::shared_ptr<ServerSession> session_;
+  std::vector<TlsRecord> inbox_;
+  std::size_t inbox_pos_ = 0;
+  std::vector<Tap> taps_;
+  bool closed_ = false;
+};
+
+}  // namespace iotls::tls

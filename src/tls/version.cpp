@@ -1,0 +1,48 @@
+#include "tls/version.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace iotls::tls {
+
+std::string version_name(ProtocolVersion v) {
+  switch (v) {
+    case ProtocolVersion::Ssl3_0: return "SSL 3.0";
+    case ProtocolVersion::Tls1_0: return "TLS 1.0";
+    case ProtocolVersion::Tls1_1: return "TLS 1.1";
+    case ProtocolVersion::Tls1_2: return "TLS 1.2";
+    case ProtocolVersion::Tls1_3: return "TLS 1.3";
+  }
+  return "unknown";
+}
+
+ProtocolVersion version_from_wire(std::uint16_t wire) {
+  switch (wire) {
+    case 0x0300: return ProtocolVersion::Ssl3_0;
+    case 0x0301: return ProtocolVersion::Tls1_0;
+    case 0x0302: return ProtocolVersion::Tls1_1;
+    case 0x0303: return ProtocolVersion::Tls1_2;
+    case 0x0304: return ProtocolVersion::Tls1_3;
+    default:
+      throw common::ParseError("unknown protocol version code point");
+  }
+}
+
+std::string bucket_name(VersionBucket b) {
+  switch (b) {
+    case VersionBucket::Tls13: return "1.3";
+    case VersionBucket::Tls12: return "1.2";
+    case VersionBucket::Older: return "older";
+  }
+  return "?";
+}
+
+ProtocolVersion max_version(const std::vector<ProtocolVersion>& versions) {
+  if (versions.empty()) {
+    throw common::ProtocolError("max_version of empty list");
+  }
+  return *std::max_element(versions.begin(), versions.end());
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,44 @@
+// TLS/SSL protocol versions with the study's security classification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotls::tls {
+
+/// Wire code points (major.minor) for the protocol versions the study
+/// tracks. SSL 2.0 is omitted — no device in the paper used it.
+enum class ProtocolVersion : std::uint16_t {
+  Ssl3_0 = 0x0300,
+  Tls1_0 = 0x0301,
+  Tls1_1 = 0x0302,
+  Tls1_2 = 0x0303,
+  Tls1_3 = 0x0304,
+};
+
+std::string version_name(ProtocolVersion v);
+
+/// Parse a wire code point; throws ParseError for unknown values.
+ProtocolVersion version_from_wire(std::uint16_t wire);
+
+/// Deprecated per the 2020 browser deprecation (§2): everything below 1.2.
+inline constexpr bool is_deprecated(ProtocolVersion v) {
+  return v < ProtocolVersion::Tls1_2;
+}
+
+/// Figs 1-3 bucket versions into 1.3 / 1.2 / older.
+enum class VersionBucket { Tls13, Tls12, Older };
+
+inline constexpr VersionBucket bucket_of(ProtocolVersion v) {
+  if (v == ProtocolVersion::Tls1_3) return VersionBucket::Tls13;
+  if (v == ProtocolVersion::Tls1_2) return VersionBucket::Tls12;
+  return VersionBucket::Older;
+}
+
+std::string bucket_name(VersionBucket b);
+
+/// Highest version in a non-empty list.
+ProtocolVersion max_version(const std::vector<ProtocolVersion>& versions);
+
+}  // namespace iotls::tls

@@ -1,0 +1,52 @@
+// X.509 v3 extensions relevant to the study: BasicConstraints (the
+// InvalidBasicConstraints attack), SubjectAltName (hostname validation),
+// KeyUsage, and the revocation pointers the Table-8 analysis looks for
+// (CRL distribution point, OCSP responder URL, TLS-feature/Must-Staple).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace iotls::x509 {
+
+/// RFC 5280 §4.2.1.9.
+struct BasicConstraints {
+  bool is_ca = false;
+  /// Max number of intermediate CAs below this one; nullopt = unlimited.
+  std::optional<int> path_len_constraint;
+
+  bool operator==(const BasicConstraints&) const = default;
+};
+
+/// RFC 5280 §4.2.1.3 (subset).
+struct KeyUsage {
+  bool digital_signature = false;
+  bool key_encipherment = false;
+  bool key_cert_sign = false;
+  bool crl_sign = false;
+
+  bool operator==(const KeyUsage&) const = default;
+};
+
+struct CertExtensions {
+  std::optional<BasicConstraints> basic_constraints;
+  std::vector<std::string> subject_alt_names;  // DNS names, may contain "*."
+  std::optional<KeyUsage> key_usage;
+  /// RFC 5280 §4.2.1.13 — where to fetch the CRL.
+  std::string crl_distribution_point;
+  /// RFC 5280 §4.2.2.1 AIA — OCSP responder URL.
+  std::string ocsp_responder;
+  /// RFC 7633 TLS feature extension requesting a stapled OCSP response.
+  bool must_staple = false;
+
+  bool operator==(const CertExtensions&) const = default;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static CertExtensions parse(common::ByteReader& r);
+};
+
+}  // namespace iotls::x509

@@ -1,0 +1,28 @@
+#include "x509/name.hpp"
+
+namespace iotls::x509 {
+
+std::string DistinguishedName::str() const {
+  std::string out = "CN=" + common_name;
+  if (!organization.empty()) out += ", O=" + organization;
+  if (!country.empty()) out += ", C=" + country;
+  return out;
+}
+
+common::Bytes DistinguishedName::serialize() const {
+  common::ByteWriter w;
+  w.str(common_name, 2);
+  w.str(organization, 2);
+  w.str(country, 1);
+  return w.take();
+}
+
+DistinguishedName DistinguishedName::parse(common::ByteReader& r) {
+  DistinguishedName dn;
+  dn.common_name = r.str(2);
+  dn.organization = r.str(2);
+  dn.country = r.str(1);
+  return dn;
+}
+
+}  // namespace iotls::x509

@@ -1,0 +1,34 @@
+// X.509 distinguished names, modelled structurally (no ASN.1).
+//
+// The root-store probe spoofs a root's Subject Name / Issuer Name / Serial
+// Number (§4.2), so DN identity and equality are load-bearing here.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace iotls::x509 {
+
+/// Subset of RDN attributes the study needs. Equality is field-wise —
+/// exactly what a root-store lookup keys on.
+struct DistinguishedName {
+  std::string common_name;
+  std::string organization;
+  std::string country;
+
+  auto operator<=>(const DistinguishedName&) const = default;
+
+  /// "CN=GlobalRoot CA, O=Example Trust, C=US"
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  static DistinguishedName parse(common::ByteReader& r);
+
+  static DistinguishedName cn(std::string common_name) {
+    return DistinguishedName{std::move(common_name), "", ""};
+  }
+};
+
+}  // namespace iotls::x509

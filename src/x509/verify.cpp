@@ -1,0 +1,113 @@
+#include "x509/verify.hpp"
+
+#include <algorithm>
+
+namespace iotls::x509 {
+
+std::string verify_error_name(VerifyError err) {
+  switch (err) {
+    case VerifyError::Ok: return "ok";
+    case VerifyError::EmptyChain: return "empty_chain";
+    case VerifyError::UnknownIssuer: return "unknown_issuer";
+    case VerifyError::BadSignature: return "bad_signature";
+    case VerifyError::Expired: return "expired";
+    case VerifyError::NotYetValid: return "not_yet_valid";
+    case VerifyError::HostnameMismatch: return "hostname_mismatch";
+    case VerifyError::InvalidBasicConstraints:
+      return "invalid_basic_constraints";
+    case VerifyError::Revoked: return "revoked";
+    case VerifyError::PinMismatch: return "pin_mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const Certificate* find_anchor(std::span<const Certificate> anchors,
+                               const DistinguishedName& subject) {
+  const auto it =
+      std::find_if(anchors.begin(), anchors.end(), [&](const Certificate& c) {
+        return c.tbs.subject == subject;
+      });
+  return it == anchors.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
+VerifyResult verify_chain(std::span<const Certificate> chain,
+                          std::string_view hostname,
+                          std::span<const Certificate> trust_anchors,
+                          common::SimDate now, const VerifyPolicy& policy) {
+  if (!policy.validate) return VerifyResult{};
+
+  if (chain.empty()) return VerifyResult{VerifyError::EmptyChain, -1};
+
+  // A presented self-signed root at the end of the chain is dropped; the
+  // store's copy is authoritative (see header).
+  std::size_t effective_len = chain.size();
+  if (effective_len > 1 && chain[effective_len - 1].is_self_signed() &&
+      find_anchor(trust_anchors, chain[effective_len - 1].tbs.subject)) {
+    --effective_len;
+  }
+  const std::span<const Certificate> certs = chain.first(effective_len);
+
+  if (policy.check_validity) {
+    for (std::size_t i = 0; i < certs.size(); ++i) {
+      if (now < certs[i].tbs.validity.not_before) {
+        return VerifyResult{VerifyError::NotYetValid, static_cast<int>(i)};
+      }
+      if (now > certs[i].tbs.validity.not_after) {
+        return VerifyResult{VerifyError::Expired, static_cast<int>(i)};
+      }
+    }
+  }
+
+  if (policy.check_signature) {
+    for (std::size_t i = 0; i < certs.size(); ++i) {
+      const Certificate& cert = certs[i];
+      const crypto::RsaPublicKey* issuer_key = nullptr;
+      if (i + 1 < certs.size() &&
+          certs[i + 1].tbs.subject == cert.tbs.issuer) {
+        issuer_key = &certs[i + 1].tbs.subject_public_key;
+      } else {
+        const Certificate* anchor =
+            find_anchor(trust_anchors, cert.tbs.issuer);
+        if (anchor == nullptr) {
+          return VerifyResult{VerifyError::UnknownIssuer,
+                              static_cast<int>(i)};
+        }
+        issuer_key = &anchor->tbs.subject_public_key;
+      }
+      if (!crypto::rsa_verify(*issuer_key, cert.tbs.serialize(),
+                              cert.signature)) {
+        return VerifyResult{VerifyError::BadSignature, static_cast<int>(i)};
+      }
+    }
+  }
+
+  if (policy.check_basic_constraints) {
+    // Every certificate that issues another one in this chain must be a CA.
+    for (std::size_t i = 1; i < certs.size(); ++i) {
+      const auto& bc = certs[i].tbs.extensions.basic_constraints;
+      if (!bc.has_value() || !bc->is_ca) {
+        return VerifyResult{VerifyError::InvalidBasicConstraints,
+                            static_cast<int>(i)};
+      }
+      if (bc->path_len_constraint.has_value() &&
+          static_cast<int>(i) - 1 > *bc->path_len_constraint) {
+        return VerifyResult{VerifyError::InvalidBasicConstraints,
+                            static_cast<int>(i)};
+      }
+    }
+  }
+
+  if (policy.check_hostname && !hostname.empty()) {
+    if (!certs[0].matches_hostname(hostname)) {
+      return VerifyResult{VerifyError::HostnameMismatch, 0};
+    }
+  }
+
+  return VerifyResult{};
+}
+
+}  // namespace iotls::x509

@@ -1,0 +1,116 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotls::common {
+namespace {
+
+TEST(Bytes, ToBytesRoundTrip) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, ConcatJoinsBuffers) {
+  const Bytes a = to_bytes("ab");
+  const Bytes b = to_bytes("cd");
+  const Bytes c = concat({a, b});
+  EXPECT_EQ(to_string(c), "abcd");
+}
+
+TEST(Bytes, ConcatEmptyParts) {
+  EXPECT_TRUE(concat({}).empty());
+  const Bytes a = to_bytes("x");
+  EXPECT_EQ(to_string(concat({a, Bytes{}, a})), "xx");
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = to_bytes("secret");
+  const Bytes b = to_bytes("secret");
+  const Bytes c = to_bytes("secreT");
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, to_bytes("secre")));
+}
+
+TEST(ByteWriter, BigEndianIntegers) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090A);
+  const Bytes expected = {0x01, 0x02, 0x03, 0x04, 0x05,
+                          0x06, 0x07, 0x08, 0x09, 0x0A};
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(ByteWriter, U64) {
+  ByteWriter w;
+  w.u64(0x0102030405060708ULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+}
+
+TEST(ByteWriter, VecPrefixes) {
+  ByteWriter w;
+  w.vec(to_bytes("abc"), 1);
+  w.vec(to_bytes("de"), 2);
+  w.vec(to_bytes("f"), 3);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(to_string(r.vec(1)), "abc");
+  EXPECT_EQ(to_string(r.vec(2)), "de");
+  EXPECT_EQ(to_string(r.vec(3)), "f");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteWriter, VecTooLongThrows) {
+  ByteWriter w;
+  Bytes big(256, 0);
+  EXPECT_THROW(w.vec(big, 1), ParseError);
+}
+
+TEST(ByteReader, TruncatedThrows) {
+  const Bytes b = {0x01};
+  ByteReader r(b);
+  EXPECT_THROW((void)r.u16(), ParseError);
+}
+
+TEST(ByteReader, TruncatedVecThrows) {
+  const Bytes b = {0x05, 0x01, 0x02};  // claims 5 bytes, has 2
+  ByteReader r(b);
+  EXPECT_THROW((void)r.vec(1), ParseError);
+}
+
+TEST(ByteReader, SubReaderScopesSlice) {
+  ByteWriter inner;
+  inner.u16(0xBEEF);
+  ByteWriter w;
+  w.vec(inner.bytes(), 2);
+  w.u8(0x42);
+
+  ByteReader r(w.bytes());
+  ByteReader sub = r.sub(2);
+  EXPECT_EQ(sub.u16(), 0xBEEF);
+  EXPECT_TRUE(sub.empty());
+  EXPECT_EQ(r.u8(), 0x42);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ExpectEndDetectsTrailingGarbage) {
+  const Bytes b = {0x01, 0x02};
+  ByteReader r(b);
+  (void)r.u8();
+  EXPECT_THROW(r.expect_end("test"), ParseError);
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_end("test"));
+}
+
+TEST(ByteReader, StrRoundTrip) {
+  ByteWriter w;
+  w.str("example.com", 2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(2), "example.com");
+}
+
+}  // namespace
+}  // namespace iotls::common

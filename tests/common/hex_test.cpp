@@ -1,0 +1,36 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotls::common {
+namespace {
+
+TEST(Hex, EncodeBasic) {
+  const Bytes b = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(hex_encode(b), "deadbeef");
+}
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(hex_encode(Bytes{}), ""); }
+
+TEST(Hex, DecodeBasic) {
+  const Bytes expected = {0x01, 0x23, 0xAB};
+  EXPECT_EQ(hex_decode("0123ab"), expected);
+}
+
+TEST(Hex, DecodeUppercase) {
+  const Bytes expected = {0xAB, 0xCD};
+  EXPECT_EQ(hex_decode("ABCD"), expected);
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes b;
+  for (int i = 0; i < 256; ++i) b.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(hex_decode(hex_encode(b)), b);
+}
+
+TEST(Hex, OddLengthThrows) { EXPECT_THROW(hex_decode("abc"), ParseError); }
+
+TEST(Hex, InvalidCharThrows) { EXPECT_THROW(hex_decode("zz"), ParseError); }
+
+}  // namespace
+}  // namespace iotls::common

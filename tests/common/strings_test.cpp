@@ -1,0 +1,65 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotls::common {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC.COM"), "abc.com"); }
+
+TEST(Strings, Affixes) {
+  EXPECT_TRUE(starts_with("tls1.2", "tls"));
+  EXPECT_FALSE(starts_with("tls", "tls1.2"));
+  EXPECT_TRUE(ends_with("echo.amazon.com", ".amazon.com"));
+  EXPECT_FALSE(ends_with("com", ".amazon.com"));
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(0.929), "93%");
+  EXPECT_EQ(percent(0.0), "0%");
+  EXPECT_EQ(percent(1.0), "100%");
+}
+
+TEST(Hostname, ExactMatchCaseInsensitive) {
+  EXPECT_TRUE(hostname_matches("Example.COM", "example.com"));
+  EXPECT_FALSE(hostname_matches("example.com", "example.org"));
+}
+
+TEST(Hostname, WildcardMatchesOneLabel) {
+  EXPECT_TRUE(hostname_matches("*.example.com", "api.example.com"));
+  EXPECT_FALSE(hostname_matches("*.example.com", "a.b.example.com"));
+  EXPECT_FALSE(hostname_matches("*.example.com", "example.com"));
+}
+
+TEST(Hostname, WildcardRequiresNonEmptyLabel) {
+  EXPECT_FALSE(hostname_matches("*.example.com", ".example.com"));
+}
+
+}  // namespace
+}  // namespace iotls::common

@@ -1,0 +1,41 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotls::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Device", "Count"});
+  t.add_row({"Echo", "12"});
+  t.add_row({"Google Home Mini", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Device"), std::string::npos);
+  EXPECT_NE(out.find("Google Home Mini  3"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(HeatStrip, MapsFractionsToShades) {
+  const std::string s = heat_strip({0.0, 0.5, 1.0});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_EQ(s[2], '@');
+}
+
+TEST(HeatStrip, NegativeMeansNoTraffic) {
+  EXPECT_EQ(heat_strip({-1.0}), "x");
+}
+
+TEST(HeatStrip, ClampsOutOfRange) {
+  const std::string s = heat_strip({1.7});
+  EXPECT_EQ(s, "@");
+}
+
+}  // namespace
+}  // namespace iotls::common

@@ -1,0 +1,79 @@
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/hex.hpp"
+
+namespace iotls::crypto {
+namespace {
+
+using common::hex_decode;
+using common::hex_encode;
+
+// FIPS 197 Appendix B.
+TEST(Aes128, Fips197Vector) {
+  const auto key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = hex_decode("3243f6a8885a308d313198a2e0370734");
+  Aes128 aes(key);
+  std::uint8_t block[16];
+  std::memcpy(block, pt.data(), 16);
+  aes.encrypt_block(block);
+  EXPECT_EQ(hex_encode(common::BytesView(block, 16)),
+            "3925841d02dc09fbdc118597196a0b32");
+}
+
+// NIST SP 800-38A F.1.1 (ECB-AES128 single block doubles as block check).
+TEST(Aes128, Sp80038aBlock) {
+  const auto key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = hex_decode("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes(key);
+  std::uint8_t block[16];
+  std::memcpy(block, pt.data(), 16);
+  aes.encrypt_block(block);
+  EXPECT_EQ(hex_encode(common::BytesView(block, 16)),
+            "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, CtrRoundTrip) {
+  const common::Bytes key(16, 0x0f);
+  const common::Bytes nonce(12, 0xab);
+  const common::Bytes msg =
+      common::to_bytes("counter mode round trip across multiple blocks here");
+  Aes128 aes(key);
+  const auto ct = aes.ctr_xor(nonce, 1, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(aes.ctr_xor(nonce, 1, ct), msg);
+}
+
+TEST(Aes128, CtrCounterMatters) {
+  const common::Bytes key(16, 1);
+  const common::Bytes nonce(12, 2);
+  const common::Bytes msg(16, 0);
+  Aes128 aes(key);
+  EXPECT_NE(aes.ctr_xor(nonce, 0, msg), aes.ctr_xor(nonce, 1, msg));
+}
+
+TEST(Aes128, BadKeySizeThrows) {
+  EXPECT_THROW(Aes128(common::Bytes(15, 0)), common::CryptoError);
+  EXPECT_THROW(Aes128(common::Bytes(32, 0)), common::CryptoError);
+}
+
+TEST(Aes128, BadNonceSizeThrows) {
+  Aes128 aes(common::Bytes(16, 0));
+  EXPECT_THROW(aes.ctr_xor(common::Bytes(16, 0), 0, {}), common::CryptoError);
+}
+
+TEST(Aes128, PartialFinalBlock) {
+  const common::Bytes key(16, 3);
+  const common::Bytes nonce(12, 4);
+  const common::Bytes msg(17, 0x55);  // one full block + 1 byte
+  Aes128 aes(key);
+  const auto ct = aes.ctr_xor(nonce, 0, msg);
+  EXPECT_EQ(ct.size(), msg.size());
+  EXPECT_EQ(aes.ctr_xor(nonce, 0, ct), msg);
+}
+
+}  // namespace
+}  // namespace iotls::crypto

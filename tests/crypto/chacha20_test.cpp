@@ -1,0 +1,70 @@
+#include "crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace iotls::crypto {
+namespace {
+
+using common::hex_decode;
+using common::hex_encode;
+
+// RFC 8439 §2.3.2 block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const auto key = hex_decode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = hex_decode("000000090000004a00000000");
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(hex_encode(common::BytesView(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2 encryption test vector.
+TEST(ChaCha20, Rfc8439EncryptVector) {
+  const auto key = hex_decode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = hex_decode("000000000000004a00000000");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const auto ct = chacha20_xor(key, nonce, 1, common::to_bytes(plaintext));
+  EXPECT_EQ(hex_encode(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const common::Bytes key(32, 0x42);
+  const common::Bytes nonce(12, 0x24);
+  const common::Bytes msg = common::to_bytes("round trip me please, across block boundaries"
+                                             " and a bit more text to exceed 64 bytes total");
+  const auto ct = chacha20_xor(key, nonce, 7, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 7, ct), msg);
+}
+
+TEST(ChaCha20, BadKeySizeThrows) {
+  const common::Bytes nonce(12, 0);
+  EXPECT_THROW(chacha20_xor(common::Bytes(31, 0), nonce, 0, {}),
+               common::CryptoError);
+}
+
+TEST(ChaCha20, BadNonceSizeThrows) {
+  const common::Bytes key(32, 0);
+  EXPECT_THROW(chacha20_xor(key, common::Bytes(8, 0), 0, {}),
+               common::CryptoError);
+}
+
+TEST(ChaCha20, CounterChangesKeystream) {
+  const common::Bytes key(32, 1);
+  const common::Bytes nonce(12, 2);
+  const common::Bytes msg(64, 0);
+  EXPECT_NE(chacha20_xor(key, nonce, 0, msg), chacha20_xor(key, nonce, 1, msg));
+}
+
+}  // namespace
+}  // namespace iotls::crypto

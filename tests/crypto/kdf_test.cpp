@@ -1,0 +1,61 @@
+#include "crypto/kdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace iotls::crypto {
+namespace {
+
+using common::hex_decode;
+using common::hex_encode;
+
+// RFC 5869 test case 1.
+TEST(Hkdf, Rfc5869Case1) {
+  const auto ikm = hex_decode("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto salt = hex_decode("000102030405060708090a0b0c");
+  const auto info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+
+  const auto prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(hex_encode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+
+  const auto okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3 (zero-length salt and info).
+TEST(Hkdf, Rfc5869Case3) {
+  const auto ikm = hex_decode("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto prk = hkdf_extract({}, ikm);
+  const auto okm = hkdf_expand(prk, {}, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthExact) {
+  const auto prk = hkdf_extract(common::to_bytes("s"), common::to_bytes("k"));
+  EXPECT_EQ(hkdf_expand(prk, {}, 1).size(), 1u);
+  EXPECT_EQ(hkdf_expand(prk, {}, 32).size(), 32u);
+  EXPECT_EQ(hkdf_expand(prk, {}, 33).size(), 33u);
+  EXPECT_EQ(hkdf_expand(prk, {}, 100).size(), 100u);
+}
+
+TEST(Hkdf, ExpandTooLongThrows) {
+  const auto prk = hkdf_extract(common::to_bytes("s"), common::to_bytes("k"));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), common::CryptoError);
+}
+
+TEST(Hkdf, LabelSeparation) {
+  const auto a = hkdf(common::to_bytes("salt"), common::to_bytes("ikm"),
+                      "label-a", 32);
+  const auto b = hkdf(common::to_bytes("salt"), common::to_bytes("ikm"),
+                      "label-b", 32);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace iotls::crypto

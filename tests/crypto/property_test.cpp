@@ -1,0 +1,143 @@
+// Property sweeps over the crypto substrate: algebraic laws of the bignum
+// and RSA layers, keystream non-degeneracy, and KDF separation.
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/rsa.hpp"
+
+namespace iotls::crypto {
+namespace {
+
+class BignumWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BignumWidthSweep, ModularArithmeticLaws) {
+  common::Rng rng(GetParam() * 31 + 7);
+  const std::size_t bits = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    const BigUint m = BigUint::random_bits(rng, bits);
+    const BigUint a = BigUint::random_bits(rng, bits + 16);
+    const BigUint b = BigUint::random_bits(rng, bits + 16);
+    // (a*b) mod m == ((a mod m)*(b mod m)) mod m
+    EXPECT_EQ(a.mul(b).mod(m), a.mod(m).mul(b.mod(m)).mod(m));
+    // (a+b) mod m == ((a mod m)+(b mod m)) mod m
+    EXPECT_EQ(a.add(b).mod(m), a.mod(m).add(b.mod(m)).mod(m));
+  }
+}
+
+TEST_P(BignumWidthSweep, DivModReconstruction) {
+  common::Rng rng(GetParam() * 17 + 3);
+  const std::size_t bits = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    const BigUint a = BigUint::random_bits(rng, bits * 2);
+    const BigUint b = BigUint::random_bits(rng, bits);
+    auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q.mul(b).add(r), a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+TEST_P(BignumWidthSweep, ByteRoundTrip) {
+  common::Rng rng(GetParam() * 13 + 1);
+  const BigUint v = BigUint::random_bits(rng, GetParam());
+  EXPECT_EQ(BigUint::from_bytes(v.to_bytes()), v);
+  EXPECT_EQ(BigUint::from_hex(v.to_hex()), v);
+}
+
+TEST_P(BignumWidthSweep, ModexpExponentAddition) {
+  // g^(x+y) == g^x * g^y (mod p)
+  common::Rng rng(GetParam() * 29 + 11);
+  const BigUint p = BigUint::generate_prime(rng, std::min<std::size_t>(
+                                                     GetParam(), 128));
+  const BigUint g(5);
+  const BigUint x = BigUint::random_bits(rng, 48);
+  const BigUint y = BigUint::random_bits(rng, 48);
+  EXPECT_EQ(g.modexp(x.add(y), p),
+            g.modexp(x, p).mul(g.modexp(y, p)).mod(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BignumWidthSweep,
+                         ::testing::Values(48u, 64u, 96u, 160u, 256u, 512u),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+TEST(RsaProperty, SignaturesAreKeyAndMessageSpecific) {
+  common::Rng rng(2121);
+  const auto k1 = rsa_generate(rng, 512);
+  const auto k2 = rsa_generate(rng, 512);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto msg = rng.bytes(40 + trial);
+    const auto sig = rsa_sign(k1.priv, msg);
+    EXPECT_TRUE(rsa_verify(k1.pub, msg, sig));
+    EXPECT_FALSE(rsa_verify(k2.pub, msg, sig));
+    auto other = msg;
+    other[trial % other.size()] ^= 1;
+    EXPECT_FALSE(rsa_verify(k1.pub, other, sig));
+  }
+}
+
+TEST(RsaProperty, EncryptDecryptIdentityForAllLengths) {
+  common::Rng rng(2222);
+  const auto keys = rsa_generate(rng, 512);
+  const std::size_t max_len = keys.pub.modulus_bytes() - 11;
+  for (std::size_t len = 1; len <= max_len; len += 5) {
+    const auto pt = rng.bytes(len);
+    const auto recovered = rsa_decrypt(keys.priv, rsa_encrypt(keys.pub, rng, pt));
+    ASSERT_TRUE(recovered.has_value()) << len;
+    EXPECT_EQ(*recovered, pt) << len;
+  }
+}
+
+TEST(KeystreamProperty, DistinctNoncesGiveDistinctStreams) {
+  const common::Bytes key(32, 0x11);
+  const common::Bytes zeros(128, 0);
+  common::Rng rng(31);
+  std::set<common::Bytes> streams;
+  for (int i = 0; i < 50; ++i) {
+    const auto nonce = rng.bytes(12);
+    streams.insert(chacha20_xor(key, nonce, 0, zeros));
+  }
+  EXPECT_EQ(streams.size(), 50u);
+}
+
+TEST(KeystreamProperty, AesCtrDistinctNonces) {
+  Aes128 aes(common::Bytes(16, 0x22));
+  const common::Bytes zeros(64, 0);
+  common::Rng rng(37);
+  std::set<common::Bytes> streams;
+  for (int i = 0; i < 50; ++i) {
+    streams.insert(aes.ctr_xor(rng.bytes(12), 0, zeros));
+  }
+  EXPECT_EQ(streams.size(), 50u);
+}
+
+TEST(KdfProperty, OutputsAreLabelSaltAndIkmSeparated) {
+  std::set<common::Bytes> outputs;
+  for (const char* salt : {"s1", "s2"}) {
+    for (const char* ikm : {"k1", "k2"}) {
+      for (const char* label : {"a", "b", "c"}) {
+        outputs.insert(hkdf(common::to_bytes(salt), common::to_bytes(ikm),
+                            label, 32));
+      }
+    }
+  }
+  EXPECT_EQ(outputs.size(), 12u);
+}
+
+TEST(KdfProperty, PrefixConsistency) {
+  // HKDF output of length n is a prefix of the output of length m > n.
+  const auto prk = hkdf_extract(common::to_bytes("s"), common::to_bytes("k"));
+  const auto long_out = hkdf_expand(prk, common::to_bytes("i"), 64);
+  for (std::size_t n : {1u, 16u, 32u, 48u, 63u}) {
+    const auto short_out = hkdf_expand(prk, common::to_bytes("i"), n);
+    EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                           long_out.begin()))
+        << n;
+  }
+}
+
+}  // namespace
+}  // namespace iotls::crypto

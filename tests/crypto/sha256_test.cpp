@@ -1,0 +1,78 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace iotls::crypto {
+namespace {
+
+using common::hex_encode;
+using common::to_bytes;
+
+std::string digest_hex(std::string_view msg) {
+  const auto d = Sha256::digest(to_bytes(msg));
+  return hex_encode(common::BytesView(d.data(), d.size()));
+}
+
+// NIST / FIPS 180-4 test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const common::Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finish();
+  EXPECT_EQ(hex_encode(common::BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const common::Bytes msg = to_bytes("the quick brown fox jumps over the lazy dog");
+  for (std::size_t cut = 0; cut <= msg.size(); ++cut) {
+    Sha256 h;
+    h.update(common::BytesView(msg.data(), cut));
+    h.update(common::BytesView(msg.data() + cut, msg.size() - cut));
+    EXPECT_EQ(h.finish(), Sha256::digest(msg)) << "cut=" << cut;
+  }
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise the padding edge cases around the 56-byte boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const common::Bytes msg(len, 0x5a);
+    Sha256 h;
+    h.update(msg);
+    EXPECT_EQ(h.finish(), Sha256::digest(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  h.update(to_bytes("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(to_bytes("y")), common::CryptoError);
+  EXPECT_THROW((void)h.finish(), common::CryptoError);
+}
+
+TEST(Sha256, DigestBytesMatchesDigest) {
+  const auto arr = Sha256::digest(to_bytes("abc"));
+  const auto vec = Sha256::digest_bytes(to_bytes("abc"));
+  EXPECT_TRUE(std::equal(arr.begin(), arr.end(), vec.begin(), vec.end()));
+}
+
+}  // namespace
+}  // namespace iotls::crypto

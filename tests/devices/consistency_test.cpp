@@ -1,0 +1,170 @@
+// Cross-cutting consistency invariants over the whole device catalogue —
+// the kind of property that keeps future catalogue edits honest.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "devices/catalog.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "tls/ciphersuite.hpp"
+
+namespace iotls::devices {
+namespace {
+
+TEST(Consistency, EveryConfigHasVersionsAndSuites) {
+  for (const auto& d : device_catalog()) {
+    for (const auto& inst : d.instances) {
+      EXPECT_FALSE(inst.config.versions.empty()) << d.name << ":" << inst.id;
+      EXPECT_FALSE(inst.config.cipher_suites.empty())
+          << d.name << ":" << inst.id;
+    }
+    if (d.fallback) {
+      EXPECT_FALSE(d.fallback->fallback_config.versions.empty()) << d.name;
+      EXPECT_FALSE(d.fallback->fallback_config.cipher_suites.empty())
+          << d.name;
+      EXPECT_FALSE(d.fallback->behavior.empty()) << d.name;
+    }
+  }
+}
+
+TEST(Consistency, SuiteIdsKnownToCatalogueExceptRokuFillers) {
+  for (const auto& d : device_catalog()) {
+    for (const auto& inst : d.instances) {
+      for (const auto id : inst.config.cipher_suites) {
+        if (id >= 0xFE00) {
+          // Roku's vendor-specific filler code points (Table 5's "73
+          // ciphersuites") are deliberately unknown.
+          EXPECT_EQ(d.name, "Roku TV");
+          continue;
+        }
+        EXPECT_NE(tls::suite_info(id), nullptr)
+            << d.name << ":" << inst.id << " suite 0x" << std::hex << id;
+      }
+    }
+  }
+}
+
+TEST(Consistency, NoDeviceAdvertisesNullOrAnon) {
+  // §5.1: "Devices never support (ANON, NULL) ciphersuites."
+  for (const auto& d : device_catalog()) {
+    for (const auto& inst : d.instances) {
+      for (const auto id : inst.config.cipher_suites) {
+        EXPECT_FALSE(tls::suite_is_null_or_anon(id))
+            << d.name << ":" << inst.id;
+      }
+    }
+  }
+}
+
+TEST(Consistency, InstanceIdsUniquePerDevice) {
+  for (const auto& d : device_catalog()) {
+    std::set<std::string> ids;
+    for (const auto& inst : d.instances) {
+      EXPECT_TRUE(ids.insert(inst.id).second) << d.name << ":" << inst.id;
+    }
+  }
+}
+
+TEST(Consistency, DestinationHostnamesUniquePerDevice) {
+  for (const auto& d : device_catalog()) {
+    std::set<std::string> hosts;
+    for (const auto& dest : d.destinations) {
+      EXPECT_TRUE(hosts.insert(dest.hostname).second)
+          << d.name << ": " << dest.hostname;
+    }
+  }
+}
+
+TEST(Consistency, UpdatesReferenceExistingInstances) {
+  for (const auto& d : device_catalog()) {
+    for (const auto& update : d.updates) {
+      EXPECT_NO_THROW((void)d.instance(update.instance_id))
+          << d.name << " update -> " << update.instance_id;
+      EXPECT_FALSE(update.description.empty()) << d.name;
+      // Updates land inside the passive study window.
+      EXPECT_GE(update.when, common::kStudyStart) << d.name;
+      EXPECT_LE(update.when, common::kStudyEnd) << d.name;
+    }
+  }
+}
+
+TEST(Consistency, DowngradeSusceptibleImpliesFallback) {
+  for (const auto& d : device_catalog()) {
+    const bool any_susceptible =
+        std::any_of(d.destinations.begin(), d.destinations.end(),
+                    [](const DestinationSpec& dest) {
+                      return dest.downgrade_susceptible;
+                    });
+    if (any_susceptible) {
+      EXPECT_TRUE(d.fallback.has_value()) << d.name;
+    }
+  }
+}
+
+TEST(Consistency, FallbackConfigIsActuallyWeaker) {
+  // Table 5's premise: the retry hello must be a downgrade of the main one.
+  for (const auto& d : device_catalog()) {
+    if (!d.fallback) continue;
+    // Find the instance serving a susceptible destination.
+    const DestinationSpec* susceptible = nullptr;
+    for (const auto& dest : d.destinations) {
+      if (dest.downgrade_susceptible) {
+        susceptible = &dest;
+        break;
+      }
+    }
+    ASSERT_NE(susceptible, nullptr) << d.name;
+    const auto& main_cfg = d.instance_for_destination(*susceptible).config;
+    const auto& fb_cfg = d.fallback->fallback_config;
+    const bool version_lower =
+        tls::max_version(fb_cfg.versions) < tls::max_version(main_cfg.versions);
+    const bool fewer_suites =
+        fb_cfg.cipher_suites.size() < main_cfg.cipher_suites.size();
+    const bool sha1_only =
+        fb_cfg.signature_algorithms ==
+        std::vector<tls::SignatureScheme>{tls::SignatureScheme::RsaPkcs1Sha1};
+    EXPECT_TRUE(version_lower || fewer_suites || sha1_only) << d.name;
+  }
+}
+
+TEST(Consistency, ProbeTargetDevicesHaveInconclusiveRates) {
+  // Table 9 devices model their varying denominators via per-set
+  // inconclusive probabilities.
+  for (const char* name :
+       {"Google Home Mini", "Amazon Echo Plus", "Amazon Echo Dot",
+        "Amazon Echo Dot 3", "Wink Hub 2", "Roku TV", "LG TV",
+        "Harman Invoke"}) {
+    const auto* d = find_device(name);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_GT(d->root_store.deprecated_fraction, 0.0) << name;
+    EXPECT_FALSE(d->root_store.force_include.empty()) << name;
+  }
+}
+
+TEST(Consistency, SharedFamilyInstancesStayIdentical) {
+  // Devices referencing a shared family must carry byte-identical
+  // fingerprints for it (Fig 5 depends on this).
+  std::map<std::string, std::set<std::string>> family_fps;
+  for (const auto& d : device_catalog()) {
+    for (const auto& inst : d.instances) {
+      if (inst.id == "amazon-main" || inst.id == "amazon-legacy" ||
+          inst.id == "amazon-ota" || inst.id == "tuya-embedded") {
+        family_fps[inst.id].insert(
+            fingerprint::fingerprint_of_config(inst.config).hash);
+      }
+    }
+  }
+  for (const auto& [family, hashes] : family_fps) {
+    EXPECT_EQ(hashes.size(), 1u) << family;
+  }
+}
+
+TEST(Consistency, SeedsAreStableAcrossRuns) {
+  // Seeds derive from names; the catalogue must not depend on ordering.
+  const auto* a = find_device("LG TV");
+  EXPECT_EQ(a->seed, common::fnv1a64("LG TV"));
+}
+
+}  // namespace
+}  // namespace iotls::devices

@@ -1,0 +1,139 @@
+// §6 in-home guard tests — the SPIN-style component over the live testbed.
+#include "net/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace iotls::net {
+namespace {
+
+constexpr common::SimDate kNow{2021, 3, 15};
+
+testbed::Testbed& shared_testbed() {
+  static testbed::Testbed tb = [] {
+    testbed::Testbed::Options opts;
+    opts.seed = 808;
+    return testbed::Testbed(opts);
+  }();
+  return tb;
+}
+
+TEST(Guard, BlocksDeprecatedMaxVersion) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  InHomeGuard guard;  // default: block, min TLS 1.2
+  guard.install(tb.network());
+  auto& wemo = tb.runtime("Wemo Plug");
+  wemo.reset_failure_state();
+  const auto boot = wemo.boot(kNow);
+  guard.uninstall(tb.network());
+  wemo.reset_failure_state();
+
+  for (const auto& conn : boot.connections) {
+    EXPECT_EQ(conn.result.outcome, tls::HandshakeOutcome::ServerAlert);
+    ASSERT_TRUE(conn.result.alert_received.has_value());
+    EXPECT_EQ(conn.result.alert_received->description,
+              tls::AlertDescription::InsufficientSecurity);
+  }
+  ASSERT_EQ(guard.events().size(), 2u);
+  EXPECT_TRUE(guard.events()[0].blocked);
+  EXPECT_NE(guard.events()[0].reason.find("TLS 1.0"), std::string::npos);
+}
+
+TEST(Guard, BlocksInsecureSuiteOffers) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  InHomeGuard guard;
+  guard.install(tb.network());
+  auto& zmodo = tb.runtime("Zmodo Doorbell");
+  zmodo.reset_failure_state();
+  const auto boot = zmodo.boot(kNow);
+  guard.uninstall(tb.network());
+  zmodo.reset_failure_state();
+  guard.clear_events();
+
+  // Zmodo offers RC4/3DES — the guard protects even a device that would
+  // happily talk to an attacker.
+  for (const auto& conn : boot.connections) {
+    EXPECT_FALSE(conn.result.success()) << conn.destination->hostname;
+  }
+}
+
+TEST(Guard, PassesCompliantDevices) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  InHomeGuard guard;
+  guard.install(tb.network());
+  auto& nest = tb.runtime("Nest Thermostat");
+  nest.reset_failure_state();
+  const auto boot = nest.boot(kNow);
+  guard.uninstall(tb.network());
+
+  for (const auto& conn : boot.connections) {
+    EXPECT_TRUE(conn.result.success()) << conn.destination->hostname;
+  }
+  EXPECT_TRUE(guard.events().empty());
+}
+
+TEST(Guard, ObserveModeFlagsWithoutBlocking) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  GuardPolicy policy;
+  policy.block = false;
+  InHomeGuard guard(policy);
+  guard.install(tb.network());
+  auto& wemo = tb.runtime("Wemo Plug");
+  wemo.reset_failure_state();
+  const auto boot = wemo.boot(kNow);
+  guard.uninstall(tb.network());
+
+  // Connections proceed; the user just gets told.
+  for (const auto& conn : boot.connections) {
+    EXPECT_TRUE(conn.result.success()) << conn.destination->hostname;
+  }
+  ASSERT_EQ(guard.events().size(), 2u);
+  EXPECT_FALSE(guard.events()[0].blocked);
+}
+
+TEST(Guard, ViolationHelperMatchesPolicyKnobs) {
+  InHomeGuard guard;
+  common::Rng rng(2);
+  tls::ClientConfig weak;
+  weak.cipher_suites = {tls::TLS_RSA_WITH_RC4_128_SHA};
+  const auto weak_hello =
+      tls::build_client_hello(weak, "x.example.com", rng);
+  EXPECT_FALSE(guard.violation(weak_hello).empty());
+
+  GuardPolicy lax;
+  lax.flag_insecure_suites = false;
+  guard.set_policy(lax);
+  EXPECT_TRUE(guard.violation(weak_hello).empty());
+}
+
+TEST(Guard, RevocationWiringInTestbed) {
+  // Table 8 devices consult the testbed CRL; others do not.
+  testbed::Testbed tb;
+  tb.set_date(kNow);
+  // Revoke Apple TV's first endpoint certificate.
+  const auto cfg = tb.cloud().server_config("svc00.appletv.apple-sim.com");
+  tb.revocations().revoke(cfg.chain.front());
+
+  auto& apple = tb.runtime("Apple TV");  // OCSP device (Table 8)
+  const auto boot = apple.boot(kNow);
+  EXPECT_EQ(boot.connections[0].result.verify_error,
+            x509::VerifyError::Revoked);
+  EXPECT_TRUE(boot.connections[1].result.success());
+
+  // A non-revocation-checking device connecting to a revoked endpoint
+  // would not notice; verify using the same certificate on a device
+  // without CRL/OCSP support (Nest).
+  const auto nest_cfg = tb.cloud().server_config("svc00.nest-sim.com");
+  tb.revocations().revoke(nest_cfg.chain.front());
+  auto& nest = tb.runtime("Nest Thermostat");
+  const auto nest_boot = nest.boot(kNow);
+  EXPECT_TRUE(nest_boot.connections[0].result.success());
+}
+
+}  // namespace
+}  // namespace iotls::net

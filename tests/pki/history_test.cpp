@@ -1,0 +1,92 @@
+#include "pki/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotls::pki {
+namespace {
+
+PlatformStoreHistory make_history(
+    const std::string& platform,
+    std::vector<std::pair<int, std::set<std::string>>> versions) {
+  PlatformStoreHistory h;
+  h.platform = platform;
+  int v = 0;
+  for (auto& [year, names] : versions) {
+    h.versions.push_back(StoreVersion{platform + std::to_string(v++), year,
+                                      std::move(names)});
+  }
+  return h;
+}
+
+TEST(History, EarliestAndLatest) {
+  const auto h = make_history("P", {{2012, {"a"}}, {2015, {"b"}}});
+  EXPECT_EQ(h.earliest().year, 2012);
+  EXPECT_EQ(h.latest().year, 2015);
+}
+
+TEST(History, EmptyHistoryThrows) {
+  const PlatformStoreHistory h;
+  EXPECT_THROW((void)h.earliest(), std::logic_error);
+  EXPECT_THROW((void)h.latest(), std::logic_error);
+}
+
+TEST(History, RemovalYearIsFirstAbsentVersion) {
+  const auto h = make_history(
+      "P", {{2012, {"a", "b"}}, {2014, {"a"}}, {2016, {"a"}}});
+  EXPECT_EQ(h.removal_year("b"), 2014);
+  EXPECT_EQ(h.removal_year("a"), std::nullopt);
+  EXPECT_EQ(h.removal_year("never-present"), std::nullopt);
+}
+
+TEST(History, RemovalYearForLateAddition) {
+  const auto h = make_history(
+      "P", {{2012, {}}, {2014, {"x"}}, {2016, {}}});
+  EXPECT_EQ(h.removal_year("x"), 2016);
+}
+
+TEST(History, DeriveCommonIsIntersectionOfLatest) {
+  const std::vector<PlatformStoreHistory> hs = {
+      make_history("A", {{2012, {"x", "y"}}, {2020, {"x", "y", "z"}}}),
+      make_history("B", {{2013, {"x"}}, {2020, {"x", "y"}}}),
+  };
+  const auto common = derive_common(hs);
+  EXPECT_EQ(common, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(History, DeriveDeprecatedRequiresRemoval) {
+  const std::vector<PlatformStoreHistory> hs = {
+      make_history("A", {{2012, {"old", "keep"}}, {2020, {"keep"}}}),
+      make_history("B", {{2013, {"keep"}}, {2020, {"keep"}}}),
+  };
+  const auto deprecated = derive_deprecated(hs);
+  EXPECT_EQ(deprecated, (std::set<std::string>{"old"}));
+}
+
+TEST(History, DeriveDeprecatedExcludesRestoredCerts) {
+  // Removed from A but still present in B's latest → excluded (§4.2).
+  const std::vector<PlatformStoreHistory> hs = {
+      make_history("A", {{2012, {"flaky"}}, {2020, {}}}),
+      make_history("B", {{2013, {"flaky"}}, {2020, {"flaky"}}}),
+  };
+  EXPECT_TRUE(derive_deprecated(hs).empty());
+}
+
+TEST(History, DeriveDeprecatedIgnoresLateAdditions) {
+  // Only certs in the *earliest* version count (§4.2 definition).
+  const std::vector<PlatformStoreHistory> hs = {
+      make_history("A", {{2012, {}}, {2015, {"late"}}, {2020, {}}}),
+  };
+  EXPECT_TRUE(derive_deprecated(hs).empty());
+}
+
+TEST(History, LatestRemovalYearAcrossPlatforms) {
+  const std::vector<PlatformStoreHistory> hs = {
+      make_history("A", {{2012, {"c"}}, {2015, {}}}),
+      make_history("B", {{2010, {"c"}}, {2018, {}}}),
+  };
+  EXPECT_EQ(latest_removal_year(hs, "c"), 2018);
+  EXPECT_EQ(latest_removal_year(hs, "zz"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace iotls::pki

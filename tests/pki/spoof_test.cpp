@@ -1,0 +1,68 @@
+#include "pki/spoof.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pki/ca.hpp"
+
+namespace iotls::pki {
+namespace {
+
+class SpoofTest : public ::testing::Test {
+ protected:
+  SpoofTest()
+      : rng_(4242),
+        real_ca_(x509::DistinguishedName{"Real Root", "Trust Co", "US"}, rng_),
+        attacker_(crypto::rsa_generate(rng_, 512)) {}
+
+  common::Rng rng_;
+  CertificateAuthority real_ca_;
+  crypto::RsaKeyPair attacker_;
+};
+
+TEST_F(SpoofTest, SpoofedCaCopiesIdentity) {
+  const auto spoofed = make_spoofed_ca(real_ca_.root(), attacker_);
+  EXPECT_EQ(spoofed.tbs.subject, real_ca_.root().tbs.subject);
+  EXPECT_EQ(spoofed.tbs.issuer, real_ca_.root().tbs.issuer);
+  EXPECT_EQ(spoofed.tbs.serial, real_ca_.root().tbs.serial);
+  EXPECT_NE(spoofed.tbs.subject_public_key, real_ca_.root().tbs.subject_public_key);
+}
+
+TEST_F(SpoofTest, SpoofedCaSelfVerifiesUnderAttackerKey) {
+  const auto spoofed = make_spoofed_ca(real_ca_.root(), attacker_);
+  EXPECT_TRUE(crypto::rsa_verify(attacker_.pub, spoofed.tbs.serialize(),
+                                 spoofed.signature));
+  // ...but NOT under the real CA's key — the probe's side channel.
+  EXPECT_FALSE(crypto::rsa_verify(real_ca_.keypair().pub,
+                                  spoofed.tbs.serialize(), spoofed.signature));
+}
+
+TEST_F(SpoofTest, ForgeChainShapesLeafFirst) {
+  const auto spoofed = make_spoofed_ca(real_ca_.root(), attacker_);
+  const auto chain =
+      forge_chain(spoofed, attacker_.priv, "victim.example.com", attacker_.pub);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].tbs.subject.common_name, "victim.example.com");
+  EXPECT_EQ(chain[0].tbs.issuer, spoofed.tbs.subject);
+  EXPECT_TRUE(chain[1].is_self_signed());
+  EXPECT_TRUE(chain[0].matches_hostname("victim.example.com"));
+}
+
+TEST_F(SpoofTest, ForgedLeafVerifiesUnderForgingKey) {
+  const auto spoofed = make_spoofed_ca(real_ca_.root(), attacker_);
+  const auto chain =
+      forge_chain(spoofed, attacker_.priv, "victim.example.com", attacker_.pub);
+  EXPECT_TRUE(crypto::rsa_verify(attacker_.pub, chain[0].tbs.serialize(),
+                                 chain[0].signature));
+}
+
+TEST_F(SpoofTest, SelfSignedLeafProperties) {
+  const auto leaf = make_self_signed_leaf("victim.example.com", attacker_);
+  EXPECT_TRUE(leaf.is_self_signed());
+  EXPECT_FALSE(leaf.tbs.extensions.basic_constraints->is_ca);
+  EXPECT_TRUE(leaf.matches_hostname("victim.example.com"));
+  EXPECT_TRUE(crypto::rsa_verify(attacker_.pub, leaf.tbs.serialize(),
+                                 leaf.signature));
+}
+
+}  // namespace
+}  // namespace iotls::pki

@@ -1,0 +1,142 @@
+// Integration tests: the alert side channel must reveal exactly the Table 9
+// devices and agree with each device's ground-truth root store.
+#include "probe/prober.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace iotls::probe {
+namespace {
+
+testbed::Testbed& shared_testbed() {
+  static testbed::Testbed testbed;
+  return testbed;
+}
+
+RootStoreProber& shared_prober() {
+  static RootStoreProber prober(shared_testbed());
+  return prober;
+}
+
+TEST(Prober, EligibilityExcludesPaperDevices) {
+  const auto eligible = shared_prober().eligible_devices();
+  const std::set<std::string> set(eligible.begin(), eligible.end());
+  // §5.2: appliances unsuitable for reboots and non-validating devices are
+  // excluded.
+  EXPECT_EQ(set.count("Samsung Fridge"), 0u);
+  EXPECT_EQ(set.count("Samsung Dryer"), 0u);
+  EXPECT_EQ(set.count("Nest Thermostat"), 0u);
+  EXPECT_EQ(set.count("Zmodo Doorbell"), 0u);
+  EXPECT_EQ(set.count("Amcrest Camera"), 0u);
+  EXPECT_EQ(set.count("Smarter iKettle"), 0u);
+  EXPECT_EQ(set.count("Ring Doorbell"), 0u);  // passive-only
+  EXPECT_EQ(set.count("Google Home Mini"), 1u);
+}
+
+TEST(Prober, ExactlyTheEightTable9DevicesAreAmenable) {
+  const auto amenable = shared_prober().amenable_devices();
+  const std::set<std::string> got(amenable.begin(), amenable.end());
+  const std::set<std::string> expected = {
+      "Google Home Mini", "Amazon Echo Plus", "Amazon Echo Dot",
+      "Amazon Echo Dot 3", "Wink Hub 2",      "Roku TV",
+      "LG TV",            "Harman Invoke"};
+  EXPECT_EQ(got, expected);  // Table 9 row set
+}
+
+TEST(Prober, WolfSslStyleDeviceNotAmenable) {
+  // Same alert for both probe cases → indistinguishable.
+  EXPECT_FALSE(shared_prober().device_amenable("Yi Camera"));
+  EXPECT_FALSE(shared_prober().device_amenable("D-Link Camera"));
+}
+
+TEST(Prober, SilentDeviceNotAmenable) {
+  // GnuTLS-style: no alerts at all.
+  EXPECT_FALSE(shared_prober().device_amenable("Philips Hub"));
+  EXPECT_FALSE(shared_prober().device_amenable("Behmor Brewer"));
+}
+
+TEST(Prober, ProbeMatchesGroundTruthStore) {
+  const auto& universe = shared_testbed().universe();
+  auto& runtime = shared_testbed().runtime("LG TV");
+  int checked = 0;
+  // Sample a slice of each probe set against the device's actual store.
+  std::vector<std::string> sample;
+  for (std::size_t i = 0; i < universe.common_ca_names().size(); i += 20) {
+    sample.push_back(universe.common_ca_names()[i]);
+  }
+  for (std::size_t i = 0; i < universe.deprecated_ca_names().size(); i += 15) {
+    sample.push_back(universe.deprecated_ca_names()[i]);
+  }
+  for (const auto& ca_name : sample) {
+    const auto outcome = shared_prober().probe_certificate("LG TV", ca_name);
+    ASSERT_NE(outcome.verdict, Verdict::Inconclusive) << ca_name;
+    const bool truth = runtime.root_store().contains(
+        universe.authority(ca_name).root().tbs.subject);
+    EXPECT_EQ(outcome.verdict == Verdict::Present, truth) << ca_name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 8);
+}
+
+TEST(Prober, AlertsMatchOpenSslProfile) {
+  // LG TV's probe path is stock OpenSSL: unknown CA → unknown_ca,
+  // spoofed CA → decrypt_error (Table 4).
+  const auto& universe = shared_testbed().universe();
+  // Probe a cert that is certainly present (forced include).
+  const auto outcome =
+      shared_prober().probe_certificate("LG TV", "WoSign CA Free SSL");
+  ASSERT_EQ(outcome.verdict, Verdict::Present);
+  ASSERT_TRUE(outcome.alert_unknown.has_value());
+  ASSERT_TRUE(outcome.alert_spoofed.has_value());
+  EXPECT_EQ(outcome.alert_unknown->description,
+            tls::AlertDescription::UnknownCa);
+  EXPECT_EQ(outcome.alert_spoofed->description,
+            tls::AlertDescription::DecryptError);
+  (void)universe;
+}
+
+TEST(Prober, DistrustedCAsFoundOnAllAmenableDevices) {
+  // §5.2: every probeable device trusts at least one explicitly
+  // distrusted CA.
+  for (const auto& device : shared_prober().amenable_devices()) {
+    bool any_distrusted = false;
+    for (const char* ca :
+         {"WoSign CA Free SSL", "TurkTrust Elektronik Sertifika",
+          "CNNIC Root", "Certinomis - Root CA"}) {
+      const auto outcome = shared_prober().probe_certificate(device, ca);
+      if (outcome.verdict == Verdict::Present) {
+        any_distrusted = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(any_distrusted) << device;
+  }
+}
+
+TEST(Prober, ExploreAggregatesAndInconclusives) {
+  const auto& universe = shared_testbed().universe();
+  std::vector<std::string> subset(universe.common_ca_names().begin(),
+                                  universe.common_ca_names().begin() + 20);
+  const auto result =
+      shared_prober().explore("Google Home Mini", subset, 0.0);
+  EXPECT_EQ(result.checked + result.inconclusive, 20);
+  EXPECT_EQ(result.inconclusive, 0);
+  // GHM includes 100% of common certs (Table 9).
+  EXPECT_EQ(result.present, result.checked);
+  EXPECT_DOUBLE_EQ(result.fraction(), 1.0);
+
+  const auto with_failures =
+      shared_prober().explore("Google Home Mini", subset, 0.5);
+  EXPECT_GT(with_failures.inconclusive, 0);
+  EXPECT_LT(with_failures.checked, 20);
+}
+
+TEST(Prober, VerdictNames) {
+  EXPECT_EQ(verdict_name(Verdict::Present), "present");
+  EXPECT_EQ(verdict_name(Verdict::Absent), "absent");
+  EXPECT_EQ(verdict_name(Verdict::Inconclusive), "inconclusive");
+}
+
+}  // namespace
+}  // namespace iotls::probe

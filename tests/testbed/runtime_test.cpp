@@ -1,0 +1,170 @@
+// Device-runtime behaviours: fallback retries, the Yi Camera quirk,
+// per-month config selection, root-store assembly.
+#include "testbed/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mitm/interceptor.hpp"
+#include "testbed/testbed.hpp"
+
+namespace iotls::testbed {
+namespace {
+
+constexpr common::SimDate kNow{2021, 3, 15};
+
+Testbed& shared_testbed() {
+  static Testbed tb = [] {
+    Testbed::Options opts;
+    opts.seed = 4242;
+    return Testbed(opts);
+  }();
+  return tb;
+}
+
+TEST(Runtime, FallbackRetriesOnlyOnSusceptibleDestinations) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  mitm::Interceptor interceptor(tb.universe(), tb.cloud());
+  interceptor.set_mode(mitm::InterceptMode::make_failure(
+      mitm::FailureKind::IncompleteHandshake));
+  interceptor.install(tb.network());
+
+  auto& echo = tb.runtime("Amazon Echo Dot");
+  echo.reset_failure_state();
+  const auto boot = echo.boot(kNow);
+  interceptor.uninstall(tb.network());
+  echo.reset_failure_state();
+
+  int retried = 0;
+  for (const auto& conn : boot.connections) {
+    if (conn.used_fallback) {
+      ++retried;
+      EXPECT_TRUE(conn.destination->downgrade_susceptible)
+          << conn.destination->hostname;
+      // The retry advertises SSL 3.0 (Table 5).
+      EXPECT_EQ(conn.fallback_result->hello.max_advertised_version(),
+                tls::ProtocolVersion::Ssl3_0);
+    }
+  }
+  EXPECT_EQ(retried, 7);  // Table 5: 7/9
+}
+
+TEST(Runtime, NoFallbackWithoutInterceptor) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  auto& echo = tb.runtime("Amazon Echo Dot");
+  echo.reset_failure_state();
+  const auto boot = echo.boot(kNow);
+  for (const auto& conn : boot.connections) {
+    EXPECT_FALSE(conn.used_fallback) << conn.destination->hostname;
+    EXPECT_TRUE(conn.result.success()) << conn.destination->hostname;
+  }
+}
+
+TEST(Runtime, YiCameraDisablesValidationAfterThreeFailures) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  mitm::Interceptor interceptor(tb.universe(), tb.cloud());
+  interceptor.set_mode(
+      mitm::InterceptMode::make_attack(mitm::AttackKind::NoValidation));
+  interceptor.install(tb.network());
+
+  auto& yi = tb.runtime("Yi Camera");
+  yi.reset_failure_state();
+  EXPECT_FALSE(yi.validation_disabled());
+
+  // Three boots = three consecutive failures (one destination).
+  for (int i = 0; i < 3; ++i) {
+    const auto boot = yi.boot(kNow);
+    EXPECT_FALSE(boot.connections[0].final_result().success()) << i;
+  }
+  EXPECT_TRUE(yi.validation_disabled());
+
+  // Fourth boot: validation is off, the self-signed cert is accepted.
+  const auto boot = yi.boot(kNow);
+  EXPECT_TRUE(boot.connections[0].final_result().success());
+
+  interceptor.uninstall(tb.network());
+  yi.reset_failure_state();
+  EXPECT_FALSE(yi.validation_disabled());
+}
+
+TEST(Runtime, SuccessResetsYiFailureCounter) {
+  auto& tb = shared_testbed();
+  tb.set_date(kNow);
+  auto& yi = tb.runtime("Yi Camera");
+  yi.reset_failure_state();
+
+  mitm::Interceptor interceptor(tb.universe(), tb.cloud());
+  interceptor.set_mode(
+      mitm::InterceptMode::make_attack(mitm::AttackKind::NoValidation));
+
+  // Two failures...
+  interceptor.install(tb.network());
+  (void)yi.boot(kNow);
+  (void)yi.boot(kNow);
+  interceptor.uninstall(tb.network());
+  // ...then a success resets the counter...
+  (void)yi.boot(kNow);
+  // ...so one more failure does NOT disable validation.
+  interceptor.install(tb.network());
+  (void)yi.boot(kNow);
+  interceptor.uninstall(tb.network());
+  EXPECT_FALSE(yi.validation_disabled());
+  yi.reset_failure_state();
+}
+
+TEST(Runtime, RootStoreContainsForcedAndCloudCa) {
+  auto& tb = shared_testbed();
+  const auto& store = tb.runtime("LG TV").root_store();
+  const auto& universe = tb.universe();
+  EXPECT_TRUE(store.contains(
+      universe.authority(CloudFarm::kDefaultCaName).root().tbs.subject));
+  EXPECT_TRUE(store.contains(
+      universe.authority("TurkTrust Elektronik Sertifika").root().tbs.subject));
+}
+
+TEST(Runtime, RootStoreCountsMatchSpecQuotas) {
+  auto& tb = shared_testbed();
+  const auto& universe = tb.universe();
+  const auto* profile = devices::find_device("Roku TV");
+  const auto store = profile->build_root_store(universe);
+  int common_count = 0;
+  int deprecated_count = 0;
+  for (const auto& name : universe.common_ca_names()) {
+    if (store.contains(universe.authority(name).root().tbs.subject)) {
+      ++common_count;
+    }
+  }
+  for (const auto& name : universe.deprecated_ca_names()) {
+    if (store.contains(universe.authority(name).root().tbs.subject)) {
+      ++deprecated_count;
+    }
+  }
+  // Exact-count selection: quotas land on round(fraction * set size).
+  EXPECT_EQ(common_count,
+            static_cast<int>(profile->root_store.common_fraction * 122 + 0.5));
+  EXPECT_EQ(deprecated_count,
+            static_cast<int>(profile->root_store.deprecated_fraction * 87 +
+                             0.5));
+}
+
+TEST(Runtime, ConfigAtReflectsUpdatesInBoots) {
+  // Booting "in 2018" vs "in 2021" uses different Apple TV configs.
+  Testbed::Options opts;
+  opts.seed = 505;
+  Testbed tb(opts);
+  auto& apple = tb.runtime("Apple TV");
+
+  tb.set_date({2018, 3, 10});
+  const auto early = apple.boot(tb.date());
+  EXPECT_FALSE(early.connections[0].result.hello.advertised_versions().size() > 1);
+
+  tb.set_date({2021, 3, 10});
+  const auto late = apple.boot(tb.date());
+  EXPECT_EQ(late.connections[0].result.hello.max_advertised_version(),
+            tls::ProtocolVersion::Tls1_3);
+}
+
+}  // namespace
+}  // namespace iotls::testbed

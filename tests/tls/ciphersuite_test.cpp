@@ -1,0 +1,80 @@
+#include "tls/ciphersuite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace iotls::tls {
+namespace {
+
+TEST(CipherSuites, CatalogueHasUniqueIdsAndNames) {
+  std::set<std::uint16_t> ids;
+  std::set<std::string> names;
+  for (const auto& s : all_suites()) {
+    EXPECT_TRUE(ids.insert(s.id).second) << s.name;
+    EXPECT_TRUE(names.insert(s.name).second) << s.name;
+  }
+  EXPECT_GE(all_suites().size(), 40u);
+}
+
+TEST(CipherSuites, LookupByIdAndName) {
+  const auto* rc4 = suite_info(TLS_RSA_WITH_RC4_128_SHA);
+  ASSERT_NE(rc4, nullptr);
+  EXPECT_STREQ(rc4->name, "TLS_RSA_WITH_RC4_128_SHA");
+  EXPECT_EQ(suite_by_name("TLS_RSA_WITH_RC4_128_SHA"), rc4);
+  EXPECT_EQ(suite_info(0xFFFF), nullptr);
+  EXPECT_EQ(suite_by_name("NOPE"), nullptr);
+}
+
+TEST(CipherSuites, UnknownIdRendersHex) {
+  EXPECT_EQ(suite_name(0xBEEF), "0xBEEF");
+}
+
+TEST(CipherSuites, InsecureClassification) {
+  // §2: RC4, DES, 3DES, EXPORT → insecure.
+  EXPECT_TRUE(suite_is_insecure(TLS_RSA_WITH_RC4_128_SHA));
+  EXPECT_TRUE(suite_is_insecure(TLS_RSA_WITH_DES_CBC_SHA));
+  EXPECT_TRUE(suite_is_insecure(TLS_RSA_WITH_3DES_EDE_CBC_SHA));
+  EXPECT_TRUE(suite_is_insecure(TLS_RSA_EXPORT_WITH_RC4_40_MD5));
+  EXPECT_FALSE(suite_is_insecure(TLS_RSA_WITH_AES_128_CBC_SHA));
+  EXPECT_FALSE(suite_is_insecure(TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256));
+}
+
+TEST(CipherSuites, StrongClassification) {
+  // §2: DHE/ECDHE (PFS) → strong; TLS 1.3 suites always PFS.
+  EXPECT_TRUE(suite_is_strong(TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256));
+  EXPECT_TRUE(suite_is_strong(TLS_DHE_RSA_WITH_AES_128_GCM_SHA256));
+  EXPECT_TRUE(suite_is_strong(TLS_AES_128_GCM_SHA256));
+  EXPECT_FALSE(suite_is_strong(TLS_RSA_WITH_AES_128_GCM_SHA256));
+  EXPECT_FALSE(suite_is_strong(TLS_RSA_WITH_RC4_128_SHA));
+}
+
+TEST(CipherSuites, InsecureAndStrongCanOverlap) {
+  // An ECDHE suite with RC4 is both PFS and insecure — the two axes are
+  // independent in the paper's classification.
+  const std::uint16_t ecdhe_rc4 = 0xC011;  // TLS_ECDHE_RSA_WITH_RC4_128_SHA
+  EXPECT_TRUE(suite_is_insecure(ecdhe_rc4));
+  EXPECT_TRUE(suite_is_strong(ecdhe_rc4));
+}
+
+TEST(CipherSuites, NullAnonClassification) {
+  EXPECT_TRUE(suite_is_null_or_anon(TLS_RSA_WITH_NULL_SHA));
+  EXPECT_TRUE(suite_is_null_or_anon(TLS_DH_ANON_WITH_AES_128_CBC_SHA));
+  EXPECT_FALSE(suite_is_null_or_anon(TLS_RSA_WITH_AES_128_CBC_SHA));
+}
+
+TEST(CipherSuites, Tls13Flag) {
+  EXPECT_TRUE(suite_is_tls13(TLS_AES_128_GCM_SHA256));
+  EXPECT_TRUE(suite_is_tls13(TLS_CHACHA20_POLY1305_SHA256));
+  EXPECT_FALSE(suite_is_tls13(TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256));
+}
+
+TEST(CipherSuites, UnknownIdsClassifyAsNothing) {
+  EXPECT_FALSE(suite_is_insecure(0xFFFE));
+  EXPECT_FALSE(suite_is_strong(0xFFFE));
+  EXPECT_FALSE(suite_is_null_or_anon(0xFFFE));
+  EXPECT_FALSE(suite_is_tls13(0xFFFE));
+}
+
+}  // namespace
+}  // namespace iotls::tls

@@ -1,0 +1,195 @@
+// §6 mitigation extensions: certificate pinning, revocation checking, and
+// stapled OCSP responses — exercised over real handshakes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pki/ca.hpp"
+#include "pki/revocation.hpp"
+#include "pki/spoof.hpp"
+#include "tls/client.hpp"
+#include "tls/server.hpp"
+
+namespace iotls::tls {
+namespace {
+
+constexpr common::SimDate kNow{2021, 3, 1};
+
+class MitigationsTest : public ::testing::Test {
+ protected:
+  MitigationsTest()
+      : rng_(2024),
+        ca_(x509::DistinguishedName::cn("Mitigation Root"), rng_),
+        server_keys_(crypto::rsa_generate(rng_, 512)),
+        attacker_keys_(crypto::rsa_generate(rng_, 512)) {
+    roots_.add(ca_.root());
+    leaf_ = ca_.issue_server_cert("pinned.example.com", server_keys_.pub);
+  }
+
+  ServerConfig legit_server() const {
+    ServerConfig cfg;
+    cfg.chain = {leaf_};
+    cfg.keys = server_keys_;
+    cfg.seed = 1;
+    return cfg;
+  }
+
+  ServerConfig forged_server() const {
+    ServerConfig cfg;
+    cfg.chain = {pki::make_self_signed_leaf("pinned.example.com",
+                                            attacker_keys_)};
+    cfg.keys = attacker_keys_;
+    cfg.seed = 2;
+    return cfg;
+  }
+
+  ClientResult run(const ClientConfig& ccfg, ServerConfig scfg) {
+    auto server = std::make_shared<TlsServer>(std::move(scfg));
+    Transport transport(server);
+    TlsClient client(ccfg, &roots_, common::Rng(11), kNow);
+    return client.connect(transport, "pinned.example.com");
+  }
+
+  common::Rng rng_;
+  pki::CertificateAuthority ca_;
+  crypto::RsaKeyPair server_keys_;
+  crypto::RsaKeyPair attacker_keys_;
+  x509::Certificate leaf_;
+  pki::RootStore roots_;
+};
+
+// ---------------- pinning ----------------
+
+TEST_F(MitigationsTest, PinnedClientAcceptsThePinnedLeaf) {
+  ClientConfig ccfg;
+  ccfg.pinned_leaf_fingerprint = leaf_.fingerprint();
+  EXPECT_TRUE(run(ccfg, legit_server()).success());
+}
+
+TEST_F(MitigationsTest, PinningDefeatsForgeryEvenWithoutValidation) {
+  // The paper's point (§6): Table 7's no-validation devices would have
+  // been protected by leaf pinning.
+  ClientConfig ccfg;
+  ccfg.verify_policy = x509::VerifyPolicy::none();
+  ccfg.pinned_leaf_fingerprint = leaf_.fingerprint();
+
+  const auto attacked = run(ccfg, forged_server());
+  EXPECT_EQ(attacked.outcome, HandshakeOutcome::ValidationFailed);
+  EXPECT_EQ(attacked.verify_error, x509::VerifyError::PinMismatch);
+
+  // Without the pin the same client is fully compromised.
+  ClientConfig unpinned;
+  unpinned.verify_policy = x509::VerifyPolicy::none();
+  EXPECT_TRUE(run(unpinned, forged_server()).success());
+}
+
+TEST_F(MitigationsTest, PinningDefeatsSpoofedCaChain) {
+  // Pinning the *leaf* even defeats a compromised-root scenario (§6:
+  // "pinning can help in cases of compromised root stores if the leaf
+  // certificate is pinned").
+  const auto spoofed = pki::make_spoofed_ca(ca_.root(), attacker_keys_);
+  ServerConfig scfg;
+  scfg.chain = pki::forge_chain(spoofed, attacker_keys_.priv,
+                                "pinned.example.com", attacker_keys_.pub);
+  scfg.keys = attacker_keys_;
+  scfg.seed = 3;
+
+  ClientConfig ccfg;
+  ccfg.verify_policy = x509::VerifyPolicy::none();
+  ccfg.pinned_leaf_fingerprint = leaf_.fingerprint();
+  const auto result = run(ccfg, std::move(scfg));
+  EXPECT_EQ(result.verify_error, x509::VerifyError::PinMismatch);
+}
+
+TEST_F(MitigationsTest, WrongPinBreaksLegitimateConnections) {
+  ClientConfig ccfg;
+  ccfg.pinned_leaf_fingerprint = std::string(64, 'a');
+  const auto result = run(ccfg, legit_server());
+  EXPECT_EQ(result.verify_error, x509::VerifyError::PinMismatch);
+}
+
+// ---------------- revocation ----------------
+
+TEST_F(MitigationsTest, RevokedLeafRejectedWithCertificateRevokedAlert) {
+  pki::RevocationList crl;
+  crl.revoke(leaf_);
+  ClientConfig ccfg;
+  ccfg.revocation_list = &crl;
+  const auto result = run(ccfg, legit_server());
+  EXPECT_EQ(result.outcome, HandshakeOutcome::ValidationFailed);
+  EXPECT_EQ(result.verify_error, x509::VerifyError::Revoked);
+  ASSERT_TRUE(result.alert_sent.has_value());
+  EXPECT_EQ(result.alert_sent->description,
+            AlertDescription::CertificateRevoked);
+}
+
+TEST_F(MitigationsTest, EmptyCrlChangesNothing) {
+  pki::RevocationList crl;
+  ClientConfig ccfg;
+  ccfg.revocation_list = &crl;
+  EXPECT_TRUE(run(ccfg, legit_server()).success());
+}
+
+TEST_F(MitigationsTest, NonValidatingClientSkipsRevocation) {
+  // A client that validates nothing does not check CRLs either — the
+  // Table 7/Table 8 findings are independent axes.
+  pki::RevocationList crl;
+  crl.revoke(leaf_);
+  ClientConfig ccfg;
+  ccfg.verify_policy = x509::VerifyPolicy::none();
+  ccfg.revocation_list = &crl;
+  EXPECT_TRUE(run(ccfg, legit_server()).success());
+}
+
+TEST(RevocationListTest, KeysOnIssuerAndSerial) {
+  common::Rng rng(5);
+  pki::CertificateAuthority ca(x509::DistinguishedName::cn("R"), rng);
+  const auto keys = crypto::rsa_generate(rng, 448);
+  const auto a = ca.issue_server_cert("a.example.com", keys.pub);
+  const auto b = ca.issue_server_cert("b.example.com", keys.pub);
+  pki::RevocationList crl;
+  EXPECT_TRUE(crl.empty());
+  crl.revoke(a);
+  EXPECT_EQ(crl.size(), 1u);
+  EXPECT_TRUE(crl.is_revoked(a));
+  EXPECT_FALSE(crl.is_revoked(b));  // distinct serials
+}
+
+// ---------------- stapling ----------------
+
+TEST_F(MitigationsTest, StapleDeliveredWhenRequestedAndSupported) {
+  ClientConfig ccfg;
+  ccfg.request_ocsp_staple = true;
+  ServerConfig scfg = legit_server();
+  scfg.ocsp_staple_support = true;
+  const auto result = run(ccfg, std::move(scfg));
+  ASSERT_TRUE(result.success());
+  EXPECT_TRUE(result.staple_received);
+}
+
+TEST_F(MitigationsTest, NoStapleWithoutRequest) {
+  ServerConfig scfg = legit_server();
+  scfg.ocsp_staple_support = true;
+  const auto result = run(ClientConfig{}, std::move(scfg));
+  ASSERT_TRUE(result.success());
+  EXPECT_FALSE(result.staple_received);
+}
+
+TEST_F(MitigationsTest, NoStapleWithoutServerSupport) {
+  ClientConfig ccfg;
+  ccfg.request_ocsp_staple = true;
+  const auto result = run(ccfg, legit_server());  // support off by default
+  ASSERT_TRUE(result.success());
+  EXPECT_FALSE(result.staple_received);
+}
+
+TEST(CertificateStatusMsg, RoundTrip) {
+  CertificateStatus status;
+  status.ocsp_response = common::to_bytes("ocsp-status=good;cert=abc");
+  EXPECT_EQ(CertificateStatus::parse(status.serialize()), status);
+  const common::Bytes bad = {9, 0, 0, 0};
+  EXPECT_THROW(CertificateStatus::parse(bad), common::ParseError);
+}
+
+}  // namespace
+}  // namespace iotls::tls

@@ -1,0 +1,84 @@
+#include "tls/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotls::tls {
+namespace {
+
+using VE = x509::VerifyError;
+using AD = AlertDescription;
+
+std::optional<AD> desc(TlsLibrary lib, VE err) {
+  const auto alert = alert_for_verify_error(lib, err);
+  if (!alert) return std::nullopt;
+  return alert->description;
+}
+
+// Table 4, row by row.
+TEST(Profiles, MbedTlsMatchesTable4) {
+  EXPECT_EQ(desc(TlsLibrary::MbedTls, VE::BadSignature), AD::BadCertificate);
+  EXPECT_EQ(desc(TlsLibrary::MbedTls, VE::UnknownIssuer), AD::UnknownCa);
+}
+
+TEST(Profiles, OpenSslMatchesTable4) {
+  EXPECT_EQ(desc(TlsLibrary::OpenSsl, VE::BadSignature), AD::DecryptError);
+  EXPECT_EQ(desc(TlsLibrary::OpenSsl, VE::UnknownIssuer), AD::UnknownCa);
+}
+
+TEST(Profiles, OracleJavaMatchesTable4) {
+  EXPECT_EQ(desc(TlsLibrary::OracleJava, VE::BadSignature),
+            AD::CertificateUnknown);
+  EXPECT_EQ(desc(TlsLibrary::OracleJava, VE::UnknownIssuer),
+            AD::CertificateUnknown);
+}
+
+TEST(Profiles, WolfSslMatchesTable4) {
+  EXPECT_EQ(desc(TlsLibrary::WolfSsl, VE::BadSignature), AD::BadCertificate);
+  EXPECT_EQ(desc(TlsLibrary::WolfSsl, VE::UnknownIssuer), AD::BadCertificate);
+}
+
+TEST(Profiles, GnuTlsAndSecureTransportSendNoAlert) {
+  EXPECT_EQ(desc(TlsLibrary::GnuTls, VE::BadSignature), std::nullopt);
+  EXPECT_EQ(desc(TlsLibrary::GnuTls, VE::UnknownIssuer), std::nullopt);
+  EXPECT_EQ(desc(TlsLibrary::SecureTransport, VE::BadSignature),
+            std::nullopt);
+  EXPECT_EQ(desc(TlsLibrary::SecureTransport, VE::UnknownIssuer),
+            std::nullopt);
+}
+
+TEST(Profiles, OkProducesNoAlert) {
+  for (const auto lib : table4_libraries()) {
+    EXPECT_EQ(desc(lib, VE::Ok), std::nullopt) << library_name(lib);
+  }
+}
+
+TEST(Profiles, ExactlyTwoTable4LibrariesAmenable) {
+  // §4.2: "Among the 2/6 libraries that are amenable..."
+  int amenable = 0;
+  for (const auto lib : table4_libraries()) {
+    if (library_amenable_to_probing(lib)) ++amenable;
+  }
+  EXPECT_EQ(amenable, 2);
+  EXPECT_TRUE(library_amenable_to_probing(TlsLibrary::MbedTls));
+  EXPECT_TRUE(library_amenable_to_probing(TlsLibrary::OpenSsl));
+  EXPECT_FALSE(library_amenable_to_probing(TlsLibrary::OracleJava));
+  EXPECT_FALSE(library_amenable_to_probing(TlsLibrary::WolfSsl));
+  EXPECT_FALSE(library_amenable_to_probing(TlsLibrary::GnuTls));
+  EXPECT_FALSE(library_amenable_to_probing(TlsLibrary::SecureTransport));
+}
+
+TEST(Profiles, AndroidSdkProbesLikeOpenSsl) {
+  // Fire TV runs a fork of Android whose TLS descends from OpenSSL (§5.3).
+  EXPECT_TRUE(library_amenable_to_probing(TlsLibrary::AndroidSdk));
+  EXPECT_EQ(desc(TlsLibrary::AndroidSdk, VE::BadSignature),
+            AD::DecryptError);
+}
+
+TEST(Profiles, NamesAndLabels) {
+  EXPECT_EQ(library_name(TlsLibrary::MbedTls), "Mbedtls");
+  EXPECT_EQ(library_version_label(TlsLibrary::OpenSsl), "OpenSSL (v1.1.1i)");
+  EXPECT_EQ(table4_libraries().size(), 6u);
+}
+
+}  // namespace
+}  // namespace iotls::tls

@@ -1,0 +1,223 @@
+// Property-style sweeps over the wire formats and the handshake
+// negotiation logic.
+//
+// Robustness property: a parser fed any *truncation* of a valid message
+// must throw ParseError — never crash, never accept. A parser fed random
+// byte mutations must either produce a value or throw ParseError (no other
+// failure mode escapes).
+#include <gtest/gtest.h>
+
+#include "fingerprint/database.hpp"
+#include "pki/ca.hpp"
+#include "tls/client.hpp"
+#include "tls/server.hpp"
+
+namespace iotls::tls {
+namespace {
+
+using common::Bytes;
+
+Bytes sample_client_hello_bytes() {
+  common::Rng rng(42);
+  const auto hello = build_client_hello(
+      fingerprint::reference_config("openssl"), "prop.example.com", rng);
+  return hello.serialize();
+}
+
+Bytes sample_certificate_msg_bytes() {
+  common::Rng rng(43);
+  pki::CertificateAuthority ca(x509::DistinguishedName::cn("Prop Root"),
+                               rng);
+  const auto keys = crypto::rsa_generate(rng, 448);
+  CertificateMsg msg;
+  msg.chain = {ca.issue_server_cert("prop.example.com", keys.pub),
+               ca.root()};
+  return msg.serialize();
+}
+
+// ---------- truncation sweeps ----------
+
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, ClientHelloTruncationsThrowParseError) {
+  const Bytes full = sample_client_hello_bytes();
+  // Sweep a band of truncation lengths selected by the parameter decile.
+  const std::size_t begin = full.size() * GetParam() / 10;
+  const std::size_t end = full.size() * (GetParam() + 1) / 10;
+  for (std::size_t len = begin; len < end && len < full.size(); ++len) {
+    const Bytes cut(full.begin(), full.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)ClientHello::parse(cut), common::ParseError)
+        << "len=" << len;
+  }
+}
+
+TEST_P(TruncationSweep, CertificateMsgTruncationsThrowParseError) {
+  const Bytes full = sample_certificate_msg_bytes();
+  const std::size_t begin = full.size() * GetParam() / 10;
+  const std::size_t end = full.size() * (GetParam() + 1) / 10;
+  for (std::size_t len = begin; len < end && len < full.size(); ++len) {
+    const Bytes cut(full.begin(), full.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)CertificateMsg::parse(cut), common::ParseError)
+        << "len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deciles, TruncationSweep, ::testing::Range(0, 10));
+
+// ---------- mutation sweep ----------
+
+TEST(MutationSweep, ParserNeverEscapesParseError) {
+  const Bytes base = sample_client_hello_bytes();
+  common::Rng rng(99);
+  int parsed_ok = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = base;
+    const int flips = 1 + static_cast<int>(rng.uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.uniform(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform(255));
+    }
+    try {
+      (void)ClientHello::parse(mutated);
+      ++parsed_ok;
+    } catch (const common::ParseError&) {
+      ++rejected;
+    }
+    // Any other exception type fails the test by escaping.
+  }
+  EXPECT_EQ(parsed_ok + rejected, 2000);
+  EXPECT_GT(rejected, 0);  // some mutations must break framing
+}
+
+TEST(MutationSweep, RecordParserNeverEscapesParseError) {
+  ClientHello hello;
+  hello.cipher_suites = {0x002F};
+  const auto msg = HandshakeMessage::wrap(HandshakeType::ClientHello, hello);
+  const Bytes base =
+      TlsRecord{ContentType::Handshake, ProtocolVersion::Tls1_2,
+                msg.serialize()}
+          .serialize();
+  common::Rng rng(101);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = base;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      (void)TlsRecord::parse(mutated);
+    } catch (const common::ParseError&) {
+    }
+  }
+  SUCCEED();
+}
+
+// ---------- serialization round-trip under random configs ----------
+
+TEST(RoundTripSweep, RandomConfigsSurviveSerialization) {
+  common::Rng rng(7);
+  const std::vector<std::uint16_t> pool = [] {
+    std::vector<std::uint16_t> ids;
+    for (const auto& s : all_suites()) ids.push_back(s.id);
+    return ids;
+  }();
+  for (int trial = 0; trial < 200; ++trial) {
+    ClientConfig cfg;
+    cfg.cipher_suites.clear();
+    const int n = 1 + static_cast<int>(rng.uniform(20));
+    for (int i = 0; i < n; ++i) {
+      cfg.cipher_suites.push_back(pool[rng.uniform(pool.size())]);
+    }
+    cfg.send_sni = rng.chance(0.8);
+    cfg.request_ocsp_staple = rng.chance(0.3);
+    cfg.session_ticket = rng.chance(0.3);
+    if (rng.chance(0.25)) cfg.alpn_protocols = {"h2"};
+    if (rng.chance(0.3)) {
+      cfg.versions = {ProtocolVersion::Tls1_2, ProtocolVersion::Tls1_3};
+    }
+    const auto hello = build_client_hello(cfg, "rt.example.com", rng);
+    const auto parsed = ClientHello::parse(hello.serialize());
+    EXPECT_EQ(parsed, hello) << "trial=" << trial;
+  }
+}
+
+// ---------- negotiation matrix ----------
+
+struct NegotiationCase {
+  const char* name;
+  std::vector<ProtocolVersion> client;
+  std::vector<ProtocolVersion> server;
+  std::optional<ProtocolVersion> expected;  // nullopt = must fail
+};
+
+class NegotiationMatrix : public ::testing::TestWithParam<NegotiationCase> {};
+
+TEST_P(NegotiationMatrix, NegotiatesHighestCommonVersion) {
+  const auto& param = GetParam();
+  common::Rng rng(777);
+  pki::CertificateAuthority ca(x509::DistinguishedName::cn("Neg Root"), rng);
+  const auto keys = crypto::rsa_generate(rng, 512);
+  pki::RootStore roots;
+  roots.add(ca.root());
+
+  ServerConfig scfg;
+  scfg.versions = param.server;
+  scfg.cipher_suites = {TLS_AES_128_GCM_SHA256,
+                        TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                        TLS_RSA_WITH_AES_128_CBC_SHA};
+  scfg.chain = {ca.issue_server_cert("neg.example.com", keys.pub)};
+  scfg.keys = keys;
+  scfg.seed = 9;
+  auto server = std::make_shared<TlsServer>(scfg);
+  Transport transport(server);
+
+  ClientConfig ccfg;
+  ccfg.versions = param.client;
+  ccfg.cipher_suites = {TLS_AES_128_GCM_SHA256,
+                        TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+                        TLS_RSA_WITH_AES_128_CBC_SHA};
+  TlsClient client(ccfg, &roots, common::Rng(13),
+                   common::SimDate{2021, 3, 1});
+  const auto result = client.connect(transport, "neg.example.com");
+
+  if (param.expected.has_value()) {
+    ASSERT_TRUE(result.success())
+        << param.name << ": " << outcome_name(result.outcome);
+    EXPECT_EQ(result.negotiated_version, *param.expected) << param.name;
+  } else {
+    EXPECT_FALSE(result.success()) << param.name;
+  }
+}
+
+using PV = ProtocolVersion;
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, NegotiationMatrix,
+    ::testing::Values(
+        NegotiationCase{"both12", {PV::Tls1_2}, {PV::Tls1_2}, PV::Tls1_2},
+        NegotiationCase{"client13_server12",
+                        {PV::Tls1_2, PV::Tls1_3},
+                        {PV::Tls1_2},
+                        PV::Tls1_2},
+        NegotiationCase{"both13",
+                        {PV::Tls1_2, PV::Tls1_3},
+                        {PV::Tls1_2, PV::Tls1_3},
+                        PV::Tls1_3},
+        NegotiationCase{"legacy_client_modern_server",
+                        {PV::Tls1_0},
+                        {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2},
+                        PV::Tls1_0},
+        NegotiationCase{"server_caps_at_11",
+                        {PV::Tls1_0, PV::Tls1_1, PV::Tls1_2},
+                        {PV::Ssl3_0, PV::Tls1_0, PV::Tls1_1},
+                        PV::Tls1_1},
+        NegotiationCase{"no_overlap_fails",
+                        {PV::Tls1_3},
+                        {PV::Tls1_0, PV::Tls1_1},
+                        std::nullopt},
+        NegotiationCase{"ssl3_only_pair",
+                        {PV::Ssl3_0},
+                        {PV::Ssl3_0, PV::Tls1_2},
+                        PV::Ssl3_0}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace iotls::tls

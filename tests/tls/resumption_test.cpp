@@ -1,0 +1,204 @@
+// RFC 5077 session resumption: ticket issuance, abbreviated handshakes,
+// forged-ticket fallback, and the security boundary (resumption skips
+// certificate validation but cannot be spoofed without the ticket key).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pki/ca.hpp"
+#include "pki/spoof.hpp"
+#include "tls/client.hpp"
+#include "tls/server.hpp"
+
+namespace iotls::tls {
+namespace {
+
+constexpr common::SimDate kNow{2021, 3, 1};
+
+class ResumptionTest : public ::testing::Test {
+ protected:
+  ResumptionTest()
+      : rng_(555),
+        ca_(x509::DistinguishedName::cn("Resume Root"), rng_),
+        server_keys_(crypto::rsa_generate(rng_, 512)) {
+    roots_.add(ca_.root());
+    chain_ = {ca_.issue_server_cert("resume.example.com", server_keys_.pub)};
+  }
+
+  ServerConfig server_config(std::uint64_t seed = 77) const {
+    ServerConfig cfg;
+    cfg.chain = chain_;
+    cfg.keys = server_keys_;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  ClientConfig ticketing_client() const {
+    ClientConfig cfg;
+    cfg.session_ticket = true;
+    return cfg;
+  }
+
+  ClientResult run(const ClientConfig& ccfg, ServerConfig scfg,
+                   const ResumptionState* resume = nullptr,
+                   common::BytesView payload = {}) {
+    auto server = std::make_shared<TlsServer>(std::move(scfg));
+    last_server_ = server;
+    Transport transport(server);
+    TlsClient client(ccfg, &roots_, common::Rng(9), kNow);
+    return client.connect(transport, "resume.example.com", payload, resume);
+  }
+
+  common::Rng rng_;
+  pki::CertificateAuthority ca_;
+  crypto::RsaKeyPair server_keys_;
+  std::vector<x509::Certificate> chain_;
+  pki::RootStore roots_;
+  std::shared_ptr<TlsServer> last_server_;
+};
+
+TEST_F(ResumptionTest, FullHandshakeIssuesTicket) {
+  const auto result = run(ticketing_client(), server_config());
+  ASSERT_TRUE(result.success());
+  EXPECT_FALSE(result.resumed);
+  ASSERT_TRUE(result.resumption.has_value());
+  EXPECT_FALSE(result.resumption->ticket.empty());
+  EXPECT_EQ(result.resumption->cipher_suite, result.negotiated_suite);
+  EXPECT_TRUE(last_server_->observation().ticket_issued);
+}
+
+TEST_F(ResumptionTest, NoTicketWithoutClientExtension) {
+  ClientConfig plain;
+  plain.session_ticket = false;
+  const auto result = run(plain, server_config());
+  ASSERT_TRUE(result.success());
+  EXPECT_FALSE(result.resumption.has_value());
+  EXPECT_FALSE(last_server_->observation().ticket_issued);
+}
+
+TEST_F(ResumptionTest, TicketResumesWithoutCertificate) {
+  const auto first = run(ticketing_client(), server_config());
+  ASSERT_TRUE(first.resumption.has_value());
+
+  const auto second = run(ticketing_client(), server_config(),
+                          &*first.resumption);
+  ASSERT_TRUE(second.success());
+  EXPECT_TRUE(second.resumed);
+  EXPECT_TRUE(second.server_chain.empty());  // no Certificate message
+  EXPECT_EQ(second.negotiated_suite, first.negotiated_suite);
+  EXPECT_TRUE(last_server_->observation().resumed);
+  EXPECT_TRUE(last_server_->observation().handshake_complete);
+}
+
+TEST_F(ResumptionTest, ResumedApplicationDataFlows) {
+  const auto first = run(ticketing_client(), server_config());
+  ASSERT_TRUE(first.resumption.has_value());
+
+  const auto payload = common::to_bytes("resumed telemetry");
+  const auto second = run(ticketing_client(), server_config(),
+                          &*first.resumption, payload);
+  ASSERT_TRUE(second.success());
+  EXPECT_TRUE(second.resumed);
+  EXPECT_TRUE(second.app_data_exchanged);
+  EXPECT_EQ(last_server_->observation().client_plaintext, payload);
+}
+
+TEST_F(ResumptionTest, ForeignServerRejectsTicketAndFallsBackToFullHs) {
+  const auto first = run(ticketing_client(), server_config(/*seed=*/77));
+  ASSERT_TRUE(first.resumption.has_value());
+
+  // A server with a different ticket key cannot unseal the ticket; the
+  // handshake silently falls back to the full exchange.
+  const auto second = run(ticketing_client(), server_config(/*seed=*/78),
+                          &*first.resumption);
+  ASSERT_TRUE(second.success());
+  EXPECT_FALSE(second.resumed);
+  EXPECT_FALSE(second.server_chain.empty());  // full handshake ran
+}
+
+TEST_F(ResumptionTest, TamperedTicketFallsBackToFullHandshake) {
+  const auto first = run(ticketing_client(), server_config());
+  ASSERT_TRUE(first.resumption.has_value());
+  ResumptionState tampered = *first.resumption;
+  tampered.ticket[tampered.ticket.size() / 2] ^= 0x01;
+  const auto second = run(ticketing_client(), server_config(), &tampered);
+  ASSERT_TRUE(second.success());
+  EXPECT_FALSE(second.resumed);
+}
+
+TEST_F(ResumptionTest, InterceptorCannotAcceptStolenTicket) {
+  // The paper's threat model: an on-path attacker who captured a ticket
+  // still lacks the server's ticket key — resumption degrades to a full
+  // handshake against the forged identity, where validation catches it.
+  const auto first = run(ticketing_client(), server_config());
+  ASSERT_TRUE(first.resumption.has_value());
+
+  common::Rng rng(556);
+  const auto attacker = crypto::rsa_generate(rng, 512);
+  ServerConfig mitm;
+  mitm.chain = {pki::make_self_signed_leaf("resume.example.com", attacker)};
+  mitm.keys = attacker;
+  mitm.seed = 999;  // attacker's own ticket key
+  const auto attacked = run(ticketing_client(), std::move(mitm),
+                            &*first.resumption);
+  EXPECT_EQ(attacked.outcome, HandshakeOutcome::ValidationFailed);
+  EXPECT_EQ(attacked.verify_error, x509::VerifyError::UnknownIssuer);
+}
+
+TEST_F(ResumptionTest, ResumedTicketRemainsReusable) {
+  const auto first = run(ticketing_client(), server_config());
+  ASSERT_TRUE(first.resumption.has_value());
+  const auto second = run(ticketing_client(), server_config(),
+                          &*first.resumption);
+  ASSERT_TRUE(second.resumed);
+  ASSERT_TRUE(second.resumption.has_value());
+  const auto third = run(ticketing_client(), server_config(),
+                         &*second.resumption);
+  EXPECT_TRUE(third.resumed);
+}
+
+TEST_F(ResumptionTest, ServerWithTicketsDisabledIgnoresTickets) {
+  ServerConfig no_tickets = server_config();
+  no_tickets.session_tickets = false;
+  const auto first = run(ticketing_client(), no_tickets);
+  ASSERT_TRUE(first.success());
+  EXPECT_FALSE(first.resumption.has_value());
+}
+
+TEST(TicketSealing, RoundTripAndForgeryResistance) {
+  const auto key = common::to_bytes("ticket-key-ticket-key-ticket-key");
+  const auto master = common::to_bytes("master-secret-48-bytes-aaaaaaaaaaaa");
+  const auto ticket = seal_ticket(key, 0xC02F, master);
+
+  const auto contents = unseal_ticket(key, ticket);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->cipher_suite, 0xC02F);
+  EXPECT_EQ(contents->master_secret, master);
+
+  // Wrong key → reject.
+  EXPECT_FALSE(
+      unseal_ticket(common::to_bytes("other-key-other-key-other-key!!!"),
+                    ticket)
+          .has_value());
+  // Tamper → reject.
+  auto mangled = ticket;
+  mangled[5] ^= 0xFF;
+  EXPECT_FALSE(unseal_ticket(key, mangled).has_value());
+  // Garbage → reject, no throw.
+  EXPECT_FALSE(unseal_ticket(key, common::to_bytes("short")).has_value());
+}
+
+TEST(ResumedKeys, FreshRandomsFreshKeys) {
+  const auto master = common::to_bytes("master-secret-for-key-derivation");
+  Random32 cr{}, sr1{}, sr2{};
+  cr.fill(1);
+  sr1.fill(2);
+  sr2.fill(3);
+  const auto k1 = derive_resumed_keys(master, cr, sr1, 0xC02F);
+  const auto k2 = derive_resumed_keys(master, cr, sr2, 0xC02F);
+  EXPECT_NE(k1.client_key, k2.client_key);
+  EXPECT_EQ(k1.master_secret, k2.master_secret);
+}
+
+}  // namespace
+}  // namespace iotls::tls

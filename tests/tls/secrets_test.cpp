@@ -1,0 +1,137 @@
+#include "tls/secrets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tls/rc4.hpp"
+
+namespace iotls::tls {
+namespace {
+
+Random32 filled_random(std::uint8_t v) {
+  Random32 r{};
+  r.fill(v);
+  return r;
+}
+
+TEST(Rc4, KnownVector) {
+  // Wikipedia test vector: key "Key", plaintext "Plaintext".
+  const auto ct = rc4_xor(common::to_bytes("Key"),
+                          common::to_bytes("Plaintext"));
+  const common::Bytes expected = {0xBB, 0xF3, 0x16, 0xE8, 0xD9,
+                                  0x40, 0xAF, 0x0A, 0xD3};
+  EXPECT_EQ(ct, expected);
+}
+
+TEST(Rc4, RoundTrip) {
+  const auto key = common::to_bytes("sixteen-byte-key");
+  const auto msg = common::to_bytes("message");
+  EXPECT_EQ(rc4_xor(key, rc4_xor(key, msg)), msg);
+}
+
+TEST(Rc4, BadKeySizeThrows) {
+  EXPECT_THROW(rc4_xor({}, common::to_bytes("x")), common::CryptoError);
+}
+
+TEST(SessionKeysTest, DeterministicDerivation) {
+  const auto pm = common::to_bytes("premaster");
+  const auto k1 = derive_session_keys(pm, filled_random(1), filled_random(2),
+                                      TLS_RSA_WITH_AES_128_GCM_SHA256);
+  const auto k2 = derive_session_keys(pm, filled_random(1), filled_random(2),
+                                      TLS_RSA_WITH_AES_128_GCM_SHA256);
+  EXPECT_EQ(k1.master_secret, k2.master_secret);
+  EXPECT_EQ(k1.client_key, k2.client_key);
+}
+
+TEST(SessionKeysTest, SuiteSeparatesKeys) {
+  const auto pm = common::to_bytes("premaster");
+  const auto k1 = derive_session_keys(pm, filled_random(1), filled_random(2),
+                                      TLS_RSA_WITH_AES_128_GCM_SHA256);
+  const auto k2 = derive_session_keys(pm, filled_random(1), filled_random(2),
+                                      TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305);
+  EXPECT_NE(k1.master_secret, k2.master_secret);
+}
+
+TEST(SessionKeysTest, DirectionalKeysDiffer) {
+  const auto k = derive_session_keys(common::to_bytes("pm"),
+                                     filled_random(1), filled_random(2),
+                                     TLS_RSA_WITH_AES_128_GCM_SHA256);
+  EXPECT_NE(k.client_key, k.server_key);
+  EXPECT_NE(k.client_mac_key, k.server_mac_key);
+  EXPECT_NE(k.client_nonce, k.server_nonce);
+  EXPECT_EQ(k.client_nonce.size(), 12u);
+}
+
+TEST(VerifyData, LabelsSeparateClientServer) {
+  const auto master = common::to_bytes("master");
+  const auto hash = common::to_bytes("transcript-hash");
+  const auto c = compute_verify_data(master, true, hash);
+  const auto s = compute_verify_data(master, false, hash);
+  EXPECT_NE(c, s);
+  EXPECT_EQ(c.size(), 12u);
+}
+
+class RecordProtectionSuite
+    : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(RecordProtectionSuite, ProtectUnprotectRoundTrip) {
+  const auto keys = derive_session_keys(common::to_bytes("pm"),
+                                        filled_random(3), filled_random(4),
+                                        GetParam());
+  RecordProtection sender(GetParam(), keys.client_key, keys.client_mac_key,
+                          keys.client_nonce);
+  RecordProtection receiver(GetParam(), keys.client_key, keys.client_mac_key,
+                            keys.client_nonce);
+  const auto msg = common::to_bytes("sensitive payload: bearer token XYZ");
+  const auto protected1 = sender.protect(msg);
+  const auto protected2 = sender.protect(msg);
+  EXPECT_NE(protected1, protected2) << "sequence number must vary keystream";
+  EXPECT_EQ(receiver.unprotect(protected1), msg);
+  EXPECT_EQ(receiver.unprotect(protected2), msg);
+}
+
+TEST_P(RecordProtectionSuite, TamperDetected) {
+  const auto keys = derive_session_keys(common::to_bytes("pm"),
+                                        filled_random(3), filled_random(4),
+                                        GetParam());
+  RecordProtection sender(GetParam(), keys.client_key, keys.client_mac_key,
+                          keys.client_nonce);
+  RecordProtection receiver(GetParam(), keys.client_key, keys.client_mac_key,
+                            keys.client_nonce);
+  auto protected_data = sender.protect(common::to_bytes("data"));
+  protected_data[0] ^= 1;
+  EXPECT_THROW(receiver.unprotect(protected_data), common::CryptoError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ciphers, RecordProtectionSuite,
+    ::testing::Values(TLS_RSA_WITH_AES_128_GCM_SHA256,           // aes128
+                      TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,     // aes256
+                      TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305,      // chacha
+                      TLS_RSA_WITH_RC4_128_SHA,                  // rc4
+                      TLS_RSA_WITH_3DES_EDE_CBC_SHA),            // 3des→aes
+    [](const auto& info) { return "suite_" + suite_name(info.param); });
+
+TEST(RecordProtectionTest, NullCipherIsPlaintextButAuthenticated) {
+  const auto keys = derive_session_keys(common::to_bytes("pm"),
+                                        filled_random(3), filled_random(4),
+                                        TLS_RSA_WITH_NULL_SHA);
+  RecordProtection sender(TLS_RSA_WITH_NULL_SHA, keys.client_key,
+                          keys.client_mac_key, keys.client_nonce);
+  const auto msg = common::to_bytes("visible");
+  const auto out = sender.protect(msg);
+  // Plaintext is visible in the protected record (NULL cipher).
+  ASSERT_GE(out.size(), msg.size());
+  EXPECT_TRUE(std::equal(msg.begin(), msg.end(), out.begin()));
+}
+
+TEST(RecordProtectionTest, ShortRecordRejected) {
+  const auto keys = derive_session_keys(common::to_bytes("pm"),
+                                        filled_random(3), filled_random(4),
+                                        TLS_RSA_WITH_AES_128_GCM_SHA256);
+  RecordProtection receiver(TLS_RSA_WITH_AES_128_GCM_SHA256, keys.client_key,
+                            keys.client_mac_key, keys.client_nonce);
+  EXPECT_THROW(receiver.unprotect(common::Bytes(5, 0)), common::CryptoError);
+}
+
+}  // namespace
+}  // namespace iotls::tls

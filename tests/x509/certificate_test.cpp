@@ -1,0 +1,150 @@
+#include "x509/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotls::x509 {
+namespace {
+
+crypto::RsaKeyPair test_keys(std::uint64_t seed) {
+  common::Rng rng(seed);
+  return crypto::rsa_generate(rng, 512);
+}
+
+TEST(DistinguishedName, EqualityIsFieldWise) {
+  const DistinguishedName a{"Root CA", "Org", "US"};
+  const DistinguishedName b{"Root CA", "Org", "US"};
+  const DistinguishedName c{"Root CA", "Org", "DE"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(DistinguishedName, StrRendersPresentFields) {
+  EXPECT_EQ((DistinguishedName{"X", "", ""}).str(), "CN=X");
+  EXPECT_EQ((DistinguishedName{"X", "O", "US"}).str(), "CN=X, O=O, C=US");
+}
+
+TEST(DistinguishedName, SerializeRoundTrip) {
+  const DistinguishedName dn{"Some Root", "Trust Org", "FI"};
+  const common::Bytes bytes = dn.serialize();
+  common::ByteReader r(bytes);
+  EXPECT_EQ(DistinguishedName::parse(r), dn);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Extensions, SerializeRoundTripFull) {
+  CertExtensions ext;
+  ext.basic_constraints = BasicConstraints{true, 3};
+  ext.subject_alt_names = {"example.com", "*.example.com"};
+  ext.key_usage = KeyUsage{true, true, false, true};
+  ext.crl_distribution_point = "http://crl.example.com/root.crl";
+  ext.ocsp_responder = "http://ocsp.example.com";
+  ext.must_staple = true;
+
+  const common::Bytes bytes = ext.serialize();
+  common::ByteReader r(bytes);
+  EXPECT_EQ(CertExtensions::parse(r), ext);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Extensions, SerializeRoundTripEmpty) {
+  const CertExtensions ext;
+  const common::Bytes bytes = ext.serialize();
+  common::ByteReader r(bytes);
+  EXPECT_EQ(CertExtensions::parse(r), ext);
+}
+
+TEST(Validity, Contains) {
+  const Validity v{{2020, 1, 1}, {2022, 1, 1}};
+  EXPECT_TRUE(v.contains({2021, 6, 1}));
+  EXPECT_TRUE(v.contains({2020, 1, 1}));
+  EXPECT_TRUE(v.contains({2022, 1, 1}));
+  EXPECT_FALSE(v.contains({2019, 12, 30}));
+  EXPECT_FALSE(v.contains({2022, 1, 2}));
+}
+
+TEST(Certificate, SelfSignedRootVerifiesUnderOwnKey) {
+  const auto keys = test_keys(31337);
+  const auto root = make_self_signed_root(
+      DistinguishedName::cn("Test Root"), {0x01}, keys);
+  EXPECT_TRUE(root.is_self_signed());
+  EXPECT_TRUE(root.tbs.extensions.basic_constraints->is_ca);
+  EXPECT_TRUE(crypto::rsa_verify(keys.pub, root.tbs.serialize(),
+                                 root.signature));
+}
+
+TEST(Certificate, IssueBindsIssuerKey) {
+  const auto ca_keys = test_keys(1);
+  const auto leaf_keys = test_keys(2);
+  TbsCertificate tbs;
+  tbs.serial = {0x42};
+  tbs.issuer = DistinguishedName::cn("CA");
+  tbs.subject = DistinguishedName::cn("host.example.com");
+  tbs.subject_public_key = leaf_keys.pub;
+  const Certificate cert = issue_certificate(tbs, ca_keys.priv);
+  EXPECT_TRUE(
+      crypto::rsa_verify(ca_keys.pub, cert.tbs.serialize(), cert.signature));
+  EXPECT_FALSE(
+      crypto::rsa_verify(leaf_keys.pub, cert.tbs.serialize(), cert.signature));
+}
+
+TEST(Certificate, SerializeRoundTrip) {
+  const auto keys = test_keys(3);
+  const auto root = make_self_signed_root(
+      DistinguishedName{"Root", "Org", "US"}, {0xAA, 0xBB}, keys);
+  const Certificate parsed = Certificate::parse(root.serialize());
+  EXPECT_EQ(parsed, root);
+}
+
+TEST(Certificate, FingerprintIsStableAndKeySensitive) {
+  const auto k1 = test_keys(4);
+  const auto k2 = test_keys(5);
+  const auto a = make_self_signed_root(DistinguishedName::cn("R"), {1}, k1);
+  const auto b = make_self_signed_root(DistinguishedName::cn("R"), {1}, k1);
+  const auto c = make_self_signed_root(DistinguishedName::cn("R"), {1}, k2);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_EQ(a.fingerprint().size(), 64u);
+}
+
+TEST(Certificate, HostnameMatchPrefersSans) {
+  const auto keys = test_keys(6);
+  TbsCertificate tbs;
+  tbs.subject = DistinguishedName::cn("cn-host.example.com");
+  tbs.subject_public_key = keys.pub;
+  tbs.extensions.subject_alt_names = {"san.example.com", "*.api.example.com"};
+  const Certificate cert = issue_certificate(tbs, keys.priv);
+  EXPECT_TRUE(cert.matches_hostname("san.example.com"));
+  EXPECT_TRUE(cert.matches_hostname("v1.api.example.com"));
+  // CN is ignored when SANs are present.
+  EXPECT_FALSE(cert.matches_hostname("cn-host.example.com"));
+}
+
+TEST(Certificate, HostnameFallsBackToCn) {
+  const auto keys = test_keys(7);
+  TbsCertificate tbs;
+  tbs.subject = DistinguishedName::cn("only-cn.example.com");
+  tbs.subject_public_key = keys.pub;
+  const Certificate cert = issue_certificate(tbs, keys.priv);
+  EXPECT_TRUE(cert.matches_hostname("only-cn.example.com"));
+  EXPECT_FALSE(cert.matches_hostname("other.example.com"));
+}
+
+TEST(Certificate, ParseRejectsTrailingGarbage) {
+  const auto keys = test_keys(8);
+  const auto root =
+      make_self_signed_root(DistinguishedName::cn("R"), {1}, keys);
+  auto bytes = root.serialize();
+  bytes.push_back(0x00);
+  EXPECT_THROW(Certificate::parse(bytes), common::ParseError);
+}
+
+TEST(Certificate, TamperedTbsBreaksSignature) {
+  const auto keys = test_keys(9);
+  auto root = make_self_signed_root(DistinguishedName::cn("R"), {1}, keys);
+  root.tbs.subject.common_name = "Evil";
+  EXPECT_FALSE(
+      crypto::rsa_verify(keys.pub, root.tbs.serialize(), root.signature));
+}
+
+}  // namespace
+}  // namespace iotls::x509

@@ -1,0 +1,145 @@
+// Property sweep over certificate-chain shapes: chains of every depth must
+// verify, and corruption at any depth must be detected *at that depth*.
+#include <gtest/gtest.h>
+
+#include "pki/ca.hpp"
+#include "x509/verify.hpp"
+
+namespace iotls::x509 {
+namespace {
+
+constexpr common::SimDate kNow{2021, 3, 1};
+
+/// Build a chain with `intermediates` intermediate CAs:
+/// [leaf, int_n, ..., int_1] anchored at a root in the trust store.
+struct ChainFixture {
+  explicit ChainFixture(int intermediates, std::uint64_t seed = 1234)
+      : rng(seed) {
+    pki::CertificateAuthority root_ca(DistinguishedName::cn("Depth Root"),
+                                      rng, Validity{}, 512);
+    anchors = {root_ca.root()};
+
+    // Chain of intermediates, each signed by its parent. (Reserve first:
+    // signer_key points into the vector across iterations.)
+    keys.reserve(static_cast<std::size_t>(intermediates) + 1);
+    const crypto::RsaPrivateKey* signer_key = &root_ca.keypair().priv;
+    DistinguishedName signer_name = root_ca.root().tbs.subject;
+    std::vector<Certificate> intermediates_top_down;
+    for (int i = 0; i < intermediates; ++i) {
+      keys.push_back(crypto::rsa_generate(rng, 512));
+      TbsCertificate tbs;
+      tbs.serial = {static_cast<std::uint8_t>(i + 1)};
+      tbs.issuer = signer_name;
+      tbs.subject = DistinguishedName::cn("Intermediate " +
+                                          std::to_string(i + 1));
+      tbs.subject_public_key = keys.back().pub;
+      tbs.extensions.basic_constraints = BasicConstraints{true, {}};
+      intermediates_top_down.push_back(
+          issue_certificate(tbs, *signer_key));
+      signer_key = &keys.back().priv;
+      signer_name = tbs.subject;
+    }
+
+    leaf_keys = crypto::rsa_generate(rng, 512);
+    TbsCertificate leaf_tbs;
+    leaf_tbs.serial = {0x77};
+    leaf_tbs.issuer = signer_name;
+    leaf_tbs.subject = DistinguishedName::cn("deep.example.com");
+    leaf_tbs.subject_public_key = leaf_keys.pub;
+    leaf_tbs.extensions.subject_alt_names = {"deep.example.com"};
+    leaf_tbs.extensions.basic_constraints = BasicConstraints{false, {}};
+    chain.push_back(issue_certificate(leaf_tbs, *signer_key));
+    // Leaf-first ordering: reverse the top-down intermediate list.
+    for (auto it = intermediates_top_down.rbegin();
+         it != intermediates_top_down.rend(); ++it) {
+      chain.push_back(*it);
+    }
+  }
+
+  common::Rng rng;
+  std::vector<crypto::RsaKeyPair> keys;
+  crypto::RsaKeyPair leaf_keys;
+  std::vector<Certificate> chain;
+  std::vector<Certificate> anchors;
+};
+
+class ChainDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDepthSweep, IntactChainVerifies) {
+  ChainFixture fx(GetParam());
+  const auto result =
+      verify_chain(fx.chain, "deep.example.com", fx.anchors, kNow);
+  EXPECT_TRUE(result.ok()) << verify_error_name(result.error);
+}
+
+TEST_P(ChainDepthSweep, CorruptionDetectedAtEveryDepth) {
+  for (std::size_t depth = 0; depth <= static_cast<std::size_t>(GetParam());
+       ++depth) {
+    ChainFixture fx(GetParam());
+    // Corrupt the signature of the certificate at `depth`.
+    fx.chain[depth].signature[4] ^= 0x01;
+    const auto result =
+        verify_chain(fx.chain, "deep.example.com", fx.anchors, kNow);
+    EXPECT_EQ(result.error, VerifyError::BadSignature) << "depth " << depth;
+    EXPECT_EQ(result.failed_depth, static_cast<int>(depth));
+  }
+}
+
+TEST_P(ChainDepthSweep, NonCaIntermediateRejected) {
+  if (GetParam() == 0) GTEST_SKIP() << "no intermediates at depth 0";
+  // Flip the first intermediate's CA bit; with signature checks isolated
+  // off, the verifier must still reject on BasicConstraints alone.
+  ChainFixture fx(GetParam());
+  fx.chain[1].tbs.extensions.basic_constraints = BasicConstraints{false, {}};
+  VerifyPolicy sig_off;
+  sig_off.check_signature = false;
+  const auto result = verify_chain(fx.chain, "deep.example.com", fx.anchors,
+                                   kNow, sig_off);
+  EXPECT_EQ(result.error, VerifyError::InvalidBasicConstraints);
+  EXPECT_EQ(result.failed_depth, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChainDepthSweep, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return "intermediates" +
+                                  std::to_string(info.param);
+                         });
+
+TEST(ChainPathLen, ConstraintEnforced) {
+  // A path_len_constraint of 0 forbids intermediates below the constrained
+  // CA; build root -> intermediate(path_len=0) -> intermediate2 -> leaf.
+  common::Rng rng(888);
+  pki::CertificateAuthority root(DistinguishedName::cn("PL Root"), rng,
+                                 Validity{}, 512);
+  const auto int1_keys = crypto::rsa_generate(rng, 512);
+  const auto int1 = root.issue_intermediate(
+      DistinguishedName::cn("PL Int 1"), int1_keys.pub);
+  ASSERT_TRUE(int1.tbs.extensions.basic_constraints->path_len_constraint
+                  .has_value());
+
+  const auto int2_keys = crypto::rsa_generate(rng, 512);
+  TbsCertificate int2_tbs;
+  int2_tbs.serial = {2};
+  int2_tbs.issuer = int1.tbs.subject;
+  int2_tbs.subject = DistinguishedName::cn("PL Int 2");
+  int2_tbs.subject_public_key = int2_keys.pub;
+  int2_tbs.extensions.basic_constraints = BasicConstraints{true, {}};
+  const auto int2 = issue_certificate(int2_tbs, int1_keys.priv);
+
+  const auto leaf_keys = crypto::rsa_generate(rng, 512);
+  TbsCertificate leaf_tbs;
+  leaf_tbs.serial = {3};
+  leaf_tbs.issuer = int2.tbs.subject;
+  leaf_tbs.subject = DistinguishedName::cn("pl.example.com");
+  leaf_tbs.subject_public_key = leaf_keys.pub;
+  leaf_tbs.extensions.subject_alt_names = {"pl.example.com"};
+  const auto leaf = issue_certificate(leaf_tbs, int2_keys.priv);
+
+  const std::vector<Certificate> chain = {leaf, int2, int1};
+  const std::vector<Certificate> anchors = {root.root()};
+  const auto result = verify_chain(chain, "pl.example.com", anchors, kNow);
+  EXPECT_EQ(result.error, VerifyError::InvalidBasicConstraints);
+}
+
+}  // namespace
+}  // namespace iotls::x509
