@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_keysize.dir/bench_ablation_keysize.cpp.o"
+  "CMakeFiles/bench_ablation_keysize.dir/bench_ablation_keysize.cpp.o.d"
+  "bench_ablation_keysize"
+  "bench_ablation_keysize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keysize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resumption.dir/bench_ablation_resumption.cpp.o"
+  "CMakeFiles/bench_ablation_resumption.dir/bench_ablation_resumption.cpp.o.d"
+  "bench_ablation_resumption"
+  "bench_ablation_resumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_versions.dir/bench_figs.cpp.o"
+  "CMakeFiles/bench_fig1_versions.dir/bench_figs.cpp.o.d"
+  "bench_fig1_versions"
+  "bench_fig1_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

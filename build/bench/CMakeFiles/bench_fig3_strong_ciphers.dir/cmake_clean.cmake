@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_strong_ciphers.dir/bench_figs.cpp.o"
+  "CMakeFiles/bench_fig3_strong_ciphers.dir/bench_figs.cpp.o.d"
+  "bench_fig3_strong_ciphers"
+  "bench_fig3_strong_ciphers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_strong_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figs.cpp" "bench/CMakeFiles/bench_fig4_staleness.dir/bench_figs.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_staleness.dir/bench_figs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iotls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/iotls_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/iotls_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitm/CMakeFiles/iotls_mitm.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/iotls_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/iotls_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/iotls_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/iotls_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

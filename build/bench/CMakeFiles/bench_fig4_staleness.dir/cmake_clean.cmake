@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_staleness.dir/bench_figs.cpp.o"
+  "CMakeFiles/bench_fig4_staleness.dir/bench_figs.cpp.o.d"
+  "bench_fig4_staleness"
+  "bench_fig4_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_stores.dir/bench_tables.cpp.o"
+  "CMakeFiles/bench_table3_stores.dir/bench_tables.cpp.o.d"
+  "bench_table3_stores"
+  "bench_table3_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_libraries.dir/bench_tables.cpp.o"
+  "CMakeFiles/bench_table4_libraries.dir/bench_tables.cpp.o.d"
+  "bench_table4_libraries"
+  "bench_table4_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

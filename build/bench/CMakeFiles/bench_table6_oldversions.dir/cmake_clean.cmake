@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_oldversions.dir/bench_tables.cpp.o"
+  "CMakeFiles/bench_table6_oldversions.dir/bench_tables.cpp.o.d"
+  "bench_table6_oldversions"
+  "bench_table6_oldversions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_oldversions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_guard.dir/home_guard.cpp.o"
+  "CMakeFiles/home_guard.dir/home_guard.cpp.o.d"
+  "home_guard"
+  "home_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

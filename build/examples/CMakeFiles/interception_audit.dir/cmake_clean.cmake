@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interception_audit.dir/interception_audit.cpp.o"
+  "CMakeFiles/interception_audit.dir/interception_audit.cpp.o.d"
+  "interception_audit"
+  "interception_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interception_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_store_probe.dir/root_store_probe.cpp.o"
+  "CMakeFiles/root_store_probe.dir/root_store_probe.cpp.o.d"
+  "root_store_probe"
+  "root_store_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_store_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

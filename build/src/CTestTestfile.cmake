@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("x509")
+subdirs("pki")
+subdirs("tls")
+subdirs("net")
+subdirs("fingerprint")
+subdirs("devices")
+subdirs("testbed")
+subdirs("mitm")
+subdirs("probe")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/iotls_analysis.dir/advisor.cpp.o.d"
+  "CMakeFiles/iotls_analysis.dir/fpstudy.cpp.o"
+  "CMakeFiles/iotls_analysis.dir/fpstudy.cpp.o.d"
+  "CMakeFiles/iotls_analysis.dir/longitudinal.cpp.o"
+  "CMakeFiles/iotls_analysis.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/iotls_analysis.dir/party.cpp.o"
+  "CMakeFiles/iotls_analysis.dir/party.cpp.o.d"
+  "CMakeFiles/iotls_analysis.dir/revocation.cpp.o"
+  "CMakeFiles/iotls_analysis.dir/revocation.cpp.o.d"
+  "CMakeFiles/iotls_analysis.dir/staleness.cpp.o"
+  "CMakeFiles/iotls_analysis.dir/staleness.cpp.o.d"
+  "CMakeFiles/iotls_analysis.dir/summary.cpp.o"
+  "CMakeFiles/iotls_analysis.dir/summary.cpp.o.d"
+  "libiotls_analysis.a"
+  "libiotls_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

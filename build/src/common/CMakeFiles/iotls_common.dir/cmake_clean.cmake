@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_common.dir/bytes.cpp.o"
+  "CMakeFiles/iotls_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/iotls_common.dir/hex.cpp.o"
+  "CMakeFiles/iotls_common.dir/hex.cpp.o.d"
+  "CMakeFiles/iotls_common.dir/rng.cpp.o"
+  "CMakeFiles/iotls_common.dir/rng.cpp.o.d"
+  "CMakeFiles/iotls_common.dir/simtime.cpp.o"
+  "CMakeFiles/iotls_common.dir/simtime.cpp.o.d"
+  "CMakeFiles/iotls_common.dir/strings.cpp.o"
+  "CMakeFiles/iotls_common.dir/strings.cpp.o.d"
+  "CMakeFiles/iotls_common.dir/table.cpp.o"
+  "CMakeFiles/iotls_common.dir/table.cpp.o.d"
+  "libiotls_common.a"
+  "libiotls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_core.dir/study.cpp.o"
+  "CMakeFiles/iotls_core.dir/study.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/table4.cpp.o"
+  "CMakeFiles/iotls_core.dir/table4.cpp.o.d"
+  "libiotls_core.a"
+  "libiotls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

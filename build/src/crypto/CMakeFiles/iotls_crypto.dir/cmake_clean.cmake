@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/dh.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/sha256.cpp.o.d"
+  "libiotls_crypto.a"
+  "libiotls_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

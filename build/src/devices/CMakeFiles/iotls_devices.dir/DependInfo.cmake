@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/catalog.cpp" "src/devices/CMakeFiles/iotls_devices.dir/catalog.cpp.o" "gcc" "src/devices/CMakeFiles/iotls_devices.dir/catalog.cpp.o.d"
+  "/root/repo/src/devices/catalog_amazon.cpp" "src/devices/CMakeFiles/iotls_devices.dir/catalog_amazon.cpp.o" "gcc" "src/devices/CMakeFiles/iotls_devices.dir/catalog_amazon.cpp.o.d"
+  "/root/repo/src/devices/catalog_apple_google.cpp" "src/devices/CMakeFiles/iotls_devices.dir/catalog_apple_google.cpp.o" "gcc" "src/devices/CMakeFiles/iotls_devices.dir/catalog_apple_google.cpp.o.d"
+  "/root/repo/src/devices/catalog_cameras_hubs.cpp" "src/devices/CMakeFiles/iotls_devices.dir/catalog_cameras_hubs.cpp.o" "gcc" "src/devices/CMakeFiles/iotls_devices.dir/catalog_cameras_hubs.cpp.o.d"
+  "/root/repo/src/devices/catalog_home_tv_appliances.cpp" "src/devices/CMakeFiles/iotls_devices.dir/catalog_home_tv_appliances.cpp.o" "gcc" "src/devices/CMakeFiles/iotls_devices.dir/catalog_home_tv_appliances.cpp.o.d"
+  "/root/repo/src/devices/profile.cpp" "src/devices/CMakeFiles/iotls_devices.dir/profile.cpp.o" "gcc" "src/devices/CMakeFiles/iotls_devices.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fingerprint/CMakeFiles/iotls_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/iotls_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_devices.dir/catalog.cpp.o"
+  "CMakeFiles/iotls_devices.dir/catalog.cpp.o.d"
+  "CMakeFiles/iotls_devices.dir/catalog_amazon.cpp.o"
+  "CMakeFiles/iotls_devices.dir/catalog_amazon.cpp.o.d"
+  "CMakeFiles/iotls_devices.dir/catalog_apple_google.cpp.o"
+  "CMakeFiles/iotls_devices.dir/catalog_apple_google.cpp.o.d"
+  "CMakeFiles/iotls_devices.dir/catalog_cameras_hubs.cpp.o"
+  "CMakeFiles/iotls_devices.dir/catalog_cameras_hubs.cpp.o.d"
+  "CMakeFiles/iotls_devices.dir/catalog_home_tv_appliances.cpp.o"
+  "CMakeFiles/iotls_devices.dir/catalog_home_tv_appliances.cpp.o.d"
+  "CMakeFiles/iotls_devices.dir/profile.cpp.o"
+  "CMakeFiles/iotls_devices.dir/profile.cpp.o.d"
+  "libiotls_devices.a"
+  "libiotls_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

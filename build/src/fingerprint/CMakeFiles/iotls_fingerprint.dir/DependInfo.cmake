@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/database.cpp" "src/fingerprint/CMakeFiles/iotls_fingerprint.dir/database.cpp.o" "gcc" "src/fingerprint/CMakeFiles/iotls_fingerprint.dir/database.cpp.o.d"
+  "/root/repo/src/fingerprint/fingerprint.cpp" "src/fingerprint/CMakeFiles/iotls_fingerprint.dir/fingerprint.cpp.o" "gcc" "src/fingerprint/CMakeFiles/iotls_fingerprint.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/fingerprint/graph.cpp" "src/fingerprint/CMakeFiles/iotls_fingerprint.dir/graph.cpp.o" "gcc" "src/fingerprint/CMakeFiles/iotls_fingerprint.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/iotls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/iotls_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_fingerprint.dir/database.cpp.o"
+  "CMakeFiles/iotls_fingerprint.dir/database.cpp.o.d"
+  "CMakeFiles/iotls_fingerprint.dir/fingerprint.cpp.o"
+  "CMakeFiles/iotls_fingerprint.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/iotls_fingerprint.dir/graph.cpp.o"
+  "CMakeFiles/iotls_fingerprint.dir/graph.cpp.o.d"
+  "libiotls_fingerprint.a"
+  "libiotls_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

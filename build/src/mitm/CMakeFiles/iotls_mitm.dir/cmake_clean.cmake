@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_mitm.dir/attacks.cpp.o"
+  "CMakeFiles/iotls_mitm.dir/attacks.cpp.o.d"
+  "CMakeFiles/iotls_mitm.dir/interceptor.cpp.o"
+  "CMakeFiles/iotls_mitm.dir/interceptor.cpp.o.d"
+  "CMakeFiles/iotls_mitm.dir/runner.cpp.o"
+  "CMakeFiles/iotls_mitm.dir/runner.cpp.o.d"
+  "libiotls_mitm.a"
+  "libiotls_mitm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_mitm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

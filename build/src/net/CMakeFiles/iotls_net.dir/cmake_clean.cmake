@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_net.dir/capture.cpp.o"
+  "CMakeFiles/iotls_net.dir/capture.cpp.o.d"
+  "CMakeFiles/iotls_net.dir/guard.cpp.o"
+  "CMakeFiles/iotls_net.dir/guard.cpp.o.d"
+  "CMakeFiles/iotls_net.dir/network.cpp.o"
+  "CMakeFiles/iotls_net.dir/network.cpp.o.d"
+  "libiotls_net.a"
+  "libiotls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/ca.cpp" "src/pki/CMakeFiles/iotls_pki.dir/ca.cpp.o" "gcc" "src/pki/CMakeFiles/iotls_pki.dir/ca.cpp.o.d"
+  "/root/repo/src/pki/history.cpp" "src/pki/CMakeFiles/iotls_pki.dir/history.cpp.o" "gcc" "src/pki/CMakeFiles/iotls_pki.dir/history.cpp.o.d"
+  "/root/repo/src/pki/revocation.cpp" "src/pki/CMakeFiles/iotls_pki.dir/revocation.cpp.o" "gcc" "src/pki/CMakeFiles/iotls_pki.dir/revocation.cpp.o.d"
+  "/root/repo/src/pki/root_store.cpp" "src/pki/CMakeFiles/iotls_pki.dir/root_store.cpp.o" "gcc" "src/pki/CMakeFiles/iotls_pki.dir/root_store.cpp.o.d"
+  "/root/repo/src/pki/spoof.cpp" "src/pki/CMakeFiles/iotls_pki.dir/spoof.cpp.o" "gcc" "src/pki/CMakeFiles/iotls_pki.dir/spoof.cpp.o.d"
+  "/root/repo/src/pki/universe.cpp" "src/pki/CMakeFiles/iotls_pki.dir/universe.cpp.o" "gcc" "src/pki/CMakeFiles/iotls_pki.dir/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_pki.dir/ca.cpp.o"
+  "CMakeFiles/iotls_pki.dir/ca.cpp.o.d"
+  "CMakeFiles/iotls_pki.dir/history.cpp.o"
+  "CMakeFiles/iotls_pki.dir/history.cpp.o.d"
+  "CMakeFiles/iotls_pki.dir/revocation.cpp.o"
+  "CMakeFiles/iotls_pki.dir/revocation.cpp.o.d"
+  "CMakeFiles/iotls_pki.dir/root_store.cpp.o"
+  "CMakeFiles/iotls_pki.dir/root_store.cpp.o.d"
+  "CMakeFiles/iotls_pki.dir/spoof.cpp.o"
+  "CMakeFiles/iotls_pki.dir/spoof.cpp.o.d"
+  "CMakeFiles/iotls_pki.dir/universe.cpp.o"
+  "CMakeFiles/iotls_pki.dir/universe.cpp.o.d"
+  "libiotls_pki.a"
+  "libiotls_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

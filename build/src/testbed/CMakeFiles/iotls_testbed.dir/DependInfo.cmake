@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/cloud.cpp" "src/testbed/CMakeFiles/iotls_testbed.dir/cloud.cpp.o" "gcc" "src/testbed/CMakeFiles/iotls_testbed.dir/cloud.cpp.o.d"
+  "/root/repo/src/testbed/longitudinal.cpp" "src/testbed/CMakeFiles/iotls_testbed.dir/longitudinal.cpp.o" "gcc" "src/testbed/CMakeFiles/iotls_testbed.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/testbed/plug.cpp" "src/testbed/CMakeFiles/iotls_testbed.dir/plug.cpp.o" "gcc" "src/testbed/CMakeFiles/iotls_testbed.dir/plug.cpp.o.d"
+  "/root/repo/src/testbed/runtime.cpp" "src/testbed/CMakeFiles/iotls_testbed.dir/runtime.cpp.o" "gcc" "src/testbed/CMakeFiles/iotls_testbed.dir/runtime.cpp.o.d"
+  "/root/repo/src/testbed/testbed.cpp" "src/testbed/CMakeFiles/iotls_testbed.dir/testbed.cpp.o" "gcc" "src/testbed/CMakeFiles/iotls_testbed.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/iotls_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/iotls_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/iotls_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_testbed.dir/cloud.cpp.o"
+  "CMakeFiles/iotls_testbed.dir/cloud.cpp.o.d"
+  "CMakeFiles/iotls_testbed.dir/longitudinal.cpp.o"
+  "CMakeFiles/iotls_testbed.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/iotls_testbed.dir/plug.cpp.o"
+  "CMakeFiles/iotls_testbed.dir/plug.cpp.o.d"
+  "CMakeFiles/iotls_testbed.dir/runtime.cpp.o"
+  "CMakeFiles/iotls_testbed.dir/runtime.cpp.o.d"
+  "CMakeFiles/iotls_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/iotls_testbed.dir/testbed.cpp.o.d"
+  "libiotls_testbed.a"
+  "libiotls_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

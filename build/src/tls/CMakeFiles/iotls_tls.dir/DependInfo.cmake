@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/alert.cpp" "src/tls/CMakeFiles/iotls_tls.dir/alert.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/alert.cpp.o.d"
+  "/root/repo/src/tls/ciphersuite.cpp" "src/tls/CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o.d"
+  "/root/repo/src/tls/client.cpp" "src/tls/CMakeFiles/iotls_tls.dir/client.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/client.cpp.o.d"
+  "/root/repo/src/tls/extension.cpp" "src/tls/CMakeFiles/iotls_tls.dir/extension.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/extension.cpp.o.d"
+  "/root/repo/src/tls/messages.cpp" "src/tls/CMakeFiles/iotls_tls.dir/messages.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/messages.cpp.o.d"
+  "/root/repo/src/tls/profile.cpp" "src/tls/CMakeFiles/iotls_tls.dir/profile.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/profile.cpp.o.d"
+  "/root/repo/src/tls/rc4.cpp" "src/tls/CMakeFiles/iotls_tls.dir/rc4.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/rc4.cpp.o.d"
+  "/root/repo/src/tls/record.cpp" "src/tls/CMakeFiles/iotls_tls.dir/record.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/record.cpp.o.d"
+  "/root/repo/src/tls/secrets.cpp" "src/tls/CMakeFiles/iotls_tls.dir/secrets.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/secrets.cpp.o.d"
+  "/root/repo/src/tls/server.cpp" "src/tls/CMakeFiles/iotls_tls.dir/server.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/server.cpp.o.d"
+  "/root/repo/src/tls/transport.cpp" "src/tls/CMakeFiles/iotls_tls.dir/transport.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/transport.cpp.o.d"
+  "/root/repo/src/tls/version.cpp" "src/tls/CMakeFiles/iotls_tls.dir/version.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pki/CMakeFiles/iotls_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_tls.dir/alert.cpp.o"
+  "CMakeFiles/iotls_tls.dir/alert.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o"
+  "CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/client.cpp.o"
+  "CMakeFiles/iotls_tls.dir/client.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/extension.cpp.o"
+  "CMakeFiles/iotls_tls.dir/extension.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/messages.cpp.o"
+  "CMakeFiles/iotls_tls.dir/messages.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/profile.cpp.o"
+  "CMakeFiles/iotls_tls.dir/profile.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/rc4.cpp.o"
+  "CMakeFiles/iotls_tls.dir/rc4.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/record.cpp.o"
+  "CMakeFiles/iotls_tls.dir/record.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/secrets.cpp.o"
+  "CMakeFiles/iotls_tls.dir/secrets.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/server.cpp.o"
+  "CMakeFiles/iotls_tls.dir/server.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/transport.cpp.o"
+  "CMakeFiles/iotls_tls.dir/transport.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/version.cpp.o"
+  "CMakeFiles/iotls_tls.dir/version.cpp.o.d"
+  "libiotls_tls.a"
+  "libiotls_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/bytes_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/bytes_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/hex_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/hex_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/simtime_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/simtime_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/table_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/bignum_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/bignum_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/chacha20_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/chacha20_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/dh_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/dh_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/kdf_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/kdf_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/property_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/property_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_devices.dir/devices/catalog_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/catalog_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/consistency_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/consistency_test.cpp.o.d"
+  "test_devices"
+  "test_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitm.dir/mitm/interceptor_test.cpp.o"
+  "CMakeFiles/test_mitm.dir/mitm/interceptor_test.cpp.o.d"
+  "CMakeFiles/test_mitm.dir/mitm/runner_test.cpp.o"
+  "CMakeFiles/test_mitm.dir/mitm/runner_test.cpp.o.d"
+  "test_mitm"
+  "test_mitm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

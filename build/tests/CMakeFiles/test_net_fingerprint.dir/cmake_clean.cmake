@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_fingerprint.dir/fingerprint/fingerprint_test.cpp.o"
+  "CMakeFiles/test_net_fingerprint.dir/fingerprint/fingerprint_test.cpp.o.d"
+  "CMakeFiles/test_net_fingerprint.dir/net/guard_test.cpp.o"
+  "CMakeFiles/test_net_fingerprint.dir/net/guard_test.cpp.o.d"
+  "CMakeFiles/test_net_fingerprint.dir/net/network_test.cpp.o"
+  "CMakeFiles/test_net_fingerprint.dir/net/network_test.cpp.o.d"
+  "test_net_fingerprint"
+  "test_net_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

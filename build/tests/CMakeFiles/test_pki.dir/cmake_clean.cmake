@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pki.dir/pki/history_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/history_test.cpp.o.d"
+  "CMakeFiles/test_pki.dir/pki/root_store_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/root_store_test.cpp.o.d"
+  "CMakeFiles/test_pki.dir/pki/spoof_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/spoof_test.cpp.o.d"
+  "CMakeFiles/test_pki.dir/pki/universe_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/universe_test.cpp.o.d"
+  "test_pki"
+  "test_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

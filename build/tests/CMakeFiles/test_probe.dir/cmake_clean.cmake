@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe.dir/probe/prober_test.cpp.o"
+  "CMakeFiles/test_probe.dir/probe/prober_test.cpp.o.d"
+  "test_probe"
+  "test_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testbed.dir/testbed/longitudinal_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/longitudinal_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/runtime_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/runtime_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/testbed_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/testbed_test.cpp.o.d"
+  "test_testbed"
+  "test_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls.dir/tls/ciphersuite_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/ciphersuite_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/handshake_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/handshake_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/messages_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/messages_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/mitigations_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/mitigations_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/profile_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/profile_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/property_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/property_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/resumption_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/resumption_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/secrets_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/secrets_test.cpp.o.d"
+  "test_tls"
+  "test_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

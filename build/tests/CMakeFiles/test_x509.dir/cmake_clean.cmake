@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x509.dir/x509/certificate_test.cpp.o"
+  "CMakeFiles/test_x509.dir/x509/certificate_test.cpp.o.d"
+  "CMakeFiles/test_x509.dir/x509/chain_property_test.cpp.o"
+  "CMakeFiles/test_x509.dir/x509/chain_property_test.cpp.o.d"
+  "CMakeFiles/test_x509.dir/x509/verify_test.cpp.o"
+  "CMakeFiles/test_x509.dir/x509/verify_test.cpp.o.d"
+  "test_x509"
+  "test_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

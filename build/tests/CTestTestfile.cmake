@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;27;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crypto "/root/repo/build/tests/test_crypto")
+set_tests_properties(test_crypto PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;36;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_x509 "/root/repo/build/tests/test_x509")
+set_tests_properties(test_x509 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;48;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pki "/root/repo/build/tests/test_pki")
+set_tests_properties(test_pki PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;54;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tls "/root/repo/build/tests/test_tls")
+set_tests_properties(test_tls PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;61;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net_fingerprint "/root/repo/build/tests/test_net_fingerprint")
+set_tests_properties(test_net_fingerprint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;72;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_devices "/root/repo/build/tests/test_devices")
+set_tests_properties(test_devices PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;78;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_testbed "/root/repo/build/tests/test_testbed")
+set_tests_properties(test_testbed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;83;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mitm "/root/repo/build/tests/test_mitm")
+set_tests_properties(test_mitm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;89;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_probe "/root/repo/build/tests/test_probe")
+set_tests_properties(test_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;94;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;98;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;104;iotls_add_test;/root/repo/tests/CMakeLists.txt;0;")
