@@ -24,5 +24,6 @@ int main() {
 #else
 #error "select a figure with -DIOTLS_BENCH_FIGn"
 #endif
+  iotls::bench::print_timings(study);
   return 0;
 }

@@ -40,5 +40,6 @@ int main() {
 #else
 #error "select a table with -DIOTLS_BENCH_TABLEn"
 #endif
+  iotls::bench::print_timings(study);
   return 0;
 }

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/study.hpp"
@@ -10,12 +11,24 @@
 namespace iotls::bench {
 
 /// Standard study options for reproduction binaries: full passive window,
-/// paper-scale connection counts.
+/// paper-scale connection counts. IOTLS_THREADS overrides the per-device
+/// fan-out width (default 0 = hardware concurrency; 1 = serial) — outputs
+/// are byte-identical either way, only the timing report changes.
 inline core::IotlsStudy::Options reproduction_options() {
   core::IotlsStudy::Options options;
   options.seed = 42;
   options.passive_scale = 1.0;
+  if (const char* env = std::getenv("IOTLS_THREADS")) {
+    options.threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
   return options;
+}
+
+/// Print the per-experiment wall/CPU timing table (after the tables have
+/// been rendered, so the experiments have actually run).
+inline void print_timings(const core::IotlsStudy& study) {
+  std::fputs("\n", stdout);
+  std::fputs(study.render_timings().c_str(), stdout);
 }
 
 /// Print a reproduction banner + body with wall-clock timing.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/pool.hpp"
+
 namespace iotls::analysis {
 
 int FingerprintStudy::single_instance_devices() const {
@@ -24,37 +26,57 @@ int FingerprintStudy::sharing_devices() const {
   return count;
 }
 
-FingerprintStudy run_fingerprint_study(testbed::Testbed& testbed) {
+FingerprintStudy run_fingerprint_study(testbed::Testbed& testbed,
+                                       std::size_t threads) {
   FingerprintStudy study;
   const common::SimDate snapshot{2021, 3, 25};
   testbed.set_date(snapshot);
 
-  for (const auto& name : testbed.device_names()) {
-    auto& runtime = testbed.runtime(name);
-    runtime.reset_failure_state();
-    const auto boot = runtime.boot(snapshot, /*include_intermittent=*/true);
-
-    // Count uses per fingerprint to find the dominant one (thick edges).
+  // One clean sandboxed boot per device; the per-device fingerprint tallies
+  // are independent, so they fan out and merge in sorted device order.
+  struct DeviceFingerprints {
+    std::string device;
     std::map<std::string, std::pair<fingerprint::Fingerprint, int>> uses;
-    for (const auto& conn : boot.connections) {
-      const auto fp = fingerprint::fingerprint_of(conn.result.hello);
-      auto& entry = uses[fp.hash];
-      entry.first = fp;
-      ++entry.second;
+    std::string dominant_hash;
+  };
+
+  const auto names = testbed.device_names();
+  const auto per_device = common::parallel_map(
+      threads, names, [&](const std::string& name) {
+        testbed::Testbed sandbox(testbed.sandbox_options(name));
+        sandbox.set_date(snapshot);
+        auto& runtime = sandbox.runtime(name);
+        runtime.reset_failure_state();
+        const auto boot =
+            runtime.boot(snapshot, /*include_intermittent=*/true);
+
+        DeviceFingerprints result;
+        result.device = name;
+        // Count uses per fingerprint to find the dominant one (thick
+        // edges).
+        for (const auto& conn : boot.connections) {
+          const auto fp = fingerprint::fingerprint_of(conn.result.hello);
+          auto& entry = result.uses[fp.hash];
+          entry.first = fp;
+          ++entry.second;
+        }
+        int best = 0;
+        for (const auto& [hash, entry] : result.uses) {
+          if (entry.second > best) {
+            best = entry.second;
+            result.dominant_hash = hash;
+          }
+        }
+        return result;
+      });
+
+  for (const auto& result : per_device) {
+    for (const auto& [hash, entry] : result.uses) {
+      study.graph.add_use(result.device, fingerprint::NodeKind::Device,
+                          entry.first, hash == result.dominant_hash);
     }
-    int best = 0;
-    std::string best_hash;
-    for (const auto& [hash, entry] : uses) {
-      if (entry.second > best) {
-        best = entry.second;
-        best_hash = hash;
-      }
-    }
-    for (const auto& [hash, entry] : uses) {
-      study.graph.add_use(name, fingerprint::NodeKind::Device, entry.first,
-                          hash == best_hash);
-    }
-    study.fingerprints_per_device[name] = static_cast<int>(uses.size());
+    study.fingerprints_per_device[result.device] =
+        static_cast<int>(result.uses.size());
   }
 
   // Merge the reference application database (Kotzias et al. stand-in).

@@ -26,7 +26,10 @@ struct FingerprintStudy {
   [[nodiscard]] int sharing_devices() const;          // paper: 19
 };
 
-FingerprintStudy run_fingerprint_study(testbed::Testbed& testbed);
+/// `threads` fans the per-device boots out over a worker pool (0 =
+/// hardware concurrency, 1 = serial); the study is identical either way.
+FingerprintStudy run_fingerprint_study(testbed::Testbed& testbed,
+                                       std::size_t threads = 0);
 
 /// Text rendering of the sharing graph (cluster list + edges).
 std::string render_sharing_graph(const FingerprintStudy& study);

@@ -1,0 +1,126 @@
+#include "common/pool.hpp"
+
+#include <algorithm>
+
+namespace iotls::common {
+
+namespace {
+thread_local int tl_worker_depth = 0;
+}  // namespace
+
+std::size_t default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_threads(std::size_t threads) {
+  return threads == 0 ? default_threads() : threads;
+}
+
+bool ThreadPool::in_worker() { return tl_worker_depth > 0; }
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : queues_(std::max<std::size_t>(1, threads)) {
+  workers_.reserve(queues_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::size_t index, std::function<void()>& out) {
+  // Own queue first (front = submission order), then steal from the back
+  // of the busiest sibling.
+  if (!queues_[index].empty()) {
+    out = std::move(queues_[index].front());
+    queues_[index].pop_front();
+    return true;
+  }
+  std::size_t victim = queues_.size();
+  std::size_t most = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].size() > most) {
+      most = queues_[i].size();
+      victim = i;
+    }
+  }
+  if (victim == queues_.size()) return false;
+  out = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  ++tl_worker_depth;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    std::function<void()> task;
+    if (pop_task(index, task)) {
+      lock.unlock();
+      task();
+      lock.lock();
+      if (--unfinished_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) break;
+    work_cv_.wait(lock);
+  }
+  --tl_worker_depth;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+namespace detail {
+
+void run_indexed(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t)>& task) {
+  const std::size_t resolved = resolve_threads(threads);
+  // Serial path: threads = 1, nothing to fan out, or we are already inside
+  // a pool worker (running inline avoids nested wait_idle deadlocks). The
+  // parallel path runs the very same task bodies and merges by index, so
+  // both paths are bit-compatible by construction.
+  if (resolved <= 1 || count <= 1 || ThreadPool::in_worker()) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  ThreadPool pool(std::min(resolved, count));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      try {
+        task(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace iotls::common

@@ -1,16 +1,41 @@
 #include "core/study.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 
+#include "common/pool.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "devices/catalog.hpp"
 
 namespace iotls::core {
 
+template <typename Fn>
+auto IotlsStudy::timed(std::string name, std::size_t tasks, Fn&& fn) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  const std::clock_t cpu0 = std::clock();
+  auto result = fn();
+  const std::clock_t cpu1 = std::clock();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ExperimentTiming timing;
+  timing.name = std::move(name);
+  timing.tasks = tasks;
+  timing.threads = common::resolve_threads(options_.threads);
+  timing.wall_ms =
+      std::chrono::duration<double, std::milli>(wall1 - wall0).count();
+  timing.cpu_ms = 1000.0 * static_cast<double>(cpu1 - cpu0) / CLOCKS_PER_SEC;
+  timings_.push_back(std::move(timing));
+  return result;
+}
+
 IotlsStudy::IotlsStudy(Options options) : options_(options) {
   testbed::Testbed::Options tb;
   tb.seed = options_.seed;
+  tb.universe = options_.universe;
   testbed_ = std::make_unique<testbed::Testbed>(tb);
   prober_ = std::make_unique<probe::RootStoreProber>(*testbed_,
                                                      options_.seed ^ 0xF00D);
@@ -20,41 +45,62 @@ const testbed::PassiveDataset& IotlsStudy::passive_dataset() {
   if (!passive_) {
     testbed::GeneratorOptions gen;
     gen.seed = options_.seed ^ 0x9A55;
+    gen.universe = options_.universe;
     gen.count_scale = options_.passive_scale;
     gen.first = options_.passive_first;
     gen.last = options_.passive_last;
-    passive_ = testbed::generate_passive_dataset(gen);
+    gen.threads = options_.threads;
+    passive_ = timed("passive-dataset", devices::device_catalog().size(),
+                     [&] { return testbed::generate_passive_dataset(gen); });
   }
   return *passive_;
 }
 
 const std::vector<LibraryProbeRow>& IotlsStudy::library_probe_rows() {
-  if (!table4_) table4_ = run_library_probe_matrix(options_.seed);
+  if (!table4_) {
+    table4_ = timed("library-probe-matrix", 0,
+                    [&] { return run_library_probe_matrix(options_.seed); });
+  }
   return *table4_;
 }
 
 const mitm::DowngradeReport& IotlsStudy::downgrade_report() {
-  if (!downgrade_) downgrade_ = mitm::run_downgrade_experiments(*testbed_);
+  if (!downgrade_) {
+    downgrade_ = timed("downgrade", devices::active_devices().size(), [&] {
+      return mitm::run_downgrade_experiments(*testbed_, options_.threads);
+    });
+  }
   return *downgrade_;
 }
 
 const mitm::OldVersionReport& IotlsStudy::old_version_report() {
   if (!old_versions_) {
-    old_versions_ = mitm::run_old_version_experiments(*testbed_);
+    old_versions_ =
+        timed("old-version", devices::active_devices().size(), [&] {
+          return mitm::run_old_version_experiments(*testbed_,
+                                                   options_.threads);
+        });
   }
   return *old_versions_;
 }
 
 const mitm::InterceptionReport& IotlsStudy::interception_report() {
   if (!interception_) {
-    interception_ = mitm::run_interception_experiments(*testbed_);
+    interception_ =
+        timed("interception", devices::active_devices().size(), [&] {
+          return mitm::run_interception_experiments(*testbed_, 4,
+                                                    options_.threads);
+        });
   }
   return *interception_;
 }
 
 const analysis::RevocationSummary& IotlsStudy::revocation_summary() {
   if (!revocation_) {
-    revocation_ = analysis::analyze_revocation(passive_dataset());
+    const auto& dataset = passive_dataset();
+    revocation_ = timed("revocation", 0, [&] {
+      return analysis::analyze_revocation(dataset);
+    });
   }
   return *revocation_;
 }
@@ -62,20 +108,78 @@ const analysis::RevocationSummary& IotlsStudy::revocation_summary() {
 const std::map<std::string, IotlsStudy::RootStoreExploration>&
 IotlsStudy::root_store_results() {
   if (!root_stores_) {
-    std::map<std::string, RootStoreExploration> results;
+    // Three stages. (1) Amenability fans out per eligible device — each
+    // task probes inside its own sandbox testbed, so ordering cannot leak
+    // between devices. (2) Inconclusive-probe draws are made serially, on
+    // the coordinating thread, from the exact RNG stream the serial prober
+    // consumes (amenable-device order, common set then deprecated set).
+    // (3) The explorations themselves fan out with the pre-drawn masks.
     const auto& universe = testbed_->universe();
-    for (const auto& device : prober_->amenable_devices()) {
-      const auto* profile = devices::find_device(device);
-      RootStoreExploration exploration;
-      exploration.common =
-          prober_->explore(device, universe.common_ca_names(),
-                           profile->root_store.inconclusive_common);
-      exploration.deprecated =
-          prober_->explore(device, universe.deprecated_ca_names(),
-                           profile->root_store.inconclusive_deprecated);
-      results.emplace(device, std::move(exploration));
-    }
-    root_stores_ = std::move(results);
+    const auto common_names = universe.common_ca_names();
+    const auto deprecated_names = universe.deprecated_ca_names();
+
+    const auto eligible = prober_->eligible_devices();
+    const std::size_t amenability_tasks = eligible.size();
+
+    root_stores_ = timed(
+        "root-store-exploration", amenability_tasks, [&] {
+          const auto amenable_mask = common::parallel_map(
+              options_.threads, eligible, [&](const std::string& device) {
+                testbed::Testbed sandbox(testbed_->sandbox_options(device));
+                probe::RootStoreProber prober(sandbox,
+                                              options_.seed ^ 0xF00D);
+                return prober.device_amenable(device);
+              });
+          std::vector<std::string> amenable;
+          for (std::size_t i = 0; i < eligible.size(); ++i) {
+            if (amenable_mask[i]) amenable.push_back(eligible[i]);
+          }
+
+          // Mask pre-draw: replicates RootStoreProber's private stream so
+          // results are bit-identical to the serial-prober seed behaviour.
+          common::Rng mask_rng = common::Rng::derive(
+              options_.seed ^ 0xF00D, "root-store-prober");
+          struct DeviceMasks {
+            std::vector<bool> common;
+            std::vector<bool> deprecated;
+          };
+          std::vector<DeviceMasks> masks(amenable.size());
+          for (std::size_t i = 0; i < amenable.size(); ++i) {
+            const auto* profile = devices::find_device(amenable[i]);
+            masks[i].common.resize(common_names.size());
+            for (std::size_t c = 0; c < common_names.size(); ++c) {
+              masks[i].common[c] =
+                  mask_rng.chance(profile->root_store.inconclusive_common);
+            }
+            masks[i].deprecated.resize(deprecated_names.size());
+            for (std::size_t c = 0; c < deprecated_names.size(); ++c) {
+              masks[i].deprecated[c] = mask_rng.chance(
+                  profile->root_store.inconclusive_deprecated);
+            }
+          }
+
+          std::vector<std::size_t> indices(amenable.size());
+          for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+          const auto explorations = common::parallel_map(
+              options_.threads, indices, [&](std::size_t i) {
+                const auto& device = amenable[i];
+                testbed::Testbed sandbox(testbed_->sandbox_options(device));
+                probe::RootStoreProber prober(sandbox,
+                                              options_.seed ^ 0xF00D);
+                RootStoreExploration exploration;
+                exploration.common =
+                    prober.explore(device, common_names, masks[i].common);
+                exploration.deprecated = prober.explore(
+                    device, deprecated_names, masks[i].deprecated);
+                return exploration;
+              });
+
+          std::map<std::string, RootStoreExploration> results;
+          for (std::size_t i = 0; i < amenable.size(); ++i) {
+            results.emplace(amenable[i], explorations[i]);
+          }
+          return results;
+        });
   }
   return *root_stores_;
 }
@@ -94,7 +198,11 @@ const analysis::StalenessReport& IotlsStudy::staleness() {
 
 const analysis::FingerprintStudy& IotlsStudy::fingerprint_study() {
   if (!fingerprints_) {
-    fingerprints_ = analysis::run_fingerprint_study(*testbed_);
+    fingerprints_ =
+        timed("fingerprint", testbed_->device_names().size(), [&] {
+          return analysis::run_fingerprint_study(*testbed_,
+                                                 options_.threads);
+        });
   }
   return *fingerprints_;
 }
@@ -316,7 +424,30 @@ std::string IotlsStudy::render_summary() {
   out += "\n";
   out += analysis::render_party_breakdown(
       analysis::party_version_breakdown(passive_dataset()));
+  out += "\n" + render_timings();
   return out;
+}
+
+std::string IotlsStudy::render_timings() const {
+  auto ms = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return std::string(buf);
+  };
+  common::TextTable table(
+      {"Experiment", "Wall ms", "CPU ms", "Tasks", "Threads"});
+  double wall_total = 0.0;
+  double cpu_total = 0.0;
+  for (const auto& t : timings_) {
+    wall_total += t.wall_ms;
+    cpu_total += t.cpu_ms;
+    table.add_row({t.name, ms(t.wall_ms), ms(t.cpu_ms),
+                   std::to_string(t.tasks), std::to_string(t.threads)});
+  }
+  table.add_row({"total", ms(wall_total), ms(cpu_total), "", ""});
+  return "Experiment timings (" +
+         std::to_string(common::resolve_threads(options_.threads)) +
+         " worker threads)\n" + table.render();
 }
 
 }  // namespace iotls::core

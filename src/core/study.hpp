@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/fpstudy.hpp"
 #include "analysis/longitudinal.hpp"
@@ -23,6 +24,16 @@
 
 namespace iotls::core {
 
+/// Wall/CPU cost of one lazily-run experiment (the parallel engine's
+/// speedup report; `tasks` = per-device units fanned out over the pool).
+struct ExperimentTiming {
+  std::string name;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  std::size_t tasks = 0;
+  std::size_t threads = 0;
+};
+
 class IotlsStudy {
  public:
   struct Options {
@@ -32,6 +43,13 @@ class IotlsStudy {
     /// Restrict the passive window (full study by default).
     common::Month passive_first = common::kStudyStart;
     common::Month passive_last = common::kStudyEnd;
+    /// Worker threads for the per-device experiment fan-out: 0 = hardware
+    /// concurrency, 1 = serial. Every table and figure is byte-identical
+    /// across all values (see DESIGN.md, "Concurrency model").
+    std::size_t threads = 0;
+    /// CA universe override (nullptr = CaUniverse::standard()); mostly for
+    /// tests that want a smaller, faster universe.
+    const pki::CaUniverse* universe = nullptr;
   };
 
   IotlsStudy() : IotlsStudy(Options{}) {}
@@ -76,8 +94,21 @@ class IotlsStudy {
   std::string render_fig5();
   std::string render_summary();
 
+  /// Timings of the experiments run so far, in execution order.
+  [[nodiscard]] const std::vector<ExperimentTiming>& timings() const {
+    return timings_;
+  }
+  /// The timing report render_summary() appends (also used by the bench
+  /// binaries). Non-deterministic by nature — never part of a table/figure.
+  [[nodiscard]] std::string render_timings() const;
+
  private:
+  /// Run one experiment under the wall/CPU stopwatch.
+  template <typename Fn>
+  auto timed(std::string name, std::size_t tasks, Fn&& fn);
+
   Options options_;
+  std::vector<ExperimentTiming> timings_;
   std::unique_ptr<testbed::Testbed> testbed_;
   std::unique_ptr<probe::RootStoreProber> prober_;
 

@@ -37,7 +37,7 @@ InterceptMode InterceptMode::make_old_version(tls::ProtocolVersion version) {
 }
 
 Interceptor::Interceptor(const pki::CaUniverse& universe,
-                         testbed::CloudFarm& cloud, std::uint64_t seed)
+                         const testbed::CloudFarm& cloud, std::uint64_t seed)
     : forge_(universe, seed), cloud_(&cloud) {}
 
 void Interceptor::set_passthrough(std::set<std::string> hostnames) {

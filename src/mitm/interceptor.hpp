@@ -67,8 +67,8 @@ class Interceptor {
  public:
   /// `cloud` is needed only for OldVersionProbe (to impersonate nobody and
   /// let the genuine config through with a version override).
-  Interceptor(const pki::CaUniverse& universe, testbed::CloudFarm& cloud,
-              std::uint64_t seed = 0xA77AC);
+  Interceptor(const pki::CaUniverse& universe,
+              const testbed::CloudFarm& cloud, std::uint64_t seed = 0xA77AC);
 
   void set_mode(InterceptMode mode) { mode_ = mode; }
   [[nodiscard]] const InterceptMode& mode() const { return mode_; }
@@ -92,7 +92,7 @@ class Interceptor {
       const std::string& hostname, const net::Network::SessionFactory& real);
 
   AttackForge forge_;
-  testbed::CloudFarm* cloud_;
+  const testbed::CloudFarm* cloud_;
   InterceptMode mode_ = InterceptMode::make_attack(AttackKind::NoValidation);
   std::set<std::string> passthrough_;
   std::vector<std::pair<std::string, std::shared_ptr<tls::TlsServer>>>

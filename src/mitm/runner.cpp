@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/pool.hpp"
+
 namespace iotls::mitm {
 
 namespace {
@@ -41,6 +43,27 @@ bool sigalgs_weaker(const tls::ClientHello& original,
   return !has_sha1_only(orig) && has_sha1_only(now);
 }
 
+/// One device's isolated experiment environment: an own network, runtime
+/// and interceptor over the parent testbed's (const) CA universe and
+/// revocation list. Every per-device task builds one, so a fan-out shares
+/// no mutable state and its results are independent of scheduling order.
+struct DeviceLab {
+  testbed::Testbed bed;
+  Interceptor interceptor;
+
+  DeviceLab(const testbed::Testbed& parent,
+            const devices::DeviceProfile& profile)
+      : bed(parent.sandbox_options(profile.name)),
+        interceptor(bed.universe(), bed.cloud()) {
+    bed.set_date(kExperimentDate);
+  }
+
+  [[nodiscard]] testbed::DeviceRuntime& runtime(
+      const devices::DeviceProfile& profile) {
+    return bed.runtime(profile.name);
+  }
+};
+
 }  // namespace
 
 bool is_downgraded_hello(const tls::ClientHello& original,
@@ -55,72 +78,80 @@ bool is_downgraded_hello(const tls::ClientHello& original,
 }
 
 InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
-                                                int boots_per_attack) {
+                                                int boots_per_attack,
+                                                std::size_t threads) {
   testbed.set_date(kExperimentDate);
-  Interceptor interceptor(testbed.universe(), testbed.cloud());
+  const auto profiles = devices::active_devices();
 
-  InterceptionReport report;
-  std::map<std::string, InterceptionRow> rows;
+  const auto rows = common::parallel_map(
+      threads, profiles, [&](const devices::DeviceProfile* profile) {
+        DeviceLab lab(testbed, *profile);
+        auto& runtime = lab.runtime(*profile);
+        InterceptionRow row;
+        row.device = profile->name;
+        row.total_destinations =
+            static_cast<int>(profile->destinations.size());
+        std::set<std::string> vulnerable_hosts;
 
-  for (const auto* profile : devices::active_devices()) {
-    auto& runtime = testbed.runtime(profile->name);
-    InterceptionRow row;
-    row.device = profile->name;
-    row.total_destinations = static_cast<int>(profile->destinations.size());
-    std::set<std::string> vulnerable_hosts;
+        for (const AttackKind attack : all_attacks()) {
+          runtime.reset_failure_state();
+          lab.interceptor.set_mode(InterceptMode::make_attack(attack));
+          lab.interceptor.install(lab.bed.network());
 
-    for (const AttackKind attack : all_attacks()) {
-      runtime.reset_failure_state();
-      interceptor.set_mode(InterceptMode::make_attack(attack));
-      interceptor.install(testbed.network());
+          for (int boot = 0; boot < boots_per_attack; ++boot) {
+            (void)runtime.boot(kExperimentDate,
+                               /*include_intermittent=*/true);
+          }
+          const auto interceptions = lab.interceptor.drain();
+          lab.interceptor.uninstall(lab.bed.network());
 
-      for (int boot = 0; boot < boots_per_attack; ++boot) {
-        (void)runtime.boot(kExperimentDate, /*include_intermittent=*/true);
-      }
-      const auto interceptions = interceptor.drain();
-      interceptor.uninstall(testbed.network());
-
-      bool attack_succeeded = false;
-      for (const auto& inter : interceptions) {
-        if (!inter.compromised()) continue;
-        attack_succeeded = true;
-        vulnerable_hosts.insert(inter.hostname);
-        const std::string plaintext =
-            common::to_string(inter.recovered_plaintext);
-        // Record recovered payloads that carry secrets (not mere
-        // telemetry GETs).
-        if (plaintext.find("GET /telemetry") == std::string::npos &&
-            std::find(row.leaked_samples.begin(), row.leaked_samples.end(),
-                      plaintext) == row.leaked_samples.end()) {
-          row.leaked_samples.push_back(plaintext);
+          bool attack_succeeded = false;
+          for (const auto& inter : interceptions) {
+            if (!inter.compromised()) continue;
+            attack_succeeded = true;
+            vulnerable_hosts.insert(inter.hostname);
+            const std::string plaintext =
+                common::to_string(inter.recovered_plaintext);
+            // Record recovered payloads that carry secrets (not mere
+            // telemetry GETs).
+            if (plaintext.find("GET /telemetry") == std::string::npos &&
+                std::find(row.leaked_samples.begin(),
+                          row.leaked_samples.end(),
+                          plaintext) == row.leaked_samples.end()) {
+              row.leaked_samples.push_back(plaintext);
+            }
+          }
+          switch (attack) {
+            case AttackKind::NoValidation:
+              row.no_validation = attack_succeeded;
+              break;
+            case AttackKind::WrongHostname:
+              row.wrong_hostname = attack_succeeded;
+              break;
+            case AttackKind::InvalidBasicConstraints:
+              row.invalid_basic_constraints = attack_succeeded;
+              break;
+          }
+          runtime.reset_failure_state();
         }
-      }
-      switch (attack) {
-        case AttackKind::NoValidation:
-          row.no_validation = attack_succeeded;
-          break;
-        case AttackKind::WrongHostname:
-          row.wrong_hostname = attack_succeeded;
-          break;
-        case AttackKind::InvalidBasicConstraints:
-          row.invalid_basic_constraints = attack_succeeded;
-          break;
-      }
-      runtime.reset_failure_state();
-    }
 
-    row.vulnerable_destinations = static_cast<int>(vulnerable_hosts.size());
+        row.vulnerable_destinations =
+            static_cast<int>(vulnerable_hosts.size());
+        return row;
+      });
+
+  // Deterministic merge in catalog order.
+  InterceptionReport report;
+  for (const auto& row : rows) {
     ++report.devices_tested;
     // §5.2: "seven devices do not perform any certificate validation" —
     // i.e. the self-signed attack succeeded against them.
     if (row.no_validation) ++report.devices_without_any_validation;
     if (row.vulnerable()) {
       if (!row.leaked_samples.empty()) ++report.devices_with_sensitive_leaks;
-      rows.emplace(row.device, std::move(row));
+      report.rows.push_back(row);
     }
   }
-
-  for (auto& [name, row] : rows) report.rows.push_back(std::move(row));
   // Paper order: fully-vulnerable devices first, by vulnerable count desc.
   std::sort(report.rows.begin(), report.rows.end(),
             [](const InterceptionRow& a, const InterceptionRow& b) {
@@ -133,50 +164,59 @@ InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
   return report;
 }
 
-DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed) {
+DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed,
+                                          std::size_t threads) {
   testbed.set_date(kExperimentDate);
-  Interceptor interceptor(testbed.universe(), testbed.cloud());
+  const auto profiles = devices::active_devices();
+
+  const auto rows = common::parallel_map(
+      threads, profiles, [&](const devices::DeviceProfile* profile) {
+        DeviceLab lab(testbed, *profile);
+        auto& runtime = lab.runtime(*profile);
+        DowngradeRow row;
+        row.device = profile->name;
+        if (profile->fallback) row.behavior = profile->fallback->behavior;
+        std::set<std::string> downgraded_hosts;
+        std::set<std::string> contacted_hosts;
+
+        for (const FailureKind failure :
+             {FailureKind::FailedHandshake,
+              FailureKind::IncompleteHandshake}) {
+          runtime.reset_failure_state();
+          lab.interceptor.set_mode(InterceptMode::make_failure(failure));
+          lab.interceptor.install(lab.bed.network());
+          const auto boot = runtime.boot(kExperimentDate);
+          lab.interceptor.uninstall(lab.bed.network());
+          runtime.reset_failure_state();
+
+          bool downgrade_seen = false;
+          for (const auto& conn : boot.connections) {
+            contacted_hosts.insert(conn.destination->hostname);
+            if (!conn.used_fallback) continue;
+            if (is_downgraded_hello(conn.result.hello,
+                                    conn.fallback_result->hello)) {
+              downgrade_seen = true;
+              downgraded_hosts.insert(conn.destination->hostname);
+            }
+          }
+          if (failure == FailureKind::FailedHandshake) {
+            row.on_failed_handshake = downgrade_seen;
+          } else {
+            row.on_incomplete_handshake = downgrade_seen;
+          }
+        }
+
+        row.downgraded_destinations =
+            static_cast<int>(downgraded_hosts.size());
+        row.total_destinations = static_cast<int>(contacted_hosts.size());
+        return row;
+      });
 
   DowngradeReport report;
-  for (const auto* profile : devices::active_devices()) {
-    auto& runtime = testbed.runtime(profile->name);
-    DowngradeRow row;
-    row.device = profile->name;
-    if (profile->fallback) row.behavior = profile->fallback->behavior;
-    std::set<std::string> downgraded_hosts;
-    std::set<std::string> contacted_hosts;
-
-    for (const FailureKind failure :
-         {FailureKind::FailedHandshake, FailureKind::IncompleteHandshake}) {
-      runtime.reset_failure_state();
-      interceptor.set_mode(InterceptMode::make_failure(failure));
-      interceptor.install(testbed.network());
-      const auto boot = runtime.boot(kExperimentDate);
-      interceptor.uninstall(testbed.network());
-      runtime.reset_failure_state();
-
-      bool downgrade_seen = false;
-      for (const auto& conn : boot.connections) {
-        contacted_hosts.insert(conn.destination->hostname);
-        if (!conn.used_fallback) continue;
-        if (is_downgraded_hello(conn.result.hello,
-                                conn.fallback_result->hello)) {
-          downgrade_seen = true;
-          downgraded_hosts.insert(conn.destination->hostname);
-        }
-      }
-      if (failure == FailureKind::FailedHandshake) {
-        row.on_failed_handshake = downgrade_seen;
-      } else {
-        row.on_incomplete_handshake = downgrade_seen;
-      }
-    }
-
-    row.downgraded_destinations = static_cast<int>(downgraded_hosts.size());
-    row.total_destinations = static_cast<int>(contacted_hosts.size());
+  for (const auto& row : rows) {
     ++report.devices_tested;
     if (row.on_failed_handshake || row.on_incomplete_handshake) {
-      report.rows.push_back(std::move(row));
+      report.rows.push_back(row);
     }
   }
   std::sort(report.rows.begin(), report.rows.end(),
@@ -186,42 +226,48 @@ DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed) {
   return report;
 }
 
-OldVersionReport run_old_version_experiments(testbed::Testbed& testbed) {
+OldVersionReport run_old_version_experiments(testbed::Testbed& testbed,
+                                             std::size_t threads) {
   testbed.set_date(kExperimentDate);
-  Interceptor interceptor(testbed.universe(), testbed.cloud());
+  const auto profiles = devices::active_devices();
+
+  const auto rows = common::parallel_map(
+      threads, profiles, [&](const devices::DeviceProfile* profile) {
+        DeviceLab lab(testbed, *profile);
+        auto& runtime = lab.runtime(*profile);
+        OldVersionRow row;
+        row.device = profile->name;
+
+        for (const auto version :
+             {tls::ProtocolVersion::Tls1_0, tls::ProtocolVersion::Tls1_1}) {
+          lab.interceptor.set_mode(InterceptMode::make_old_version(version));
+          lab.interceptor.install(lab.bed.network());
+          runtime.reset_failure_state();
+          const auto boot = runtime.boot(kExperimentDate);
+          lab.interceptor.uninstall(lab.bed.network());
+          runtime.reset_failure_state();
+
+          // The device "supports" the version if any connection
+          // *established* it (completed the handshake at that version).
+          const bool accepted = std::any_of(
+              boot.connections.begin(), boot.connections.end(),
+              [&](const testbed::ConnectionOutcome& conn) {
+                return conn.result.success() &&
+                       conn.result.negotiated_version == version;
+              });
+          if (version == tls::ProtocolVersion::Tls1_0) {
+            row.tls10 = accepted;
+          } else {
+            row.tls11 = accepted;
+          }
+        }
+        return row;
+      });
 
   OldVersionReport report;
-  for (const auto* profile : devices::active_devices()) {
-    auto& runtime = testbed.runtime(profile->name);
-    OldVersionRow row;
-    row.device = profile->name;
-
-    for (const auto version :
-         {tls::ProtocolVersion::Tls1_0, tls::ProtocolVersion::Tls1_1}) {
-      interceptor.set_mode(InterceptMode::make_old_version(version));
-      interceptor.install(testbed.network());
-      runtime.reset_failure_state();
-      const auto boot = runtime.boot(kExperimentDate);
-      interceptor.uninstall(testbed.network());
-      runtime.reset_failure_state();
-
-      // The device "supports" the version if any connection *established*
-      // it (completed the handshake at that version).
-      const bool accepted = std::any_of(
-          boot.connections.begin(), boot.connections.end(),
-          [&](const testbed::ConnectionOutcome& conn) {
-            return conn.result.success() &&
-                   conn.result.negotiated_version == version;
-          });
-      if (version == tls::ProtocolVersion::Tls1_0) {
-        row.tls10 = accepted;
-      } else {
-        row.tls11 = accepted;
-      }
-    }
-
+  for (const auto& row : rows) {
     ++report.devices_tested;
-    if (row.tls10 || row.tls11) report.rows.push_back(std::move(row));
+    if (row.tls10 || row.tls11) report.rows.push_back(row);
   }
   std::sort(report.rows.begin(), report.rows.end(),
             [](const OldVersionRow& a, const OldVersionRow& b) {
@@ -231,69 +277,88 @@ OldVersionReport run_old_version_experiments(testbed::Testbed& testbed) {
   return report;
 }
 
-PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed) {
+PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
+                                              std::size_t threads) {
   testbed.set_date(kExperimentDate);
-  Interceptor interceptor(testbed.universe(), testbed.cloud());
-  interceptor.set_mode(InterceptMode::make_attack(AttackKind::NoValidation));
+  const auto profiles = devices::active_devices();
+
+  struct DeviceTally {
+    int baseline_hosts = 0;
+    int extra_hosts = 0;
+    bool new_failures = false;
+  };
+
+  const auto tallies = common::parallel_map(
+      threads, profiles, [&](const devices::DeviceProfile* profile) {
+        DeviceLab lab(testbed, *profile);
+        auto& runtime = lab.runtime(*profile);
+        lab.interceptor.set_mode(
+            InterceptMode::make_attack(AttackKind::NoValidation));
+        DeviceTally tally;
+
+        // Pass 1: intercept everything; note which hostnames failed and
+        // which were compromised.
+        runtime.reset_failure_state();
+        lab.interceptor.install(lab.bed.network());
+        const auto attacked = runtime.boot(kExperimentDate);
+        const auto pass1 = lab.interceptor.drain();
+        lab.interceptor.uninstall(lab.bed.network());
+        runtime.reset_failure_state();
+
+        std::set<std::string> failed_hosts;
+        std::set<std::string> seen_hosts;
+        for (const auto& conn : attacked.connections) {
+          seen_hosts.insert(conn.destination->hostname);
+          if (!conn.final_result().success()) {
+            failed_hosts.insert(conn.destination->hostname);
+          }
+        }
+        std::set<std::string> compromised_hosts;
+        for (const auto& inter : pass1) {
+          if (inter.compromised()) compromised_hosts.insert(inter.hostname);
+        }
+
+        // Pass 2: same attack, but pass through previously-failed
+        // connections; successful earlier flows unlock the intermittent
+        // destinations.
+        lab.interceptor.set_passthrough(failed_hosts);
+        lab.interceptor.install(lab.bed.network());
+        const auto repeated =
+            runtime.boot(kExperimentDate, /*include_intermittent=*/true);
+        const auto interceptions = lab.interceptor.drain();
+        lab.interceptor.uninstall(lab.bed.network());
+        lab.interceptor.clear_passthrough();
+        runtime.reset_failure_state();
+
+        std::set<std::string> pass2_hosts;
+        for (const auto& conn : repeated.connections) {
+          pass2_hosts.insert(conn.destination->hostname);
+        }
+        // A "new certificate validation failure" (§4.2) would be a
+        // successful interception of a connection the first pass did not
+        // compromise.
+        for (const auto& inter : interceptions) {
+          if (inter.compromised() &&
+              !compromised_hosts.count(inter.hostname)) {
+            tally.new_failures = true;
+          }
+        }
+        tally.baseline_hosts = static_cast<int>(seen_hosts.size());
+        for (const auto& host : pass2_hosts) {
+          if (!seen_hosts.count(host)) ++tally.extra_hosts;
+        }
+        return tally;
+      });
 
   PassthroughReport report;
   int baseline_hosts = 0;
   int extra_hosts = 0;
-
-  for (const auto* profile : devices::active_devices()) {
-    auto& runtime = testbed.runtime(profile->name);
-
-    // Pass 1: intercept everything; note which hostnames failed and which
-    // were compromised.
-    runtime.reset_failure_state();
-    interceptor.install(testbed.network());
-    const auto attacked = runtime.boot(kExperimentDate);
-    const auto pass1 = interceptor.drain();
-    interceptor.uninstall(testbed.network());
-    runtime.reset_failure_state();
-
-    std::set<std::string> failed_hosts;
-    std::set<std::string> seen_hosts;
-    for (const auto& conn : attacked.connections) {
-      seen_hosts.insert(conn.destination->hostname);
-      if (!conn.final_result().success()) {
-        failed_hosts.insert(conn.destination->hostname);
-      }
-    }
-    std::set<std::string> compromised_hosts;
-    for (const auto& inter : pass1) {
-      if (inter.compromised()) compromised_hosts.insert(inter.hostname);
-    }
-
-    // Pass 2: same attack, but pass through previously-failed connections;
-    // successful earlier flows unlock the intermittent destinations.
-    interceptor.set_passthrough(failed_hosts);
-    interceptor.install(testbed.network());
-    const auto repeated =
-        runtime.boot(kExperimentDate, /*include_intermittent=*/true);
-    const auto interceptions = interceptor.drain();
-    interceptor.uninstall(testbed.network());
-    interceptor.clear_passthrough();
-    runtime.reset_failure_state();
-
-    std::set<std::string> pass2_hosts;
-    for (const auto& conn : repeated.connections) {
-      pass2_hosts.insert(conn.destination->hostname);
-    }
-    // A "new certificate validation failure" (§4.2) would be a successful
-    // interception of a connection the first pass did not compromise.
-    for (const auto& inter : interceptions) {
-      if (inter.compromised() && !compromised_hosts.count(inter.hostname)) {
-        report.new_failures_found = true;
-      }
-    }
-    baseline_hosts += static_cast<int>(seen_hosts.size());
-    for (const auto& host : pass2_hosts) {
-      if (!seen_hosts.count(host)) ++extra_hosts;
-    }
+  for (const auto& tally : tallies) {
+    baseline_hosts += tally.baseline_hosts;
+    extra_hosts += tally.extra_hosts;
+    report.new_failures_found |= tally.new_failures;
     ++report.devices_tested;
   }
-
   if (baseline_hosts > 0) {
     report.extra_destination_fraction =
         static_cast<double>(extra_hosts) / baseline_hosts;

@@ -2,6 +2,7 @@
 // certificate, and issuance of server/intermediate certificates.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "common/rng.hpp"
@@ -42,7 +43,9 @@ class CertificateAuthority {
 
   crypto::RsaKeyPair keypair_;
   x509::Certificate root_;
-  mutable std::uint64_t serial_counter_ = 1;
+  // Atomic: shared CAs issue leaf certificates concurrently when the
+  // experiment engine fans out per-device sandboxes.
+  mutable std::atomic<std::uint64_t> serial_counter_{1};
   std::uint64_t serial_prefix_ = 0;
 };
 

@@ -112,11 +112,25 @@ ProbeOutcome RootStoreProber::probe_certificate(
 ExplorationResult RootStoreProber::explore(
     const std::string& device_name, const std::vector<std::string>& ca_names,
     double inconclusive_rate) {
+  // Pre-draw the inconclusive mask, then delegate; the rng_ stream is
+  // consumed exactly as if each probe drew on demand, and the mask form
+  // lets callers pre-derive draws before fanning out over a thread pool.
+  std::vector<bool> mask(ca_names.size());
+  for (std::size_t i = 0; i < ca_names.size(); ++i) {
+    mask[i] = rng_.chance(inconclusive_rate);
+  }
+  return explore(device_name, ca_names, mask);
+}
+
+ExplorationResult RootStoreProber::explore(
+    const std::string& device_name, const std::vector<std::string>& ca_names,
+    const std::vector<bool>& inconclusive_mask) {
   ExplorationResult result;
-  for (const auto& ca_name : ca_names) {
+  for (std::size_t i = 0; i < ca_names.size(); ++i) {
+    const auto& ca_name = ca_names[i];
     // Some probe attempts yield no traffic at all (the reboot produced no
     // connection to the targeted instance) — Table 9's denominators.
-    if (rng_.chance(inconclusive_rate)) {
+    if (i < inconclusive_mask.size() && inconclusive_mask[i]) {
       ++result.inconclusive;
       result.verdicts[ca_name] = Verdict::Inconclusive;
       continue;

@@ -77,6 +77,14 @@ class RootStoreProber {
                             const std::vector<std::string>& ca_names,
                             double inconclusive_rate = 0.0);
 
+  /// As above, but with the inconclusive draws made up front (mask[i] ⇒
+  /// skip ca_names[i]). The parallel study engine pre-draws masks on the
+  /// coordinating thread so probes can run on a pool without touching the
+  /// shared RNG stream; out-of-range indices count as conclusive.
+  ExplorationResult explore(const std::string& device_name,
+                            const std::vector<std::string>& ca_names,
+                            const std::vector<bool>& inconclusive_mask);
+
  private:
   /// Run one intercepted boot-time connection; returns the alert the
   /// device sent (nullopt = silent failure or no traffic).

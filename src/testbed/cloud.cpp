@@ -1,5 +1,7 @@
 #include "testbed/cloud.hpp"
 
+#include <mutex>
+
 #include "common/strings.hpp"
 
 namespace iotls::testbed {
@@ -84,9 +86,12 @@ CloudFarm::CloudFarm(const pki::CaUniverse& universe, std::uint64_t seed,
 namespace {
 
 // Server keys are derived from the hostname alone, so repeated testbed
-// constructions (tests, benches) reuse one keypair per endpoint.
+// constructions (tests, benches, per-device experiment sandboxes) reuse
+// one keypair per endpoint. Guarded: sandboxes are built concurrently.
 const crypto::RsaKeyPair& cached_server_keys(const std::string& hostname) {
+  static std::mutex mutex;
   static std::map<std::string, crypto::RsaKeyPair> cache;
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(hostname);
   if (it == cache.end()) {
     common::Rng rng = common::Rng::derive(0xC10DDCAFE, "srv-key:" + hostname);
@@ -185,7 +190,7 @@ const ServerPolicy& CloudFarm::policy(const std::string& hostname) const {
   return it->second.policy;
 }
 
-void CloudFarm::install(net::Network& network) {
+void CloudFarm::install(net::Network& network) const {
   for (const auto& [hostname, ep] : endpoints_) {
     network.register_server(
         hostname, [this](const std::string& host) {

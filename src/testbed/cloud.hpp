@@ -54,7 +54,10 @@ class CloudFarm {
                        std::optional<ServerPolicy> policy = std::nullopt);
 
   /// Install session factories for all destinations into `network`.
-  void install(net::Network& network);
+  /// Const: the factories only read endpoint state, so one farm can back
+  /// many per-device sandbox networks concurrently (the farm must not be
+  /// mutated — add_destination / set_current_date — during a fan-out).
+  void install(net::Network& network) const;
 
   /// The date used for certificate validity and capability evolution.
   void set_current_date(common::SimDate date) { now_ = date; }

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/pool.hpp"
 #include "common/strings.hpp"
 #include "testbed/testbed.hpp"
 
@@ -192,54 +193,85 @@ PassiveDataset load_dataset(const std::string& path) {
 }
 
 PassiveDataset generate_passive_dataset(const GeneratorOptions& options) {
-  Testbed::Options tb_options;
-  tb_options.seed = options.seed;
-  tb_options.universe = options.universe;
-  tb_options.active_only = false;
-  Testbed testbed(tb_options);
-
-  common::Rng count_rng = common::Rng::derive(options.seed, "passive-counts");
-  PassiveDataset dataset;
-
-  const auto months = common::month_range(options.first, options.last);
+  const auto wanted = [&](const devices::DeviceProfile& profile) {
+    return options.devices.empty() ||
+           std::find(options.devices.begin(), options.devices.end(),
+                     profile.name) != options.devices.end();
+  };
+  std::vector<const devices::DeviceProfile*> profiles;
   for (const auto& profile : devices::device_catalog()) {
-    if (!options.devices.empty() &&
-        std::find(options.devices.begin(), options.devices.end(),
-                  profile.name) == options.devices.end()) {
-      continue;
-    }
-    DeviceRuntime& runtime = testbed.runtime(profile.name);
+    if (wanted(profile)) profiles.push_back(&profile);
+  }
+  const auto months = common::month_range(options.first, options.last);
 
+  // Connection counts are drawn serially, up front, in the exact
+  // device→month→destination order the serial generator consumed its
+  // stream — the fan-out below must not touch the shared RNG.
+  common::Rng count_rng = common::Rng::derive(options.seed, "passive-counts");
+  std::vector<std::vector<std::uint64_t>> counts(profiles.size());
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const auto& profile = *profiles[p];
     for (const auto& month : months) {
       if (!profile.generates_traffic_in(month)) continue;
-      // Mid-month sampling date.
-      testbed.set_date(common::SimDate::start_of(month).plus_days(14));
-
       for (const auto& dest : profile.destinations) {
         // Month-to-month activity jitter: destinations are contacted more
         // or less often (this is what drives the Insteon Hub's varying
         // old-version fraction in Fig 1).
         const double jitter = 0.35 + 1.3 * count_rng.uniform01();
-        const auto count = static_cast<std::uint64_t>(std::max(
+        counts[p].push_back(static_cast<std::uint64_t>(std::max(
             1.0, profile.monthly_connections_per_destination * jitter *
                      options.count_scale * dest.traffic_weight *
-                     (dest.first_party ? 1.0 : 0.4)));
-
-        const std::size_t before = testbed.network().capture().size();
-        (void)runtime.connect_to(dest, testbed.date());
-        const auto& records = testbed.network().capture().records();
-
-        // connect_to may have produced two captures (fallback retry); fold
-        // them all into the month's groups.
-        for (std::size_t i = before; i < records.size(); ++i) {
-          PassiveConnectionGroup group;
-          group.record = records[i];
-          group.record.month = month;
-          group.count = count;
-          dataset.add(std::move(group));
-        }
+                     (dest.first_party ? 1.0 : 0.4))));
       }
     }
+  }
+
+  // Each device replays its two-year capture inside its own sandbox
+  // testbed; the per-device group lists concatenate in catalog order, so
+  // the dataset (and its TSV) is byte-identical to the serial one.
+  std::vector<std::size_t> indices(profiles.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  auto per_device = common::parallel_map(
+      options.threads, indices, [&](std::size_t p) {
+        const auto& profile = *profiles[p];
+        Testbed::Options tb_options;
+        tb_options.seed = options.seed;
+        tb_options.universe = options.universe;
+        tb_options.active_only = false;
+        tb_options.devices = {profile.name};
+        Testbed testbed(tb_options);
+        DeviceRuntime& runtime = testbed.runtime(profile.name);
+
+        std::vector<PassiveConnectionGroup> groups;
+        std::size_t draw = 0;
+        for (const auto& month : months) {
+          if (!profile.generates_traffic_in(month)) continue;
+          // Mid-month sampling date.
+          testbed.set_date(common::SimDate::start_of(month).plus_days(14));
+
+          for (const auto& dest : profile.destinations) {
+            const std::uint64_t count = counts[p][draw++];
+            const std::size_t before = testbed.network().capture().size();
+            (void)runtime.connect_to(dest, testbed.date());
+            const auto& records = testbed.network().capture().records();
+
+            // connect_to may have produced two captures (fallback retry);
+            // fold them all into the month's groups.
+            for (std::size_t i = before; i < records.size(); ++i) {
+              PassiveConnectionGroup group;
+              group.record = records[i];
+              group.record.month = month;
+              group.count = count;
+              groups.push_back(std::move(group));
+            }
+          }
+        }
+        return groups;
+      });
+
+  PassiveDataset dataset;
+  for (auto& groups : per_device) {
+    for (auto& group : groups) dataset.add(std::move(group));
   }
   return dataset;
 }

@@ -50,6 +50,11 @@ struct GeneratorOptions {
   double count_scale = 1.0;
   /// Restrict to these devices (empty = all 40).
   std::vector<std::string> devices;
+  /// Worker threads for the per-device fan-out (0 = hardware concurrency,
+  /// 1 = serial). The dataset — including its TSV rendering — is
+  /// byte-identical for every value: connection counts are drawn serially
+  /// up front and each device replays its handshakes in a sandbox.
+  std::size_t threads = 0;
 };
 
 PassiveDataset generate_passive_dataset(

@@ -1,25 +1,45 @@
 #include "testbed/testbed.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace iotls::testbed {
 
 Testbed::Testbed(Options options)
-    : universe_(options.universe != nullptr ? options.universe
-                                            : &pki::CaUniverse::standard()) {
-  cloud_ = std::make_unique<CloudFarm>(*universe_, options.seed);
+    : options_(std::move(options)),
+      universe_(options_.universe != nullptr ? options_.universe
+                                             : &pki::CaUniverse::standard()) {
+  cloud_ = std::make_unique<CloudFarm>(*universe_, options_.seed);
+  const pki::RevocationList* revocations =
+      options_.revocations != nullptr ? options_.revocations : &revocations_;
 
+  const auto wanted = [&](const devices::DeviceProfile& profile) {
+    return options_.devices.empty() ||
+           std::find(options_.devices.begin(), options_.devices.end(),
+                     profile.name) != options_.devices.end();
+  };
   for (const auto& profile : devices::device_catalog()) {
+    if (!wanted(profile)) continue;
     for (const auto& dest : profile.destinations) {
       cloud_->add_destination(dest.hostname);
     }
-    if (options.active_only && !profile.active) continue;
+    if (options_.active_only && !profile.active) continue;
     auto runtime = std::make_unique<DeviceRuntime>(profile, *universe_,
-                                                   network_, &revocations_);
+                                                   network_, revocations);
     plugs_.emplace(profile.name, std::make_unique<SmartPlug>(*runtime));
     runtimes_.emplace(profile.name, std::move(runtime));
   }
   cloud_->install(network_);
+}
+
+Testbed::Options Testbed::sandbox_options(
+    const std::string& device_name) const {
+  Options sandbox = options_;
+  sandbox.universe = universe_;
+  sandbox.devices = {device_name};
+  sandbox.revocations =
+      options_.revocations != nullptr ? options_.revocations : &revocations_;
+  return sandbox;
 }
 
 DeviceRuntime& Testbed::runtime(const std::string& device_name) {

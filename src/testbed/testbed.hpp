@@ -22,10 +22,26 @@ class Testbed {
     /// Only instantiate runtimes for active devices (cheaper for the
     /// active experiments; the passive generator sets this false).
     bool active_only = true;
+    /// Restrict the testbed to these devices (empty = whole catalog).
+    /// Only their runtimes and cloud destinations are built — this is what
+    /// makes per-device experiment sandboxes cheap.
+    std::vector<std::string> devices;
+    /// Revocation list the runtimes consult (nullptr = the testbed's own).
+    /// Sandboxes point this at their parent's list so CRL/OCSP behaviour
+    /// carries over; the list must be const while sandboxes are live.
+    const pki::RevocationList* revocations = nullptr;
   };
 
   Testbed() : Testbed(Options{}) {}
   explicit Testbed(Options options);
+
+  /// Options for an isolated single-device replica of this testbed: same
+  /// seed, shared (const) CA universe and revocation list, own network /
+  /// cloud endpoints / runtime. The experiment engine builds one per task
+  /// so device fan-outs share no mutable state.
+  [[nodiscard]] Options sandbox_options(const std::string& device_name) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
 
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] CloudFarm& cloud() { return *cloud_; }
@@ -46,6 +62,7 @@ class Testbed {
   [[nodiscard]] pki::RevocationList& revocations() { return revocations_; }
 
  private:
+  Options options_;
   const pki::CaUniverse* universe_;
   net::Network network_;
   pki::RevocationList revocations_;

@@ -1,0 +1,105 @@
+// Alert-layer coverage: wire round-trips and the name/display mappings the
+// root-store side channel depends on (unknown_ca vs decrypt_error, §4.2).
+#include "tls/alert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace iotls::tls {
+namespace {
+
+const std::vector<AlertDescription> kAllDescriptions = {
+    AlertDescription::CloseNotify,
+    AlertDescription::UnexpectedMessage,
+    AlertDescription::BadRecordMac,
+    AlertDescription::RecordOverflow,
+    AlertDescription::HandshakeFailure,
+    AlertDescription::BadCertificate,
+    AlertDescription::UnsupportedCertificate,
+    AlertDescription::CertificateRevoked,
+    AlertDescription::CertificateExpired,
+    AlertDescription::CertificateUnknown,
+    AlertDescription::IllegalParameter,
+    AlertDescription::UnknownCa,
+    AlertDescription::AccessDenied,
+    AlertDescription::DecodeError,
+    AlertDescription::DecryptError,
+    AlertDescription::ProtocolVersion,
+    AlertDescription::InsufficientSecurity,
+    AlertDescription::InternalError,
+    AlertDescription::UserCanceled,
+    AlertDescription::NoRenegotiation,
+    AlertDescription::UnsupportedExtension,
+};
+
+TEST(Alert, SerializeParseRoundTripsEveryCode) {
+  for (const auto level : {AlertLevel::Warning, AlertLevel::Fatal}) {
+    for (const auto description : kAllDescriptions) {
+      const Alert alert{level, description};
+      const auto wire = alert.serialize();
+      ASSERT_EQ(wire.size(), 2u);
+      EXPECT_EQ(wire[0], static_cast<std::uint8_t>(level));
+      EXPECT_EQ(wire[1], static_cast<std::uint8_t>(description));
+      EXPECT_EQ(Alert::parse(wire), alert);
+    }
+  }
+}
+
+TEST(Alert, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Alert::parse(common::Bytes{}), common::ParseError);
+  EXPECT_THROW(Alert::parse(common::Bytes{2}), common::ParseError);
+  EXPECT_THROW(Alert::parse(common::Bytes{2, 48, 0}), common::ParseError);
+  // Level must be warning(1) or fatal(2).
+  EXPECT_THROW(Alert::parse(common::Bytes{0, 48}), common::ParseError);
+  EXPECT_THROW(Alert::parse(common::Bytes{3, 48}), common::ParseError);
+}
+
+TEST(Alert, WireCodesMatchRfc5246) {
+  EXPECT_EQ(static_cast<int>(AlertDescription::UnknownCa), 48);
+  EXPECT_EQ(static_cast<int>(AlertDescription::DecryptError), 51);
+  EXPECT_EQ(static_cast<int>(AlertDescription::BadCertificate), 42);
+  EXPECT_EQ(static_cast<int>(AlertDescription::HandshakeFailure), 40);
+  EXPECT_EQ(static_cast<int>(AlertDescription::CloseNotify), 0);
+}
+
+TEST(Alert, NamesAreUniqueAndKnown) {
+  std::set<std::string> names;
+  for (const auto description : kAllDescriptions) {
+    const auto name = alert_name(description);
+    EXPECT_NE(name, "unknown_alert") << name;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+  EXPECT_EQ(alert_name(AlertDescription::UnknownCa), "unknown_ca");
+  EXPECT_EQ(alert_name(AlertDescription::DecryptError), "decrypt_error");
+  EXPECT_EQ(alert_name(static_cast<AlertDescription>(255)),
+            "unknown_alert");
+}
+
+TEST(Alert, LevelNames) {
+  EXPECT_EQ(alert_level_name(AlertLevel::Warning), "warning");
+  EXPECT_EQ(alert_level_name(AlertLevel::Fatal), "fatal");
+}
+
+// The probe technique's signal: an issuer *absent* from the root store
+// yields unknown_ca, an issuer *present* but with our forged key yields a
+// signature error — the two must render distinguishably (Table 4).
+TEST(Alert, DisplayDistinguishesProbeOutcomes) {
+  const Alert absent{AlertLevel::Fatal, AlertDescription::UnknownCa};
+  const Alert spoofed{AlertLevel::Fatal, AlertDescription::DecryptError};
+  EXPECT_EQ(alert_display(absent), "Unknown CA");
+  EXPECT_EQ(alert_display(spoofed), "Decrypt Error");
+  EXPECT_NE(alert_display(absent), alert_display(spoofed));
+  EXPECT_EQ(alert_display(std::nullopt), "No Alert");
+  EXPECT_EQ(alert_display(
+                Alert{AlertLevel::Fatal, AlertDescription::BadCertificate}),
+            "Bad Certificate");
+  EXPECT_EQ(alert_display(
+                Alert{AlertLevel::Warning, AlertDescription::CloseNotify}),
+            "close_notify");
+}
+
+}  // namespace
+}  // namespace iotls::tls
