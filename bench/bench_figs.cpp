@@ -25,5 +25,6 @@ int main() {
 #error "select a figure with -DIOTLS_BENCH_FIGn"
 #endif
   iotls::bench::print_timings(study);
+  iotls::bench::print_observability(study);
   return 0;
 }

@@ -41,5 +41,6 @@ int main() {
 #error "select a table with -DIOTLS_BENCH_TABLEn"
 #endif
   iotls::bench::print_timings(study);
+  iotls::bench::print_observability(study);
   return 0;
 }

@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -10,17 +11,43 @@
 
 namespace iotls::bench {
 
+/// Strictly parse a non-negative integer environment knob. Unset or empty
+/// means `fallback`; anything else must be a complete base-10 integer ≥ 0.
+/// Malformed values ("abc", "4x", "-1", "1e3") exit with a clear message
+/// instead of silently truncating to 0 the way strtoul would.
+inline long strict_env_long(const char* name, long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || value < 0) {
+    std::fprintf(stderr,
+                 "error: %s='%s' is not a non-negative integer "
+                 "(e.g. %s=4)\n",
+                 name, env, name);
+    std::exit(2);
+  }
+  return value;
+}
+
 /// Standard study options for reproduction binaries: full passive window,
-/// paper-scale connection counts. IOTLS_THREADS overrides the per-device
-/// fan-out width (default 0 = hardware concurrency; 1 = serial) — outputs
-/// are byte-identical either way, only the timing report changes.
+/// paper-scale connection counts. Environment knobs:
+///   IOTLS_THREADS  per-device fan-out width (0 = hardware concurrency,
+///                  1 = serial); outputs are byte-identical either way.
+///   IOTLS_TRACE    handshake tracing (0 = off, 1 = handshake events,
+///                  2 = full wire records); summary printed after the run.
+///   IOTLS_METRICS  non-zero enables the metrics registry; the Prometheus
+///                  text exposition is printed after the run.
 inline core::IotlsStudy::Options reproduction_options() {
   core::IotlsStudy::Options options;
   options.seed = 42;
   options.passive_scale = 1.0;
-  if (const char* env = std::getenv("IOTLS_THREADS")) {
-    options.threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
-  }
+  options.threads =
+      static_cast<std::size_t>(strict_env_long("IOTLS_THREADS", 0));
+  options.trace_level =
+      obs::trace_level_from_int(strict_env_long("IOTLS_TRACE", 0));
+  options.metrics_enabled = strict_env_long("IOTLS_METRICS", 0) != 0;
   return options;
 }
 
@@ -29,6 +56,20 @@ inline core::IotlsStudy::Options reproduction_options() {
 inline void print_timings(const core::IotlsStudy& study) {
   std::fputs("\n", stdout);
   std::fputs(study.render_timings().c_str(), stdout);
+}
+
+/// Print whatever observability surfaces the run enabled: the trace
+/// summary (IOTLS_TRACE) and the Prometheus exposition (IOTLS_METRICS).
+inline void print_observability(const core::IotlsStudy& study) {
+  if (study.traces().enabled()) {
+    std::printf("\n==== handshake traces (IOTLS_TRACE=%s) ====\n",
+                obs::trace_level_name(study.traces().level()).c_str());
+    std::printf("%s\n", study.traces().summary().c_str());
+  }
+  if (obs::metrics_enabled()) {
+    std::fputs("\n==== metrics (IOTLS_METRICS) ====\n", stdout);
+    std::fputs(study.metrics().render_prometheus().c_str(), stdout);
+  }
 }
 
 /// Print a reproduction banner + body with wall-clock timing.

@@ -1,0 +1,42 @@
+// Flight recorder walkthrough: trace one spoofed-root probe pair.
+//
+// Runs the §4.2 root-store probe primitive — one unknown-CA handshake and
+// one spoofed-CA handshake against the same device — with tracing at Full,
+// then prints the annotated trace: every wire record, each x509 validation
+// check, the alerts each probe provoked, and which signal decided the
+// verdict. Traces are deterministic (no wall clock), so this output is
+// byte-identical on every run.
+//
+// Usage: ./build/examples/trace_handshake [device-name] [ca-name]
+#include <cstdio>
+
+#include "obs/trace.hpp"
+#include "probe/prober.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iotls;
+  const std::string device = argc > 1 ? argv[1] : "LG TV";
+
+  testbed::Testbed tb;
+  obs::TraceLog trace(obs::TraceLevel::Full);
+  tb.set_trace(&trace);
+
+  if (devices::find_device(device) == nullptr) {
+    std::fprintf(stderr, "unknown device: %s\n", device.c_str());
+    return 1;
+  }
+  const auto& universe = tb.universe();
+  const std::string ca =
+      argc > 2 ? argv[2] : universe.common_ca_names().front();
+
+  probe::RootStoreProber prober(tb);
+  std::printf("probing %s with spoofed root '%s'...\n\n", device.c_str(),
+              ca.c_str());
+  const auto outcome = prober.probe_certificate(device, ca);
+
+  std::printf("%s\n", trace.render().c_str());
+  std::printf("%s\n", trace.summary().c_str());
+  std::printf("verdict: %s root is %s on %s\n", ca.c_str(),
+              probe::verdict_name(outcome.verdict).c_str(), device.c_str());
+  return 0;
+}

@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace iotls::common {
+
+namespace {
+
+/// Pool metrics (iotls_pool_*). Scheduling-dependent by nature — an
+/// operator surface only, never an input to any experiment output.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::MetricsRegistry::global().counter(
+      "iotls_pool_tasks_total", "Tasks submitted to any ThreadPool");
+  obs::Counter& steals = obs::MetricsRegistry::global().counter(
+      "iotls_pool_steals_total",
+      "Tasks taken from a sibling worker's deque");
+  obs::Gauge& queue_depth_peak = obs::MetricsRegistry::global().gauge(
+      "iotls_pool_queue_depth_peak",
+      "Largest number of queued-but-unstarted tasks observed");
+  obs::Gauge& workers = obs::MetricsRegistry::global().gauge(
+      "iotls_pool_workers", "Worker count of the most recent ThreadPool");
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 namespace {
 thread_local int tl_worker_depth = 0;
@@ -21,6 +47,9 @@ bool ThreadPool::in_worker() { return tl_worker_depth > 0; }
 
 ThreadPool::ThreadPool(std::size_t threads)
     : queues_(std::max<std::size_t>(1, threads)) {
+  if (obs::metrics_enabled()) {
+    PoolMetrics::get().workers.set(static_cast<double>(queues_.size()));
+  }
   workers_.reserve(queues_.size());
   for (std::size_t i = 0; i < queues_.size(); ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -37,11 +66,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t queued = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queues_[next_queue_].push_back(std::move(task));
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++unfinished_;
+    for (const auto& q : queues_) queued += q.size();
+  }
+  if (obs::metrics_enabled()) {
+    auto& metrics = PoolMetrics::get();
+    metrics.tasks.inc();
+    metrics.queue_depth_peak.set_max(static_cast<double>(queued));
   }
   work_cv_.notify_one();
 }
@@ -65,6 +101,7 @@ bool ThreadPool::pop_task(std::size_t index, std::function<void()>& out) {
   if (victim == queues_.size()) return false;
   out = std::move(queues_[victim].back());
   queues_[victim].pop_back();
+  if (obs::metrics_enabled()) PoolMetrics::get().steals.inc();
   return true;
 }
 

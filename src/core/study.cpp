@@ -21,21 +21,66 @@ auto IotlsStudy::timed(std::string name, std::size_t tasks, Fn&& fn) {
   const std::clock_t cpu1 = std::clock();
   const auto wall1 = std::chrono::steady_clock::now();
 
-  ExperimentTiming timing;
-  timing.name = std::move(name);
-  timing.tasks = tasks;
-  timing.threads = common::resolve_threads(options_.threads);
-  timing.wall_ms =
+  const double wall_ms =
       std::chrono::duration<double, std::milli>(wall1 - wall0).count();
-  timing.cpu_ms = 1000.0 * static_cast<double>(cpu1 - cpu0) / CLOCKS_PER_SEC;
-  timings_.push_back(std::move(timing));
+  const double cpu_ms =
+      1000.0 * static_cast<double>(cpu1 - cpu0) / CLOCKS_PER_SEC;
+  record_timing(name, wall_ms, cpu_ms, tasks);
   return result;
 }
 
-IotlsStudy::IotlsStudy(Options options) : options_(options) {
+void IotlsStudy::record_timing(const std::string& name, double wall_ms,
+                               double cpu_ms, std::size_t tasks) {
+  // Timings live in the metrics registry (one gauge family per column,
+  // labelled by experiment). Unconditional — render_timings() must work
+  // even when the hot-path metric counters are switched off.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("iotls_experiment_wall_ms", "Experiment wall-clock time",
+            "experiment", name)
+      .set(wall_ms);
+  reg.gauge("iotls_experiment_cpu_ms", "Experiment CPU time (all threads)",
+            "experiment", name)
+      .set(cpu_ms);
+  reg.gauge("iotls_experiment_tasks", "Per-device tasks fanned out",
+            "experiment", name)
+      .set(static_cast<double>(tasks));
+  reg.gauge("iotls_experiment_threads", "Worker threads used", "experiment",
+            name)
+      .set(static_cast<double>(common::resolve_threads(options_.threads)));
+  experiment_order_.push_back(name);
+}
+
+std::vector<ExperimentTiming> IotlsStudy::timings() const {
+  const auto& reg = obs::MetricsRegistry::global();
+  std::vector<ExperimentTiming> out;
+  out.reserve(experiment_order_.size());
+  for (const auto& name : experiment_order_) {
+    ExperimentTiming t;
+    t.name = name;
+    if (const auto* g = reg.find_gauge("iotls_experiment_wall_ms", name)) {
+      t.wall_ms = g->value();
+    }
+    if (const auto* g = reg.find_gauge("iotls_experiment_cpu_ms", name)) {
+      t.cpu_ms = g->value();
+    }
+    if (const auto* g = reg.find_gauge("iotls_experiment_tasks", name)) {
+      t.tasks = static_cast<std::size_t>(g->value());
+    }
+    if (const auto* g = reg.find_gauge("iotls_experiment_threads", name)) {
+      t.threads = static_cast<std::size_t>(g->value());
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+IotlsStudy::IotlsStudy(Options options)
+    : options_(options), trace_log_(options.trace_level) {
+  obs::set_metrics_enabled(options_.metrics_enabled);
   testbed::Testbed::Options tb;
   tb.seed = options_.seed;
   tb.universe = options_.universe;
+  tb.trace = &trace_log_;
   testbed_ = std::make_unique<testbed::Testbed>(tb);
   prober_ = std::make_unique<probe::RootStoreProber>(*testbed_,
                                                      options_.seed ^ 0xF00D);
@@ -123,16 +168,25 @@ IotlsStudy::root_store_results() {
 
     root_stores_ = timed(
         "root-store-exploration", amenability_tasks, [&] {
-          const auto amenable_mask = common::parallel_map(
+          // Each task traces into a local log; the merge below happens
+          // serially, in eligible-device order, so the study trace is
+          // byte-identical at any thread count.
+          auto amenable_mask = common::parallel_map(
               options_.threads, eligible, [&](const std::string& device) {
                 testbed::Testbed sandbox(testbed_->sandbox_options(device));
+                obs::TraceLog local(trace_log_.level());
+                sandbox.set_trace(&local);
                 probe::RootStoreProber prober(sandbox,
                                               options_.seed ^ 0xF00D);
-                return prober.device_amenable(device);
+                const bool amenable = prober.device_amenable(device);
+                return std::make_pair(amenable, std::move(local));
               });
           std::vector<std::string> amenable;
           for (std::size_t i = 0; i < eligible.size(); ++i) {
-            if (amenable_mask[i]) amenable.push_back(eligible[i]);
+            if (amenable_mask[i].first) amenable.push_back(eligible[i]);
+          }
+          for (auto& [flag, local] : amenable_mask) {
+            trace_log_.merge(std::move(local));
           }
 
           // Mask pre-draw: replicates RootStoreProber's private stream so
@@ -160,10 +214,12 @@ IotlsStudy::root_store_results() {
 
           std::vector<std::size_t> indices(amenable.size());
           for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-          const auto explorations = common::parallel_map(
+          auto explorations = common::parallel_map(
               options_.threads, indices, [&](std::size_t i) {
                 const auto& device = amenable[i];
                 testbed::Testbed sandbox(testbed_->sandbox_options(device));
+                obs::TraceLog local(trace_log_.level());
+                sandbox.set_trace(&local);
                 probe::RootStoreProber prober(sandbox,
                                               options_.seed ^ 0xF00D);
                 RootStoreExploration exploration;
@@ -171,12 +227,14 @@ IotlsStudy::root_store_results() {
                     prober.explore(device, common_names, masks[i].common);
                 exploration.deprecated = prober.explore(
                     device, deprecated_names, masks[i].deprecated);
-                return exploration;
+                return std::make_pair(std::move(exploration),
+                                      std::move(local));
               });
 
           std::map<std::string, RootStoreExploration> results;
           for (std::size_t i = 0; i < amenable.size(); ++i) {
-            results.emplace(amenable[i], explorations[i]);
+            results.emplace(amenable[i], std::move(explorations[i].first));
+            trace_log_.merge(std::move(explorations[i].second));
           }
           return results;
         });
@@ -438,7 +496,7 @@ std::string IotlsStudy::render_timings() const {
       {"Experiment", "Wall ms", "CPU ms", "Tasks", "Threads"});
   double wall_total = 0.0;
   double cpu_total = 0.0;
-  for (const auto& t : timings_) {
+  for (const auto& t : timings()) {
     wall_total += t.wall_ms;
     cpu_total += t.cpu_ms;
     table.add_row({t.name, ms(t.wall_ms), ms(t.cpu_ms),

@@ -19,6 +19,8 @@
 #include "analysis/summary.hpp"
 #include "core/table4.hpp"
 #include "mitm/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "probe/prober.hpp"
 #include "testbed/testbed.hpp"
 
@@ -50,6 +52,16 @@ class IotlsStudy {
     /// CA universe override (nullptr = CaUniverse::standard()); mostly for
     /// tests that want a smaller, faster universe.
     const pki::CaUniverse* universe = nullptr;
+    /// Handshake tracing level (IOTLS_TRACE in the bench binaries). Traces
+    /// are deterministic: byte-identical at any `threads` value, and every
+    /// table/figure is byte-identical whether tracing is on or off.
+    obs::TraceLevel trace_level = obs::TraceLevel::Off;
+    /// Enables the hot-path metric counters (IOTLS_METRICS in the bench
+    /// binaries). Process-wide: the constructor flips the global
+    /// obs::set_metrics_enabled() switch, so the most recent study wins.
+    /// Metrics are an operator surface — wall-clock/scheduling dependent,
+    /// never an input to any table, figure, or trace.
+    bool metrics_enabled = false;
   };
 
   IotlsStudy() : IotlsStudy(Options{}) {}
@@ -94,10 +106,19 @@ class IotlsStudy {
   std::string render_fig5();
   std::string render_summary();
 
-  /// Timings of the experiments run so far, in execution order.
-  [[nodiscard]] const std::vector<ExperimentTiming>& timings() const {
-    return timings_;
+  // ---- observability ----
+  /// The process-wide metrics registry (scrape with render_prometheus()).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const {
+    return obs::MetricsRegistry::global();
   }
+  /// Structured handshake traces collected so far (merged in catalog order
+  /// by the experiment engine — byte-identical at any thread count).
+  [[nodiscard]] const obs::TraceLog& traces() const { return trace_log_; }
+
+  /// Timings of the experiments run so far, in execution order. The data
+  /// lives in the metrics registry (iotls_experiment_* gauges); this view
+  /// reconstructs the familiar struct form.
+  [[nodiscard]] std::vector<ExperimentTiming> timings() const;
   /// The timing report render_summary() appends (also used by the bench
   /// binaries). Non-deterministic by nature — never part of a table/figure.
   [[nodiscard]] std::string render_timings() const;
@@ -106,9 +127,15 @@ class IotlsStudy {
   /// Run one experiment under the wall/CPU stopwatch.
   template <typename Fn>
   auto timed(std::string name, std::size_t tasks, Fn&& fn);
+  /// Publish one experiment's timing into the registry gauges.
+  void record_timing(const std::string& name, double wall_ms, double cpu_ms,
+                     std::size_t tasks);
 
   Options options_;
-  std::vector<ExperimentTiming> timings_;
+  obs::TraceLog trace_log_;
+  /// Names of experiments run, in order — the keys timings() reads back
+  /// from the iotls_experiment_* gauge families.
+  std::vector<std::string> experiment_order_;
   std::unique_ptr<testbed::Testbed> testbed_;
   std::unique_ptr<probe::RootStoreProber> prober_;
 

@@ -1,6 +1,42 @@
 #include "mitm/interceptor.hpp"
 
+#include "obs/metrics.hpp"
+#include "tls/version.hpp"
+
 namespace iotls::mitm {
+
+namespace {
+
+struct MitmMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  obs::Counter& interceptions(const std::string& mode) {
+    return reg.counter("iotls_mitm_interceptions_total",
+                       "Connections answered by the interceptor, by mode",
+                       "mode", mode);
+  }
+  obs::Counter& compromised = reg.counter(
+      "iotls_mitm_compromised_total",
+      "Interceptions that completed the handshake and read plaintext");
+
+  static MitmMetrics& get() {
+    static MitmMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::string intercept_mode_name(InterceptMode::Kind kind) {
+  switch (kind) {
+    case InterceptMode::Kind::Attack: return "attack";
+    case InterceptMode::Kind::Failure: return "failure";
+    case InterceptMode::Kind::SpoofedCaProbe: return "spoofed_ca_probe";
+    case InterceptMode::Kind::UnknownCaProbe: return "unknown_ca_probe";
+    case InterceptMode::Kind::OldVersionProbe: return "old_version_probe";
+  }
+  return "unknown";
+}
 
 InterceptMode InterceptMode::make_attack(AttackKind kind) {
   InterceptMode m;
@@ -45,6 +81,7 @@ void Interceptor::set_passthrough(std::set<std::string> hostnames) {
 }
 
 void Interceptor::install(net::Network& network) {
+  trace_ = network.trace();
   network.set_interceptor(
       [this](const std::string& hostname,
              const net::Network::SessionFactory& real) {
@@ -54,6 +91,7 @@ void Interceptor::install(net::Network& network) {
 
 void Interceptor::uninstall(net::Network& network) {
   network.clear_interceptor();
+  trace_ = nullptr;
 }
 
 namespace {
@@ -79,7 +117,38 @@ std::vector<std::uint16_t> permissive_suites() {
 
 std::shared_ptr<tls::ServerSession> Interceptor::intercept(
     const std::string& hostname, const net::Network::SessionFactory& real) {
-  if (passthrough_.count(hostname)) return real(hostname);
+  if (passthrough_.count(hostname)) {
+    if (obs::metrics_enabled()) {
+      MitmMetrics::get().interceptions("passthrough").inc();
+    }
+    return real(hostname);
+  }
+  if (obs::metrics_enabled()) {
+    MitmMetrics::get()
+        .interceptions(intercept_mode_name(mode_.kind))
+        .inc();
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    obs::Span span = trace_->start_span("intercept:" + hostname);
+    span.set_attr("mode", intercept_mode_name(mode_.kind));
+    switch (mode_.kind) {
+      case InterceptMode::Kind::Attack:
+        span.set_attr("attack", attack_name(mode_.attack));
+        break;
+      case InterceptMode::Kind::Failure:
+        span.set_attr("failure", failure_name(mode_.failure));
+        break;
+      case InterceptMode::Kind::SpoofedCaProbe:
+        span.set_attr("probe_root", mode_.probe_root->tbs.subject.common_name);
+        break;
+      case InterceptMode::Kind::OldVersionProbe:
+        span.set_attr("forced_version", tls::version_name(mode_.old_version));
+        break;
+      case InterceptMode::Kind::UnknownCaProbe:
+        break;
+    }
+    trace_->add(std::move(span));
+  }
 
   tls::ServerConfig cfg;
   cfg.versions = {tls::ProtocolVersion::Ssl3_0, tls::ProtocolVersion::Tls1_0,
@@ -145,6 +214,10 @@ std::vector<Interception> Interceptor::drain() {
     inter.handshake_complete = obs.handshake_complete;
     inter.recovered_plaintext = obs.client_plaintext;
     inter.alert_received = obs.alert_received;
+    // `obs` is shadowed by the ServerObservation above; qualify fully.
+    if (::iotls::obs::metrics_enabled() && inter.compromised()) {
+      MitmMetrics::get().compromised.inc();
+    }
     out.push_back(std::move(inter));
   }
   sessions_.clear();

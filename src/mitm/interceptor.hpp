@@ -47,6 +47,8 @@ struct InterceptMode {
   static InterceptMode make_old_version(tls::ProtocolVersion version);
 };
 
+std::string intercept_mode_name(InterceptMode::Kind kind);
+
 /// One intercepted connection, as the attacker saw it.
 struct Interception {
   std::string hostname;
@@ -77,7 +79,9 @@ class Interceptor {
   void set_passthrough(std::set<std::string> hostnames);
   void clear_passthrough() { passthrough_.clear(); }
 
-  /// Install into / remove from the network's on-path slot.
+  /// Install into / remove from the network's on-path slot. Adopts the
+  /// network's trace log: each intercepted connection then gets an
+  /// `intercept:<hostname>` span describing the forged identity.
   void install(net::Network& network);
   void uninstall(net::Network& network);
 
@@ -94,6 +98,7 @@ class Interceptor {
   AttackForge forge_;
   const testbed::CloudFarm* cloud_;
   InterceptMode mode_ = InterceptMode::make_attack(AttackKind::NoValidation);
+  obs::TraceLog* trace_ = nullptr;
   std::set<std::string> passthrough_;
   std::vector<std::pair<std::string, std::shared_ptr<tls::TlsServer>>>
       sessions_;

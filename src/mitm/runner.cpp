@@ -47,14 +47,23 @@ bool sigalgs_weaker(const tls::ClientHello& original,
 /// and interceptor over the parent testbed's (const) CA universe and
 /// revocation list. Every per-device task builds one, so a fan-out shares
 /// no mutable state and its results are independent of scheduling order.
+///
+/// Tracing follows the same pattern: the lab records into its own local
+/// TraceLog (at the parent's level) and the coordinator merges the labs'
+/// logs back into the parent in catalog order — traces stay byte-identical
+/// at any thread count.
 struct DeviceLab {
   testbed::Testbed bed;
   Interceptor interceptor;
+  obs::TraceLog trace;
 
   DeviceLab(const testbed::Testbed& parent,
             const devices::DeviceProfile& profile)
       : bed(parent.sandbox_options(profile.name)),
-        interceptor(bed.universe(), bed.cloud()) {
+        interceptor(bed.universe(), bed.cloud()),
+        trace(parent.trace() != nullptr ? parent.trace()->level()
+                                        : obs::TraceLevel::Off) {
+    if (trace.enabled()) bed.set_trace(&trace);
     bed.set_date(kExperimentDate);
   }
 
@@ -63,6 +72,14 @@ struct DeviceLab {
     return bed.runtime(profile.name);
   }
 };
+
+/// Serial catalog-order merge of per-lab trace logs into the parent.
+template <typename Item>
+void merge_lab_traces(testbed::Testbed& testbed, std::vector<Item>& items) {
+  obs::TraceLog* parent = testbed.trace();
+  if (parent == nullptr) return;
+  for (auto& item : items) parent->merge(std::move(item.second));
+}
 
 }  // namespace
 
@@ -83,7 +100,7 @@ InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
   testbed.set_date(kExperimentDate);
   const auto profiles = devices::active_devices();
 
-  const auto rows = common::parallel_map(
+  auto rows = common::parallel_map(
       threads, profiles, [&](const devices::DeviceProfile* profile) {
         DeviceLab lab(testbed, *profile);
         auto& runtime = lab.runtime(*profile);
@@ -137,12 +154,13 @@ InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
 
         row.vulnerable_destinations =
             static_cast<int>(vulnerable_hosts.size());
-        return row;
+        return std::make_pair(std::move(row), std::move(lab.trace));
       });
 
   // Deterministic merge in catalog order.
+  merge_lab_traces(testbed, rows);
   InterceptionReport report;
-  for (const auto& row : rows) {
+  for (const auto& [row, trace] : rows) {
     ++report.devices_tested;
     // §5.2: "seven devices do not perform any certificate validation" —
     // i.e. the self-signed attack succeeded against them.
@@ -169,7 +187,7 @@ DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed,
   testbed.set_date(kExperimentDate);
   const auto profiles = devices::active_devices();
 
-  const auto rows = common::parallel_map(
+  auto rows = common::parallel_map(
       threads, profiles, [&](const devices::DeviceProfile* profile) {
         DeviceLab lab(testbed, *profile);
         auto& runtime = lab.runtime(*profile);
@@ -209,11 +227,12 @@ DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed,
         row.downgraded_destinations =
             static_cast<int>(downgraded_hosts.size());
         row.total_destinations = static_cast<int>(contacted_hosts.size());
-        return row;
+        return std::make_pair(std::move(row), std::move(lab.trace));
       });
 
+  merge_lab_traces(testbed, rows);
   DowngradeReport report;
-  for (const auto& row : rows) {
+  for (const auto& [row, trace] : rows) {
     ++report.devices_tested;
     if (row.on_failed_handshake || row.on_incomplete_handshake) {
       report.rows.push_back(row);
@@ -231,7 +250,7 @@ OldVersionReport run_old_version_experiments(testbed::Testbed& testbed,
   testbed.set_date(kExperimentDate);
   const auto profiles = devices::active_devices();
 
-  const auto rows = common::parallel_map(
+  auto rows = common::parallel_map(
       threads, profiles, [&](const devices::DeviceProfile* profile) {
         DeviceLab lab(testbed, *profile);
         auto& runtime = lab.runtime(*profile);
@@ -261,11 +280,12 @@ OldVersionReport run_old_version_experiments(testbed::Testbed& testbed,
             row.tls11 = accepted;
           }
         }
-        return row;
+        return std::make_pair(std::move(row), std::move(lab.trace));
       });
 
+  merge_lab_traces(testbed, rows);
   OldVersionReport report;
-  for (const auto& row : rows) {
+  for (const auto& [row, trace] : rows) {
     ++report.devices_tested;
     if (row.tls10 || row.tls11) report.rows.push_back(row);
   }
@@ -288,7 +308,7 @@ PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
     bool new_failures = false;
   };
 
-  const auto tallies = common::parallel_map(
+  auto tallies = common::parallel_map(
       threads, profiles, [&](const devices::DeviceProfile* profile) {
         DeviceLab lab(testbed, *profile);
         auto& runtime = lab.runtime(*profile);
@@ -347,13 +367,14 @@ PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
         for (const auto& host : pass2_hosts) {
           if (!seen_hosts.count(host)) ++tally.extra_hosts;
         }
-        return tally;
+        return std::make_pair(std::move(tally), std::move(lab.trace));
       });
 
+  merge_lab_traces(testbed, tallies);
   PassthroughReport report;
   int baseline_hosts = 0;
   int extra_hosts = 0;
-  for (const auto& tally : tallies) {
+  for (const auto& [tally, trace] : tallies) {
     baseline_hosts += tally.baseline_hosts;
     extra_hosts += tally.extra_hosts;
     report.new_failures_found |= tally.new_failures;

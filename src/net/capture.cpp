@@ -33,6 +33,17 @@ bool HandshakeRecord::established_strong_suite() const {
          tls::suite_is_strong(*established_suite);
 }
 
+std::string alert_direction_name(HandshakeRecord::AlertDirection d) {
+  switch (d) {
+    case HandshakeRecord::AlertDirection::None: return "none";
+    case HandshakeRecord::AlertDirection::ClientToServer:
+      return "client->server";
+    case HandshakeRecord::AlertDirection::ServerToClient:
+      return "server->client";
+  }
+  return "unknown";
+}
+
 ConnectionObserver::ConnectionObserver(std::string device,
                                        std::string hostname,
                                        common::Month month) {
@@ -49,6 +60,7 @@ tls::Transport::Tap ConnectionObserver::tap() {
 
 void ConnectionObserver::observe(bool client_to_server,
                                  const tls::TlsRecord& rec) {
+  ++records_seen_;
   switch (rec.type) {
     case tls::ContentType::Alert: {
       const auto alert = tls::Alert::parse(rec.payload);
@@ -56,6 +68,14 @@ void ConnectionObserver::observe(bool client_to_server,
         record_.client_alert = alert;
       } else {
         record_.server_alert = alert;
+      }
+      if (alert.level == tls::AlertLevel::Fatal &&
+          !record_.saw_fatal_alert()) {
+        record_.first_fatal_alert_direction =
+            client_to_server
+                ? HandshakeRecord::AlertDirection::ClientToServer
+                : HandshakeRecord::AlertDirection::ServerToClient;
+        record_.first_fatal_alert_ordinal = records_seen_;
       }
       return;
     }

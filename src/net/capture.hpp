@@ -43,7 +43,18 @@ struct HandshakeRecord {
   std::optional<tls::Alert> client_alert;
   std::optional<tls::Alert> server_alert;
 
+  /// Table 4 audit fields: where in the connection the first *fatal* alert
+  /// appeared. Direction is who sent it; ordinal is the 1-based position of
+  /// the alert record counting every record in both directions. Ordinal is
+  /// -1 when the connection saw no fatal alert.
+  enum class AlertDirection { None, ClientToServer, ServerToClient };
+  AlertDirection first_fatal_alert_direction = AlertDirection::None;
+  int first_fatal_alert_ordinal = -1;
+
   [[nodiscard]] tls::ProtocolVersion max_advertised_version() const;
+  [[nodiscard]] bool saw_fatal_alert() const {
+    return first_fatal_alert_direction != AlertDirection::None;
+  }
   [[nodiscard]] bool advertises_insecure_suite() const;
   [[nodiscard]] bool advertises_strong_suite() const;
   [[nodiscard]] bool established_insecure_suite() const;
@@ -67,7 +78,10 @@ class ConnectionObserver {
 
   HandshakeRecord record_;
   bool saw_client_finished_ = false;
+  int records_seen_ = 0;
 };
+
+std::string alert_direction_name(HandshakeRecord::AlertDirection d);
 
 /// Append-only store of captured connections with the filters the
 /// analyses need.

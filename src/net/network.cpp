@@ -47,11 +47,37 @@ Network::Connection Network::connect(const std::string& hostname,
                                                        month);
   conn.transport = std::make_unique<tls::Transport>(session);
   conn.transport->add_tap(conn.observer->tap());
+  if (trace_ != nullptr && trace_->enabled()) {
+    conn.span = std::make_unique<obs::Span>(
+        trace_->start_span("conn:" + device + ":" + hostname));
+    conn.span->set_attr("device", device);
+    conn.span->set_attr("destination", hostname);
+    conn.span->set_attr("month", month.str());
+    if (interceptor_) conn.span->set_attr("intercepted", "true");
+    conn.transport->set_span(conn.span.get());
+  }
   return conn;
 }
 
-void Network::finish(const Connection& connection) {
-  capture_.add(connection.observer->record());
+void Network::finish(Connection& connection) {
+  const HandshakeRecord& record = connection.observer->record();
+  capture_.add(record);
+  if (connection.span != nullptr && connection.span->enabled()) {
+    std::vector<obs::Attr> attrs{
+        {"handshake_complete", record.handshake_complete ? "true" : "false"},
+        {"app_data", record.application_data_seen ? "true" : "false"},
+    };
+    if (record.saw_fatal_alert()) {
+      attrs.emplace_back(
+          "first_fatal_alert_dir",
+          alert_direction_name(record.first_fatal_alert_direction));
+      attrs.emplace_back("first_fatal_alert_ordinal",
+                         std::to_string(record.first_fatal_alert_ordinal));
+    }
+    connection.span->event("capture", std::move(attrs));
+    if (trace_ != nullptr) trace_->add(std::move(*connection.span));
+    connection.span.reset();
+  }
 }
 
 }  // namespace iotls::net

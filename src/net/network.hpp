@@ -9,6 +9,7 @@
 #include <string>
 
 #include "net/capture.hpp"
+#include "obs/trace.hpp"
 #include "tls/transport.hpp"
 
 namespace iotls::net {
@@ -44,6 +45,9 @@ class Network {
     std::unique_ptr<tls::Transport> transport;
     std::shared_ptr<tls::ServerSession> session;
     std::shared_ptr<ConnectionObserver> observer;
+    /// Per-connection trace span (null when tracing is off). Attached to
+    /// the transport; committed to the trace log by finish().
+    std::unique_ptr<obs::Span> span;
   };
 
   /// Throws ProtocolError if no server (and no interceptor) handles the
@@ -51,16 +55,22 @@ class Network {
   Connection connect(const std::string& hostname, const std::string& device,
                      common::Month month);
 
-  /// Record the connection's observation into the capture log.
-  void finish(const Connection& connection);
+  /// Record the connection's observation into the capture log and commit
+  /// its trace span (with a final `capture` event) to the trace log.
+  void finish(Connection& connection);
 
   [[nodiscard]] CaptureLog& capture() { return capture_; }
   [[nodiscard]] const CaptureLog& capture() const { return capture_; }
+
+  /// Trace destination for per-connection spans (non-owning, may be null).
+  void set_trace(obs::TraceLog* trace) { trace_ = trace; }
+  [[nodiscard]] obs::TraceLog* trace() const { return trace_; }
 
  private:
   std::map<std::string, SessionFactory> servers_;
   Interceptor interceptor_;
   CaptureLog capture_;
+  obs::TraceLog* trace_ = nullptr;
 };
 
 }  // namespace iotls::net

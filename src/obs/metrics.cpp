@@ -1,0 +1,361 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace iotls::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Per-thread shard cache: metric id -> that thread's private cell. Ids are
+/// never reused, so a stale entry (metric long destroyed) is dead weight,
+/// never a dangling dereference — it can only be found via the owning
+/// metric's own accessor.
+thread_local std::unordered_map<std::uint64_t, void*> tl_cells;
+
+std::string format_value(double v) {
+  // Integral values print without a fraction (stable, diff-friendly
+  // exposition); everything else gets shortest-ish fixed notation.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return std::string(buf);
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+std::uint64_t next_metric_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+// ---------------- Counter ----------------
+
+Counter::Counter() : id_(detail::next_metric_id()) {}
+
+Counter::Cell* Counter::local_cell() {
+  auto& slot = tl_cells[id_];
+  if (slot == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.push_back(std::make_unique<Cell>());
+    slot = cells_.back().get();
+  }
+  return static_cast<Cell*>(slot);
+}
+
+void Counter::inc(std::uint64_t delta) {
+  local_cell()->v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& cell : cells_) cell->v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------- Gauge ----------------
+
+void Gauge::add(double delta) { atomic_add_double(value_, delta); }
+
+void Gauge::set_max(double v) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (cur < v && !value_.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------- Histogram ----------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : id_(detail::next_metric_id()), bounds_(std::move(bounds)) {}
+
+Histogram::Cell* Histogram::local_cell() {
+  auto& slot = tl_cells[id_];
+  if (slot == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.push_back(std::make_unique<Cell>(bounds_.size() + 1));
+    slot = cells_.back().get();
+  }
+  return static_cast<Cell*>(slot);
+}
+
+void Histogram::observe(double v) {
+  Cell* cell = local_cell();
+  // Buckets are `value <= bound` (Prometheus `le` semantics); the final
+  // slot is the implicit +Inf bucket.
+  std::size_t bucket = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  cell->counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(cell->sum, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& cell : cells_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += cell->counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto c : bucket_counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& cell : cells_) {
+    total += cell->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& cell : cells_) {
+    for (auto& c : cell->counts) c.store(0, std::memory_order_relaxed);
+    cell->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------- MetricsRegistry ----------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(
+    const std::string& name, Kind kind, const std::string& help,
+    const std::string& label_key, std::vector<double> bounds) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+    it->second.label_key = label_key;
+    it->second.bounds = std::move(bounds);
+  }
+  return it->second;
+}
+
+MetricsRegistry::Child& MetricsRegistry::child(
+    Family& fam, const std::string& label_value) {
+  auto [it, inserted] = fam.children.try_emplace(label_value);
+  if (inserted) {
+    switch (fam.kind) {
+      case Kind::Counter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        it->second.histogram = std::make_unique<Histogram>(fam.bounds);
+        break;
+    }
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return counter(name, help, "", "");
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& label_key,
+                                  const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *child(family(name, Kind::Counter, help, label_key, {}),
+                label_value)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return gauge(name, help, "", "");
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help,
+                              const std::string& label_key,
+                              const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *child(family(name, Kind::Gauge, help, label_key, {}), label_value)
+              .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds) {
+  return histogram(name, help, "", "", std::move(bounds));
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& label_key,
+                                      const std::string& label_value,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *child(
+              family(name, Kind::Histogram, help, label_key,
+                     std::move(bounds)),
+              label_value)
+              .histogram;
+}
+
+const MetricsRegistry::Child* MetricsRegistry::find_child(
+    const std::string& name, const std::string& label_value) const {
+  const auto fam = families_.find(name);
+  if (fam == families_.end()) return nullptr;
+  const auto it = fam->second.children.find(label_value);
+  return it == fam->second.children.end() ? nullptr : &it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(
+    const std::string& name, const std::string& label_value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Child* c = find_child(name, label_value);
+  return c != nullptr ? c->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(
+    const std::string& name, const std::string& label_value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Child* c = find_child(name, label_value);
+  return c != nullptr ? c->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name, const std::string& label_value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Child* c = find_child(name, label_value);
+  return c != nullptr ? c->histogram.get() : nullptr;
+}
+
+std::size_t MetricsRegistry::family_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (fam.kind) {
+      case Kind::Counter: out += "counter\n"; break;
+      case Kind::Gauge: out += "gauge\n"; break;
+      case Kind::Histogram: out += "histogram\n"; break;
+    }
+    for (const auto& [label_value, ch] : fam.children) {
+      const auto labelled = [&](const std::string& extra_key = "",
+                                const std::string& extra_value = "") {
+        std::string s = name;
+        if (fam.kind == Kind::Histogram) s += "_bucket";
+        std::vector<std::pair<std::string, std::string>> labels;
+        if (!fam.label_key.empty()) {
+          labels.emplace_back(fam.label_key, label_value);
+        }
+        if (!extra_key.empty()) labels.emplace_back(extra_key, extra_value);
+        if (!labels.empty()) {
+          s += '{';
+          for (std::size_t i = 0; i < labels.size(); ++i) {
+            if (i > 0) s += ',';
+            s += labels[i].first + "=\"" + labels[i].second + "\"";
+          }
+          s += '}';
+        }
+        return s;
+      };
+      switch (fam.kind) {
+        case Kind::Counter:
+          out += labelled() + " " + std::to_string(ch.counter->value()) +
+                 "\n";
+          break;
+        case Kind::Gauge:
+          out += labelled() + " " + format_value(ch.gauge->value()) + "\n";
+          break;
+        case Kind::Histogram: {
+          const auto counts = ch.histogram->bucket_counts();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < counts.size(); ++i) {
+            cumulative += counts[i];
+            const std::string le =
+                i < fam.bounds.size() ? format_value(fam.bounds[i]) : "+Inf";
+            out += labelled("le", le) + " " + std::to_string(cumulative) +
+                   "\n";
+          }
+          std::string base = name;
+          std::string suffix;
+          if (!fam.label_key.empty()) {
+            suffix = "{" + fam.label_key + "=\"" + label_value + "\"}";
+          }
+          out += base + "_sum" + suffix + " " +
+                 format_value(ch.histogram->sum()) + "\n";
+          out += base + "_count" + suffix + " " +
+                 std::to_string(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [label, ch] : fam.children) {
+      if (ch.counter) ch.counter->reset();
+      if (ch.gauge) ch.gauge->reset();
+      if (ch.histogram) ch.histogram->reset();
+    }
+  }
+}
+
+}  // namespace iotls::obs

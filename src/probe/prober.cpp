@@ -2,11 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "tls/alert.hpp"
+
 namespace iotls::probe {
 
 namespace {
 
 constexpr common::SimDate kProbeDate{2021, 3, 20};  // §4.1 snapshot
+
+struct ProbeMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  obs::Counter& pairs = reg.counter(
+      "iotls_probe_pairs_total",
+      "Spoofed/unknown probe pairs run against devices");
+
+  obs::Counter& verdicts(const std::string& verdict) {
+    return reg.counter("iotls_probe_verdicts_total",
+                       "Root-store probe verdicts", "verdict", verdict);
+  }
+
+  static ProbeMetrics& get() {
+    static ProbeMetrics metrics;
+    return metrics;
+  }
+};
 
 /// The probe targets the device's boot-time first connection — the same
 /// TLS instance every reboot (§4.2's determinism requirement).
@@ -75,8 +96,19 @@ bool RootStoreProber::device_amenable(const std::string& device_name) {
       run_probe(device_name, mitm::InterceptMode::unknown_ca());
   const auto alert_spoofed =
       run_probe(device_name, mitm::InterceptMode::spoofed_ca(known_root));
-  return alert_unknown.has_value() && alert_spoofed.has_value() &&
-         *alert_unknown != *alert_spoofed;
+  const bool amenable = alert_unknown.has_value() &&
+                        alert_spoofed.has_value() &&
+                        *alert_unknown != *alert_spoofed;
+  obs::TraceLog* trace = testbed_->trace();
+  if (trace != nullptr && trace->enabled()) {
+    obs::Span span = trace->start_span("amenability:" + device_name);
+    span.set_attr("device", device_name);
+    span.event("probe_unknown", {{"alert", tls::alert_display(alert_unknown)}});
+    span.event("probe_spoofed", {{"alert", tls::alert_display(alert_spoofed)}});
+    span.event("verdict", {{"amenable", amenable ? "true" : "false"}});
+    trace->add(std::move(span));
+  }
+  return amenable;
 }
 
 std::vector<std::string> RootStoreProber::amenable_devices() {
@@ -101,11 +133,39 @@ ProbeOutcome RootStoreProber::probe_certificate(
   if (!outcome.alert_unknown.has_value() ||
       !outcome.alert_spoofed.has_value()) {
     outcome.verdict = Verdict::Inconclusive;
-    return outcome;
+  } else {
+    outcome.verdict = (*outcome.alert_spoofed != *outcome.alert_unknown)
+                          ? Verdict::Present
+                          : Verdict::Absent;
   }
-  outcome.verdict = (*outcome.alert_spoofed != *outcome.alert_unknown)
-                        ? Verdict::Present
-                        : Verdict::Absent;
+
+  if (obs::metrics_enabled()) {
+    auto& metrics = ProbeMetrics::get();
+    metrics.pairs.inc();
+    metrics.verdicts(verdict_name(outcome.verdict)).inc();
+  }
+  obs::TraceLog* trace = testbed_->trace();
+  if (trace != nullptr && trace->enabled()) {
+    // One span per probe pair: both alerts, and which signal decided it.
+    obs::Span span = trace->start_span("probe:" + device_name + ":" + ca_name);
+    span.set_attr("device", device_name);
+    span.set_attr("ca", ca_name);
+    span.event("probe_unknown",
+               {{"alert", tls::alert_display(outcome.alert_unknown)}});
+    span.event("probe_spoofed",
+               {{"alert", tls::alert_display(outcome.alert_spoofed)}});
+    std::string signal;
+    if (outcome.verdict == Verdict::Inconclusive) {
+      signal = "missing_alert";
+    } else if (outcome.verdict == Verdict::Present) {
+      signal = "alerts_differ";
+    } else {
+      signal = "alerts_match";
+    }
+    span.event("verdict", {{"verdict", verdict_name(outcome.verdict)},
+                           {"signal", signal}});
+    trace->add(std::move(span));
+  }
   return outcome;
 }
 

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "testbed/cloud.hpp"
 
 namespace iotls::testbed {
+
+namespace {
+
+struct RuntimeMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  obs::Counter& connections = reg.counter(
+      "iotls_testbed_connections_total",
+      "Device connection attempts through the testbed network");
+
+  obs::Counter& fallback_retries(const std::string& trigger) {
+    return reg.counter("iotls_testbed_fallback_retries_total",
+                       "Table 5 downgrade retries, by what triggered them",
+                       "trigger", trigger);
+  }
+
+  static RuntimeMetrics& get() {
+    static RuntimeMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 int BootResult::successes() const {
   return static_cast<int>(std::count_if(
@@ -50,9 +74,12 @@ tls::ClientResult DeviceRuntime::run_connection(
     common::SimDate now) {
   auto connection =
       network_.connect(dest.hostname, profile_.name, now.to_month());
+  if (obs::metrics_enabled()) RuntimeMetrics::get().connections.inc();
   common::Rng rng = common::Rng::derive(
       profile_.seed ^ connection_counter_++, "conn:" + dest.hostname);
-  tls::TlsClient client(config, &roots_, rng, now);
+  tls::ClientConfig traced_config = config;
+  if (connection.span != nullptr) traced_config.span = connection.span.get();
+  tls::TlsClient client(std::move(traced_config), &roots_, rng, now);
 
   const common::Bytes payload =
       dest.sensitive_payload.empty()
@@ -97,6 +124,12 @@ ConnectionOutcome DeviceRuntime::connect_to(
       tls::ClientConfig fallback_config = fb.fallback_config;
       if (validation_disabled_) {
         fallback_config.verify_policy = x509::VerifyPolicy::none();
+      }
+      if (obs::metrics_enabled()) {
+        RuntimeMetrics::get()
+            .fallback_retries(incomplete ? "incomplete_handshake"
+                                         : "failed_handshake")
+            .inc();
       }
       outcome.used_fallback = true;
       outcome.fallback_result =

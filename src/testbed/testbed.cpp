@@ -9,6 +9,7 @@ Testbed::Testbed(Options options)
     : options_(std::move(options)),
       universe_(options_.universe != nullptr ? options_.universe
                                              : &pki::CaUniverse::standard()) {
+  network_.set_trace(options_.trace);
   cloud_ = std::make_unique<CloudFarm>(*universe_, options_.seed);
   const pki::RevocationList* revocations =
       options_.revocations != nullptr ? options_.revocations : &revocations_;
@@ -39,6 +40,8 @@ Testbed::Options Testbed::sandbox_options(
   sandbox.devices = {device_name};
   sandbox.revocations =
       options_.revocations != nullptr ? options_.revocations : &revocations_;
+  // Sandboxes trace into their own local log (see Options::trace).
+  sandbox.trace = nullptr;
   return sandbox;
 }
 

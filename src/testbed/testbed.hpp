@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "testbed/cloud.hpp"
 #include "testbed/plug.hpp"
 #include "testbed/runtime.hpp"
@@ -30,6 +31,11 @@ class Testbed {
     /// Sandboxes point this at their parent's list so CRL/OCSP behaviour
     /// carries over; the list must be const while sandboxes are live.
     const pki::RevocationList* revocations = nullptr;
+    /// Trace log per-connection spans are committed to (non-owning, may be
+    /// null). Deliberately NOT propagated by sandbox_options(): pool-fanned
+    /// sandboxes each use their own local log, merged in catalog order by
+    /// the coordinator, so traces stay byte-identical across thread counts.
+    obs::TraceLog* trace = nullptr;
   };
 
   Testbed() : Testbed(Options{}) {}
@@ -60,6 +66,10 @@ class Testbed {
 
   /// The ecosystem CRL consulted by the Table 8 CRL/OCSP devices.
   [[nodiscard]] pki::RevocationList& revocations() { return revocations_; }
+
+  /// Re-point connection tracing (forwards to the network).
+  void set_trace(obs::TraceLog* trace) { network_.set_trace(trace); }
+  [[nodiscard]] obs::TraceLog* trace() const { return network_.trace(); }
 
  private:
   Options options_;

@@ -3,6 +3,10 @@
 #include <algorithm>
 
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "tls/alert.hpp"
+#include "tls/ciphersuite.hpp"
+#include "tls/version.hpp"
 
 namespace iotls::tls {
 
@@ -83,10 +87,10 @@ ClientHello TlsClient::build_hello(const std::string& hostname) {
   return build_client_hello(config_, hostname, rng_);
 }
 
-ClientResult TlsClient::connect(Transport& transport,
-                                const std::string& hostname,
-                                common::BytesView app_payload,
-                                const ResumptionState* resume) {
+ClientResult TlsClient::connect_impl(Transport& transport,
+                                     const std::string& hostname,
+                                     common::BytesView app_payload,
+                                     const ResumptionState* resume) {
   ClientResult result;
   result.hello = build_client_hello(
       config_, hostname, rng_,
@@ -296,6 +300,7 @@ ClientResult TlsClient::connect(Transport& transport,
     if (result.server_chain.empty() ||
         result.server_chain[0].fingerprint() !=
             *config_.pinned_leaf_fingerprint) {
+      result.verify_failed_depth = 0;  // the pin is a leaf check
       return fail_validation(x509::VerifyError::PinMismatch);
     }
   }
@@ -305,8 +310,11 @@ ClientResult TlsClient::connect(Transport& transport,
   const pki::RootStore& store = roots_ != nullptr ? *roots_ : empty_store;
   const x509::VerifyResult verify = x509::verify_chain(
       result.server_chain, config_.send_sni ? hostname : std::string(),
-      store.roots(), now_, config_.verify_policy);
-  if (!verify.ok()) return fail_validation(verify.error);
+      store.roots(), now_, config_.verify_policy, config_.span);
+  if (!verify.ok()) {
+    result.verify_failed_depth = verify.failed_depth;
+    return fail_validation(verify.error);
+  }
 
   // --- Revocation (§6 extension; Table 8 CRL/OCSP clients) ---
   if (config_.revocation_list != nullptr &&
@@ -315,6 +323,7 @@ ClientResult TlsClient::connect(Transport& transport,
     const auto alert = Alert{AlertLevel::Fatal,
                              AlertDescription::CertificateRevoked};
     result.verify_error = x509::VerifyError::Revoked;
+    result.verify_failed_depth = 0;  // revocation is checked on the leaf
     result.outcome = HandshakeOutcome::ValidationFailed;
     result.alert_sent = alert;
     transport.send(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
@@ -344,6 +353,7 @@ ClientResult TlsClient::connect(Transport& transport,
             result.server_chain[0].tbs.subject_public_key, payload,
             ske->signature)) {
       result.verify_error = x509::VerifyError::BadSignature;
+      result.verify_failed_depth = 0;  // SKE is signed by the leaf key
       result.outcome = HandshakeOutcome::ValidationFailed;
       const auto alert = alert_for_verify_error(
           config_.library, x509::VerifyError::BadSignature);
@@ -456,6 +466,115 @@ ClientResult TlsClient::connect(Transport& transport,
   }
 
   transport.close();
+  return result;
+}
+
+namespace {
+
+struct ClientMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  obs::Counter& handshakes(const std::string& outcome) {
+    return reg.counter("iotls_tls_handshakes_total",
+                       "Client handshake attempts by outcome", "outcome",
+                       outcome);
+  }
+  obs::Counter& alerts(const std::string& description) {
+    return reg.counter("iotls_tls_alerts_total",
+                       "Fatal/warning alerts in either direction, by "
+                       "description",
+                       "description", description);
+  }
+  obs::Counter& resumptions(const std::string& result) {
+    return reg.counter("iotls_tls_resumptions_total",
+                       "Session-ticket resumption offers by result", "result",
+                       result);
+  }
+  obs::Counter& validation_failures(const std::string& cause) {
+    return reg.counter("iotls_tls_validation_failures_total",
+                       "Handshakes rejected by certificate validation, by "
+                       "cause",
+                       "cause", cause);
+  }
+
+  static ClientMetrics& get() {
+    static ClientMetrics metrics;
+    return metrics;
+  }
+};
+
+void trace_result(obs::Span& span, const ClientResult& result,
+                  const x509::VerifyPolicy& policy,
+                  bool resumption_offered) {
+  if (result.negotiated_version.has_value()) {
+    span.event("negotiated",
+               {{"version", version_name(*result.negotiated_version)},
+                {"suite", suite_name(*result.negotiated_suite)}});
+  }
+  if (result.verify_error != x509::VerifyError::Ok) {
+    span.event("validation",
+               {{"result", "fail"},
+                {"cause", x509::verify_error_name(result.verify_error)},
+                {"failing_check",
+                 x509::verify_check_name(result.verify_error)},
+                {"depth", std::to_string(result.verify_failed_depth)}});
+  } else if (result.success() && !result.resumed) {
+    span.event("validation",
+               {{"result", policy.validate ? "pass" : "skipped"}});
+  }
+  if (result.alert_sent.has_value()) {
+    span.event("alert_sent",
+               {{"level", alert_level_name(result.alert_sent->level)},
+                {"description", alert_name(result.alert_sent->description)}});
+  }
+  if (result.alert_received.has_value()) {
+    span.event(
+        "alert_received",
+        {{"level", alert_level_name(result.alert_received->level)},
+         {"description", alert_name(result.alert_received->description)}});
+  }
+  if (resumption_offered) {
+    span.event("resumption", {{"offered", "true"},
+                              {"accepted", result.resumed ? "true" : "false"}});
+  } else if (result.resumption.has_value()) {
+    span.event("resumption", {{"offered", "false"}, {"ticket_issued", "true"}});
+  }
+  span.event("outcome",
+             {{"outcome", outcome_name(result.outcome)},
+              {"app_data", result.app_data_exchanged ? "true" : "false"}});
+}
+
+}  // namespace
+
+ClientResult TlsClient::connect(Transport& transport,
+                                const std::string& hostname,
+                                common::BytesView app_payload,
+                                const ResumptionState* resume) {
+  obs::Span* span = config_.span;
+  if (span != nullptr && span->enabled()) transport.set_span(span);
+  ClientResult result =
+      connect_impl(transport, hostname, app_payload, resume);
+  if (span != nullptr && span->enabled()) {
+    trace_result(*span, result, config_.verify_policy, resume != nullptr);
+  }
+  if (obs::metrics_enabled()) {
+    auto& metrics = ClientMetrics::get();
+    metrics.handshakes(outcome_name(result.outcome)).inc();
+    if (result.alert_sent.has_value()) {
+      metrics.alerts(alert_name(result.alert_sent->description)).inc();
+    }
+    if (result.alert_received.has_value()) {
+      metrics.alerts(alert_name(result.alert_received->description)).inc();
+    }
+    if (resume != nullptr) {
+      metrics.resumptions(result.resumed ? "accepted" : "declined").inc();
+    }
+    if (result.outcome == HandshakeOutcome::ValidationFailed) {
+      metrics
+          .validation_failures(x509::verify_error_name(result.verify_error))
+          .inc();
+    }
+  }
   return result;
 }
 

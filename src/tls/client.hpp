@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/simtime.hpp"
+#include "obs/trace.hpp"
 #include "pki/revocation.hpp"
 #include "pki/root_store.hpp"
 #include "tls/messages.hpp"
@@ -57,6 +58,12 @@ struct ClientConfig {
   /// root-store probe. Off by default (most real stacks still alert).
   bool tls13_suppress_alerts = false;
 
+  /// Observability hook (non-owning, may be null). connect() attaches this
+  /// span to the transport for per-record events and appends semantic
+  /// events — negotiated parameters, validation decision, alerts in both
+  /// directions, resumption, outcome.
+  obs::Span* span = nullptr;
+
   [[nodiscard]] ProtocolVersion max_version() const;
   [[nodiscard]] bool supports(ProtocolVersion v) const;
 };
@@ -93,6 +100,8 @@ struct ClientResult {
   std::optional<std::uint16_t> negotiated_suite;
   std::vector<x509::Certificate> server_chain;
   x509::VerifyError verify_error = x509::VerifyError::Ok;
+  /// Chain index (0 = leaf) where validation failed, -1 if n/a.
+  int verify_failed_depth = -1;
   std::optional<Alert> alert_sent;
   std::optional<Alert> alert_received;
   /// Server answered the status_request with a stapled OCSP response.
@@ -139,6 +148,9 @@ class TlsClient {
 
  private:
   ClientHello build_hello(const std::string& hostname);
+  ClientResult connect_impl(Transport& transport, const std::string& hostname,
+                            common::BytesView app_payload,
+                            const ResumptionState* resume);
 
   ClientConfig config_;
   const pki::RootStore* roots_;

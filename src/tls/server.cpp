@@ -4,8 +4,34 @@
 
 #include "crypto/kdf.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "tls/alert.hpp"
 
 namespace iotls::tls {
+
+namespace {
+
+struct ServerMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  obs::Counter& handshakes(const std::string& result) {
+    return reg.counter("iotls_tls_server_handshakes_total",
+                       "Server-side handshakes completed, by kind", "result",
+                       result);
+  }
+  obs::Counter& alerts(const std::string& description) {
+    return reg.counter("iotls_tls_server_alerts_total",
+                       "Fatal alerts the server sent, by description",
+                       "description", description);
+  }
+
+  static ServerMetrics& get() {
+    static ServerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 TlsServer::TlsServer(ServerConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
@@ -26,6 +52,9 @@ TlsRecord TlsServer::handshake_record(const HandshakeMessage& msg) {
 
 std::vector<TlsRecord> TlsServer::fail(AlertDescription desc) {
   state_ = State::Failed;
+  if (obs::metrics_enabled()) {
+    ServerMetrics::get().alerts(alert_name(desc)).inc();
+  }
   const Alert alert{AlertLevel::Fatal, desc};
   return {TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
                     alert.serialize()}};
@@ -332,6 +361,9 @@ std::vector<TlsRecord> TlsServer::handle_finished(
     }
     state_ = State::Established;
     obs_.handshake_complete = true;
+    if (obs::metrics_enabled()) {
+      ServerMetrics::get().handshakes("resumed").inc();
+    }
     return {};
   }
 
@@ -365,6 +397,9 @@ std::vector<TlsRecord> TlsServer::handle_finished(
 
   state_ = State::Established;
   obs_.handshake_complete = true;
+  if (obs::metrics_enabled()) {
+    ServerMetrics::get().handshakes("full").inc();
+  }
   out.push_back(handshake_record(
       HandshakeMessage::wrap(HandshakeType::Finished, server_fin)));
   return out;

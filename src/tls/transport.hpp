@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "tls/record.hpp"
 
 namespace iotls::tls {
@@ -39,6 +40,12 @@ class Transport {
 
   void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
 
+  /// Attach the connection's trace span (non-owning; may be null). At
+  /// TraceLevel::Full every record in both directions becomes a `record`
+  /// event; at any enabled level close() emits a `close` event with the
+  /// record/byte totals.
+  void set_span(obs::Span* span) { span_ = span; }
+
   /// Send a record; the session's replies become readable via receive().
   void send(const TlsRecord& record);
 
@@ -50,11 +57,18 @@ class Transport {
   void close();
 
  private:
+  void note_record(bool client_to_server, const TlsRecord& record);
+
   std::shared_ptr<ServerSession> session_;
   std::vector<TlsRecord> inbox_;
   std::size_t inbox_pos_ = 0;
   std::vector<Tap> taps_;
   bool closed_ = false;
+  obs::Span* span_ = nullptr;
+  std::size_t records_to_server_ = 0;
+  std::size_t records_to_client_ = 0;
+  std::size_t bytes_to_server_ = 0;
+  std::size_t bytes_to_client_ = 0;
 };
 
 }  // namespace iotls::tls

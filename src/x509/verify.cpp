@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace iotls::x509 {
 
 std::string verify_error_name(VerifyError err) {
@@ -21,6 +23,22 @@ std::string verify_error_name(VerifyError err) {
   return "unknown";
 }
 
+std::string verify_check_name(VerifyError err) {
+  switch (err) {
+    case VerifyError::Ok: return "none";
+    case VerifyError::EmptyChain: return "chain_present";
+    case VerifyError::NotYetValid:
+    case VerifyError::Expired: return "validity";
+    case VerifyError::UnknownIssuer:
+    case VerifyError::BadSignature: return "signature";
+    case VerifyError::InvalidBasicConstraints: return "basic_constraints";
+    case VerifyError::HostnameMismatch: return "hostname";
+    case VerifyError::Revoked: return "revocation";
+    case VerifyError::PinMismatch: return "pinning";
+  }
+  return "unknown";
+}
+
 namespace {
 
 const Certificate* find_anchor(std::span<const Certificate> anchors,
@@ -32,12 +50,10 @@ const Certificate* find_anchor(std::span<const Certificate> anchors,
   return it == anchors.end() ? nullptr : &*it;
 }
 
-}  // namespace
-
-VerifyResult verify_chain(std::span<const Certificate> chain,
-                          std::string_view hostname,
-                          std::span<const Certificate> trust_anchors,
-                          common::SimDate now, const VerifyPolicy& policy) {
+VerifyResult verify_impl(std::span<const Certificate> chain,
+                         std::string_view hostname,
+                         std::span<const Certificate> trust_anchors,
+                         common::SimDate now, const VerifyPolicy& policy) {
   if (!policy.validate) return VerifyResult{};
 
   if (chain.empty()) return VerifyResult{VerifyError::EmptyChain, -1};
@@ -108,6 +124,77 @@ VerifyResult verify_chain(std::span<const Certificate> chain,
   }
 
   return VerifyResult{};
+}
+
+struct VerifyMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  obs::Counter& result(const std::string& name) {
+    return reg.counter("iotls_x509_verifications_total",
+                       "Chain verifications by result", "result", name);
+  }
+
+  static VerifyMetrics& get() {
+    static VerifyMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Emit one `x509_check` event per pipeline stage, in the order the
+/// verifier runs them, reconstructed from the final result (the pipeline
+/// is short-circuiting, so the result pins down every stage's status).
+void trace_checks(obs::Span& span, const VerifyPolicy& policy,
+                  const VerifyResult& result) {
+  struct Stage {
+    const char* name;
+    bool enabled;
+  };
+  const Stage stages[] = {
+      {"chain_present", true},
+      {"validity", policy.check_validity},
+      {"signature", policy.check_signature},
+      {"basic_constraints", policy.check_basic_constraints},
+      {"hostname", policy.check_hostname},
+  };
+  const std::string failing = verify_check_name(result.error);
+  bool reached = true;
+  for (const auto& stage : stages) {
+    std::string status;
+    if (!stage.enabled) {
+      status = "skipped";
+    } else if (!reached) {
+      status = "not_reached";
+    } else if (!result.ok() && failing == stage.name) {
+      status = "fail";
+      reached = false;
+    } else {
+      status = "pass";
+    }
+    std::vector<obs::Attr> attrs{{"check", stage.name}, {"status", status}};
+    if (status == "fail") {
+      attrs.emplace_back("error", verify_error_name(result.error));
+      attrs.emplace_back("depth", std::to_string(result.failed_depth));
+    }
+    span.event("x509_check", std::move(attrs));
+  }
+}
+
+}  // namespace
+
+VerifyResult verify_chain(std::span<const Certificate> chain,
+                          std::string_view hostname,
+                          std::span<const Certificate> trust_anchors,
+                          common::SimDate now, const VerifyPolicy& policy,
+                          obs::Span* span) {
+  const VerifyResult result =
+      verify_impl(chain, hostname, trust_anchors, now, policy);
+  if (obs::metrics_enabled()) {
+    VerifyMetrics::get().result(verify_error_name(result.error)).inc();
+  }
+  if (span != nullptr && span->full() && policy.validate) {
+    trace_checks(*span, policy, result);
+  }
+  return result;
 }
 
 }  // namespace iotls::x509

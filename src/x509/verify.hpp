@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/simtime.hpp"
+#include "obs/trace.hpp"
 #include "x509/certificate.hpp"
 
 namespace iotls::x509 {
@@ -40,6 +41,10 @@ enum class VerifyError {
 };
 
 std::string verify_error_name(VerifyError err);
+
+/// The pipeline stage a given error comes from ("validity", "signature",
+/// "hostname", ...) — the `failing_check` attribute in traces.
+std::string verify_check_name(VerifyError err);
 
 /// Which checks a client performs. Defaults are a correct validator.
 struct VerifyPolicy {
@@ -72,10 +77,15 @@ struct VerifyResult {
 /// Trust anchors are looked up by subject DN; a presented self-signed root
 /// is ignored in favour of the store's copy of the key — precisely how the
 /// spoofed-CA probe forces a BadSignature instead of a silent accept.
+///
+/// `span` (non-owning, may be null) receives one `x509_check` event per
+/// pipeline stage at TraceLevel::Full, in check order, each marked
+/// pass/fail/skipped/not_reached.
 VerifyResult verify_chain(std::span<const Certificate> chain,
                           std::string_view hostname,
                           std::span<const Certificate> trust_anchors,
                           common::SimDate now,
-                          const VerifyPolicy& policy = VerifyPolicy::strict());
+                          const VerifyPolicy& policy = VerifyPolicy::strict(),
+                          obs::Span* span = nullptr);
 
 }  // namespace iotls::x509

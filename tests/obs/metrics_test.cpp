@@ -1,0 +1,138 @@
+// MetricsRegistry: bucket edges, thread-local shard aggregation, and the
+// Prometheus exposition format.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace iotls::obs {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, AggregatesAcrossPoolWorkers) {
+  Counter c;
+  common::ThreadPool pool(8);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&c] { c.inc(); });
+  }
+  pool.wait_idle();
+  // Each worker wrote its own thread-local cell; value() sums them all.
+  EXPECT_EQ(c.value(), 100u);
+}
+
+TEST(Gauge, SetAddAndPeak) {
+  Gauge g;
+  g.set(3.0);
+  g.add(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set_max(4.0);  // below current: no-op
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(Histogram, BucketBoundsAreInclusiveUpperEdges) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // bucket 0 (<= 1)
+  h.observe(1.0);  // bucket 0: the bound itself belongs to its bucket
+  h.observe(1.5);  // bucket 1 (<= 2)
+  h.observe(4.0);  // bucket 2 (<= 4)
+  h.observe(9.0);  // +Inf bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+}
+
+TEST(Histogram, AggregatesAcrossPoolWorkers) {
+  Histogram h({10.0});
+  common::ThreadPool pool(4);
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&h, i] { h.observe(i < 32 ? 1.0 : 100.0); });
+  }
+  pool.wait_idle();
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 32u);
+  EXPECT_EQ(counts[1], 32u);
+  EXPECT_EQ(h.count(), 64u);
+}
+
+TEST(MetricsRegistry, CreateOrGetReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("test_total", "help");
+  a.inc();
+  Counter& b = reg.counter("test_total", "help ignored on re-get");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1u);
+  // reset() zeroes but never invalidates.
+  reg.reset();
+  EXPECT_EQ(a.value(), 0u);
+  a.inc(5);
+  EXPECT_EQ(reg.find_counter("test_total")->value(), 5u);
+}
+
+TEST(MetricsRegistry, LabelledChildrenAreIndependent) {
+  MetricsRegistry reg;
+  reg.counter("alerts_total", "h", "description", "unknown_ca").inc(3);
+  reg.counter("alerts_total", "h", "description", "decrypt_error").inc();
+  EXPECT_EQ(reg.find_counter("alerts_total", "unknown_ca")->value(), 3u);
+  EXPECT_EQ(reg.find_counter("alerts_total", "decrypt_error")->value(), 1u);
+  EXPECT_EQ(reg.find_counter("alerts_total", "no_such"), nullptr);
+  EXPECT_EQ(reg.find_counter("no_such_family"), nullptr);
+  EXPECT_EQ(reg.family_count(), 1u);
+}
+
+TEST(MetricsRegistry, PrometheusExpositionFormat) {
+  MetricsRegistry reg;
+  reg.counter("iotls_test_alerts_total", "Alerts seen", "description",
+              "unknown_ca")
+      .inc(2);
+  reg.gauge("iotls_test_workers", "Worker count").set(8);
+  reg.histogram("iotls_test_latency", "Latency", {1.0, 2.0}).observe(1.5);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP iotls_test_alerts_total Alerts seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE iotls_test_alerts_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("iotls_test_alerts_total{description=\"unknown_ca\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE iotls_test_workers gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE iotls_test_latency histogram"),
+            std::string::npos);
+  // Cumulative buckets plus the +Inf bucket, count and sum.
+  EXPECT_NE(text.find("iotls_test_latency_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("iotls_test_latency_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("iotls_test_latency_count 1"), std::string::npos);
+}
+
+TEST(MetricsEnabled, GlobalSwitchRoundTrips) {
+  const bool before = metrics_enabled();
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+  set_metrics_enabled(before);
+}
+
+}  // namespace
+}  // namespace iotls::obs

@@ -1,0 +1,117 @@
+// The flight recorder's determinism contract: tracing must be a pure
+// observer (tables/figures byte-identical with tracing Full vs Off), and
+// the traces themselves must be byte-identical across thread counts —
+// per-device logs merge in catalog order, never completion order.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace iotls::core {
+namespace {
+
+const pki::CaUniverse& small_universe() {
+  static const pki::CaUniverse universe = [] {
+    pki::CaUniverse::Options opts;
+    opts.common_count = 30;
+    opts.deprecated_count = 58;
+    return pki::CaUniverse(opts);
+  }();
+  return universe;
+}
+
+IotlsStudy make_study(std::size_t threads, obs::TraceLevel level,
+                      bool metrics) {
+  IotlsStudy::Options opts;
+  opts.seed = 42;
+  opts.threads = threads;
+  opts.universe = &small_universe();
+  opts.passive_scale = 0.01;
+  opts.passive_first = common::Month{2019, 10};
+  opts.passive_last = common::Month{2020, 3};
+  opts.trace_level = level;
+  opts.metrics_enabled = metrics;
+  return IotlsStudy(opts);
+}
+
+/// The traced experiments: interception (per-device MITM fan-out) and the
+/// root-store exploration (two nested fan-outs).
+std::string render_traced(IotlsStudy& study) {
+  std::string out;
+  out += study.render_table7();
+  out += study.render_table9();
+  return out;
+}
+
+TEST(ObsDeterminism, TablesIdenticalWithTracingFullVsOff) {
+  auto traced = make_study(8, obs::TraceLevel::Full, false);
+  auto plain = make_study(8, obs::TraceLevel::Off, false);
+  ASSERT_EQ(render_traced(traced), render_traced(plain));
+  EXPECT_GT(traced.traces().size(), 0u);
+  EXPECT_EQ(plain.traces().size(), 0u);
+}
+
+TEST(ObsDeterminism, TracesIdenticalAcrossThreadCounts) {
+  auto serial = make_study(1, obs::TraceLevel::Full, false);
+  auto parallel = make_study(8, obs::TraceLevel::Full, false);
+  ASSERT_EQ(render_traced(serial), render_traced(parallel));
+  const std::string serial_trace = serial.traces().to_jsonl();
+  const std::string parallel_trace = parallel.traces().to_jsonl();
+  EXPECT_FALSE(serial_trace.empty());
+  // Byte-identical: any completion-order merge or wall-clock timestamp in
+  // the trace would show up here.
+  ASSERT_EQ(serial_trace, parallel_trace);
+  EXPECT_EQ(serial.traces().render(), parallel.traces().render());
+}
+
+TEST(ObsDeterminism, MetricsOnDoesNotPerturbOutputsAndRegistersFamilies) {
+  auto with_metrics = make_study(8, obs::TraceLevel::Off, true);
+  auto without = make_study(8, obs::TraceLevel::Off, false);
+  // Note construction order: `without` ran last, so the global switch is
+  // off while BOTH render — the comparison checks the recorded state, not
+  // the switch. Re-enable for the metered run.
+  obs::set_metrics_enabled(true);
+  const std::string metered = render_traced(with_metrics);
+  obs::set_metrics_enabled(false);
+  ASSERT_EQ(metered, render_traced(without));
+
+  // The instrumented run populated the registry: handshakes, alerts,
+  // validation failures, interceptions, probe verdicts, transports,
+  // pool counters, experiment timings, ...
+  EXPECT_GE(with_metrics.metrics().family_count(), 12u);
+  const std::string prom = with_metrics.metrics().render_prometheus();
+  EXPECT_NE(prom.find("iotls_tls_handshakes_total"), std::string::npos);
+  EXPECT_NE(prom.find("iotls_mitm_interceptions_total"), std::string::npos);
+  EXPECT_NE(prom.find("iotls_probe_verdicts_total"), std::string::npos);
+  EXPECT_NE(prom.find("iotls_experiment_wall_ms"), std::string::npos);
+}
+
+TEST(ObsDeterminism, HandshakeLevelTracesAreSubsetOfFull) {
+  auto handshake = make_study(4, obs::TraceLevel::Handshake, false);
+  (void)handshake.render_table7();
+  ASSERT_GT(handshake.traces().size(), 0u);
+  // Handshake level must carry semantic events but no wire records.
+  bool saw_outcome = false;
+  for (const auto& span : handshake.traces().spans()) {
+    EXPECT_EQ(span.find("record"), nullptr);
+    if (span.find("outcome") != nullptr) saw_outcome = true;
+  }
+  EXPECT_TRUE(saw_outcome);
+}
+
+TEST(ObsDeterminism, TimingsAreServedFromTheRegistry) {
+  auto study = make_study(2, obs::TraceLevel::Off, false);
+  (void)study.render_table7();
+  const auto timings = study.timings();
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_EQ(timings[0].name, "interception");
+  EXPECT_EQ(timings[0].threads, 2u);
+  const auto* wall = study.metrics().find_gauge("iotls_experiment_wall_ms",
+                                                "interception");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->value(), timings[0].wall_ms);
+}
+
+}  // namespace
+}  // namespace iotls::core
