@@ -1,35 +1,19 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "common/env.hpp"
 #include "core/study.hpp"
 
 namespace iotls::bench {
 
-/// Strictly parse a non-negative integer environment knob. Unset or empty
-/// means `fallback`; anything else must be a complete base-10 integer ≥ 0.
-/// Malformed values ("abc", "4x", "-1", "1e3") exit with a clear message
-/// instead of silently truncating to 0 the way strtoul would.
-inline long strict_env_long(const char* name, long fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(env, &end, 10);
-  if (errno != 0 || end == env || *end != '\0' || value < 0) {
-    std::fprintf(stderr,
-                 "error: %s='%s' is not a non-negative integer "
-                 "(e.g. %s=4)\n",
-                 name, env, name);
-    std::exit(2);
-  }
-  return value;
-}
+// The strict knob parser moved to common/env.hpp so library code
+// (crypto's IOTLS_CRYPTO_CACHE switch) shares the same semantics; keep
+// the old name visible for the bench binaries.
+using common::strict_env_long;
 
 /// Standard study options for reproduction binaries: full passive window,
 /// paper-scale connection counts. Environment knobs:

@@ -37,6 +37,14 @@ class Rng {
   /// each device/instance its own reproducible stream.
   static Rng derive(std::uint64_t seed, std::string_view label);
 
+  /// The full generator state. Snapshot/restore lets memoisation layers
+  /// (the RSA keypair cache) replay a generator's consumption exactly: a
+  /// cache hit restores the post-generation state, so downstream draws are
+  /// byte-identical to a cache miss.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] State state() const { return s_; }
+  void set_state(const State& state) { s_ = state; }
+
   std::uint64_t next_u64();
   std::uint32_t next_u32();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hex.hpp"
+#include "crypto/montgomery.hpp"
 
 namespace iotls::crypto {
 
@@ -281,6 +282,12 @@ std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& divisor) const {
 }
 
 BigUint BigUint::modexp(const BigUint& exp, const BigUint& m) const {
+  if (m.is_zero()) throw common::CryptoError("modexp: zero modulus");
+  if (m.is_odd()) return Montgomery(m).pow(*this, exp);
+  return modexp_plain(exp, m);
+}
+
+BigUint BigUint::modexp_plain(const BigUint& exp, const BigUint& m) const {
   if (m.is_zero()) throw common::CryptoError("modexp: zero modulus");
   BigUint result(1);
   result = result.mod(m);

@@ -1,7 +1,10 @@
 // Arbitrary-precision unsigned integers for the RSA/DHE substrate.
 //
-// Schoolbook arithmetic over 32-bit limbs is ample for simulation-scale
-// moduli (512-1024 bits); `bench_ablation_keysize` quantifies the cost.
+// Schoolbook add/sub/mul/div over 32-bit limbs; modular exponentiation for
+// odd moduli runs on the Montgomery kernel (crypto/montgomery.hpp), with
+// the schoolbook square-and-multiply kept as the even-modulus fallback and
+// cross-check oracle. `bench_crypto` and `bench_ablation_keysize` quantify
+// the costs.
 #pragma once
 
 #include <cstdint>
@@ -56,8 +59,15 @@ class BigUint {
   [[nodiscard]] BigUint shift_left(std::size_t bits) const;
   [[nodiscard]] BigUint shift_right(std::size_t bits) const;
 
-  /// Modular exponentiation: this^exp mod m (m > 0).
+  /// Modular exponentiation: this^exp mod m (m > 0). Odd moduli (every
+  /// RSA/DH modulus) dispatch to Montgomery fixed-window exponentiation;
+  /// even moduli fall back to the schoolbook path below.
   [[nodiscard]] BigUint modexp(const BigUint& exp, const BigUint& m) const;
+
+  /// Schoolbook square-and-multiply with a full division per step — the
+  /// fallback for even moduli and the cross-check oracle for the
+  /// Montgomery kernel (tests, bench_crypto baselines).
+  [[nodiscard]] BigUint modexp_plain(const BigUint& exp, const BigUint& m) const;
 
   /// Greatest common divisor.
   static BigUint gcd(BigUint a, BigUint b);
@@ -79,6 +89,8 @@ class BigUint {
   [[nodiscard]] std::uint64_t low_u64() const;
 
  private:
+  friend class Montgomery;  // limb-level access for the reduction kernel
+
   void trim();
 
   std::vector<std::uint32_t> limbs_;

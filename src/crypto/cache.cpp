@@ -1,0 +1,90 @@
+#include "crypto/cache.hpp"
+
+#include <atomic>
+
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
+
+namespace iotls::crypto {
+
+namespace {
+
+std::atomic<bool>& cache_switch() {
+  static std::atomic<bool> enabled{
+      common::strict_env_long("IOTLS_CRYPTO_CACHE", 1) != 0};
+  return enabled;
+}
+
+}  // namespace
+
+bool crypto_cache_enabled() {
+  return cache_switch().load(std::memory_order_relaxed);
+}
+
+void set_crypto_cache_enabled(bool enabled) {
+  cache_switch().store(enabled, std::memory_order_relaxed);
+}
+
+void count_cache_hit(const char* cache_name) {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::global()
+      .counter("iotls_crypto_cache_hits_total",
+               "Crypto memoisation hits by cache", "cache", cache_name)
+      .inc();
+}
+
+void count_cache_miss(const char* cache_name) {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::global()
+      .counter("iotls_crypto_cache_misses_total",
+               "Crypto memoisation misses by cache", "cache", cache_name)
+      .inc();
+}
+
+std::optional<std::uint64_t> DigestCache::lookup(const Key& key) {
+  Shard& s = shard(key);
+  std::optional<std::uint64_t> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) out = it->second;
+  }
+  if (out.has_value()) {
+    count_cache_hit(name_);
+  } else {
+    count_cache_miss(name_);
+  }
+  return out;
+}
+
+void DigestCache::store(const Key& key, std::uint64_t value) {
+  Shard& s = shard(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.map.size() >= kMaxPerShard) s.map.clear();
+  s.map.emplace(key, value);
+}
+
+void DigestCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.map.clear();
+  }
+}
+
+DigestCache& sig_verify_cache() {
+  static DigestCache cache("sig_verify");
+  return cache;
+}
+
+DigestCache& chain_verify_cache() {
+  static DigestCache cache("chain_verify");
+  return cache;
+}
+
+void crypto_caches_clear() {
+  sig_verify_cache().clear();
+  chain_verify_cache().clear();
+  detail::keypair_cache_clear();
+}
+
+}  // namespace iotls::crypto

@@ -1,0 +1,141 @@
+#include "crypto/montgomery.hpp"
+
+#include <utility>
+
+namespace iotls::crypto {
+
+Montgomery::Montgomery(const BigUint& modulus) : m_(modulus) {
+  if (!m_.is_odd()) {
+    throw common::CryptoError("Montgomery: modulus must be odd");
+  }
+  mlimbs_ = m_.limbs_;
+
+  // n0 = -m^-1 mod 2^32 by Newton iteration (5 doublings of precision).
+  std::uint32_t inv = mlimbs_[0];
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - mlimbs_[0] * inv;
+  }
+  n0_ = ~inv + 1u;  // == -inv mod 2^32
+
+  // R^2 mod m with R = 2^(32n): one Algorithm-D division at setup.
+  const std::size_t n = mlimbs_.size();
+  r2_ = pad(BigUint(1).shift_left(64 * n).mod(m_));
+  one_ = pad(BigUint(1).shift_left(32 * n).mod(m_));
+}
+
+Montgomery::Limbs Montgomery::pad(const BigUint& a) const {
+  Limbs out = a.limbs_;
+  out.resize(mlimbs_.size(), 0);
+  return out;
+}
+
+BigUint Montgomery::unpad(Limbs limbs) {
+  BigUint out;
+  out.limbs_ = std::move(limbs);
+  out.trim();
+  return out;
+}
+
+Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
+  // CIOS (coarsely integrated operand scanning): interleave the multiply
+  // and the reduction so the accumulator never exceeds n+2 limbs.
+  const std::size_t n = mlimbs_.size();
+  std::vector<std::uint32_t> t(n + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ai = a[i];
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t cur = t[j] + ai * b[j] + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[n] + carry;
+    t[n] = static_cast<std::uint32_t>(cur);
+    t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    const std::uint64_t u =
+        static_cast<std::uint32_t>(t[0] * n0_);  // t[0]*(-m^-1) mod 2^32
+    cur = t[0] + u * mlimbs_[0];
+    carry = cur >> 32;
+    for (std::size_t j = 1; j < n; ++j) {
+      cur = t[j] + u * mlimbs_[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[n] + carry;
+    t[n - 1] = static_cast<std::uint32_t>(cur);
+    t[n] = t[n + 1] + static_cast<std::uint32_t>(cur >> 32);
+    t[n + 1] = 0;
+  }
+
+  // Result is t[0..n] < 2m; one conditional subtract normalizes to < m.
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != mlimbs_[i]) {
+        ge = t[i] > mlimbs_[i];
+        break;
+      }
+    }
+  }
+  t.resize(n);
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t diff =
+          static_cast<std::int64_t>(t[i]) - mlimbs_[i] - borrow;
+      t[i] = static_cast<std::uint32_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+  }
+  return t;
+}
+
+BigUint Montgomery::to_mont(const BigUint& a) const {
+  return unpad(mont_mul(pad(a.mod(m_)), r2_));
+}
+
+BigUint Montgomery::from_mont(const BigUint& a) const {
+  Limbs one(mlimbs_.size(), 0);
+  one[0] = 1;
+  return unpad(mont_mul(pad(a), one));
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
+  return unpad(mont_mul(pad(a), pad(b)));
+}
+
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
+  const std::size_t nbits = exp.bit_length();
+  if (nbits == 0) return BigUint(1).mod(m_);  // base^0 = 1 mod m
+
+  // Fixed 4-bit windows: table[w] = base^w in Montgomery form.
+  Limbs table[16];
+  table[0] = one_;
+  table[1] = pad(to_mont(base));
+  for (std::size_t w = 2; w < 16; ++w) {
+    table[w] = mont_mul(table[w - 1], table[1]);
+  }
+
+  Limbs result = one_;
+  const std::size_t windows = (nbits + 3) / 4;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w + 1 != windows) {
+      for (int s = 0; s < 4; ++s) result = mont_mul(result, result);
+    }
+    unsigned window = 0;
+    for (int k = 3; k >= 0; --k) {
+      window = (window << 1) |
+               static_cast<unsigned>(exp.bit(4 * w + static_cast<std::size_t>(k)));
+    }
+    if (window != 0) result = mont_mul(result, table[window]);
+  }
+
+  // from_mont of the padded accumulator.
+  Limbs one(mlimbs_.size(), 0);
+  one[0] = 1;
+  return unpad(mont_mul(result, one));
+}
+
+}  // namespace iotls::crypto

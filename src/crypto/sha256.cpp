@@ -81,6 +81,9 @@ void Sha256::update(common::BytesView data) {
   total_bytes_ += data.size();
   std::size_t offset = 0;
 
+  // Top up a partial block first; everything after compresses straight from
+  // the caller's span — no re-buffering of whole blocks. Hot in transcript
+  // hashing, where every handshake message streams through one context.
   if (buffer_len_ > 0) {
     const std::size_t take =
         std::min(kSha256BlockSize - buffer_len_, data.size());
@@ -93,9 +96,11 @@ void Sha256::update(common::BytesView data) {
     }
   }
 
-  while (offset + kSha256BlockSize <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kSha256BlockSize;
+  const std::size_t whole_blocks =
+      (data.size() - offset) / kSha256BlockSize;
+  if (whole_blocks > 0) {
+    process_blocks(data.data() + offset, whole_blocks);
+    offset += whole_blocks * kSha256BlockSize;
   }
 
   if (offset < data.size()) {
@@ -104,22 +109,29 @@ void Sha256::update(common::BytesView data) {
   }
 }
 
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    process_block(data + i * kSha256BlockSize);
+  }
+}
+
 Sha256Digest Sha256::finish() {
   if (finished_) throw common::CryptoError("Sha256::finish twice");
   finished_ = true;
 
+  // Pad on the stack (one or two blocks) instead of round-tripping a heap
+  // buffer through update(): buffer_len_ == total_bytes_ % 64 holds here.
   const std::uint64_t bit_len = total_bytes_ * 8;
-  std::uint8_t pad[kSha256BlockSize * 2] = {0x80};
-  // Padding length: bring (total + pad) to 56 mod 64, then 8 length bytes.
-  const std::size_t rem = static_cast<std::size_t>(total_bytes_ % 64);
-  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
-  common::Bytes tail(pad, pad + pad_len);
-  for (int i = 7; i >= 0; --i) {
-    tail.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+  std::uint8_t tail[kSha256BlockSize * 2] = {};
+  std::memcpy(tail, buffer_.data(), buffer_len_);
+  tail[buffer_len_] = 0x80;
+  const std::size_t tail_len =
+      buffer_len_ < 56 ? kSha256BlockSize : kSha256BlockSize * 2;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
   }
-  finished_ = false;
-  update(tail);
-  finished_ = true;
+  process_blocks(tail, tail_len / kSha256BlockSize);
 
   Sha256Digest out{};
   for (int i = 0; i < 8; ++i) {

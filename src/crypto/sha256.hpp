@@ -32,6 +32,8 @@ class Sha256 {
 
  private:
   void process_block(const std::uint8_t* block);
+  /// Compress `count` consecutive blocks directly from the input span.
+  void process_blocks(const std::uint8_t* data, std::size_t count);
 
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, kSha256BlockSize> buffer_{};

@@ -1,7 +1,5 @@
 #include "testbed/cloud.hpp"
 
-#include <mutex>
-
 #include "common/strings.hpp"
 
 namespace iotls::testbed {
@@ -83,31 +81,19 @@ CloudFarm::CloudFarm(const pki::CaUniverse& universe, std::uint64_t seed,
   (void)universe_.authority(ca_name_);
 }
 
-namespace {
-
-// Server keys are derived from the hostname alone, so repeated testbed
-// constructions (tests, benches, per-device experiment sandboxes) reuse
-// one keypair per endpoint. Guarded: sandboxes are built concurrently.
-const crypto::RsaKeyPair& cached_server_keys(const std::string& hostname) {
-  static std::mutex mutex;
-  static std::map<std::string, crypto::RsaKeyPair> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(hostname);
-  if (it == cache.end()) {
-    common::Rng rng = common::Rng::derive(0xC10DDCAFE, "srv-key:" + hostname);
-    it = cache.emplace(hostname, crypto::rsa_generate(rng)).first;
-  }
-  return it->second;
-}
-
-}  // namespace
-
 void CloudFarm::add_destination(const std::string& hostname,
                                 std::optional<ServerPolicy> policy) {
   if (endpoints_.count(hostname)) return;
   Endpoint ep;
   ep.policy = policy.value_or(domain_policy(hostname));
-  ep.keys = cached_server_keys(hostname);
+  // Server keys are derived from the hostname alone, so repeated testbed
+  // constructions (tests, benches, per-device experiment sandboxes) reuse
+  // one keypair per endpoint: rsa_generate memoises on the derived
+  // generator state (see crypto/cache.hpp), which replaced the hostname
+  // map this file used to keep.
+  common::Rng key_rng =
+      common::Rng::derive(0xC10DDCAFE, "srv-key:" + hostname);
+  ep.keys = crypto::rsa_generate(key_rng);
   // Long validity covering the passive study and the 2021 active runs.
   ep.certificate = universe_.authority(ca_name_).issue_server_cert(
       hostname, ep.keys.pub,

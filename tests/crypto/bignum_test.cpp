@@ -182,6 +182,31 @@ TEST(BigUint, GeneratePrimeHasRequestedBits) {
   EXPECT_TRUE(p.is_probable_prime(rng));
 }
 
+TEST(BigUint, FromBytesToBytesRoundTripsFixedWidthWithLeadingZeros) {
+  // Signature buffers are fixed-width (k = modulus bytes) and may start
+  // with zero bytes; from_bytes ∘ to_bytes(k) must reproduce the buffer
+  // exactly — rsa_verify's cache key and the zero-leading-signature
+  // acceptance both ride on this.
+  common::Rng rng(61);
+  for (int zeros = 0; zeros < 4; ++zeros) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::size_t k = 8 + static_cast<std::size_t>(rng.next_u64() % 25);
+      common::Bytes buf(k, 0);
+      for (std::size_t i = static_cast<std::size_t>(zeros); i < k; ++i) {
+        buf[i] = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      if (static_cast<std::size_t>(zeros) < k && buf[zeros] == 0) {
+        buf[zeros] = 1;  // keep the zero-prefix length exact
+      }
+      const BigUint v = BigUint::from_bytes(buf);
+      ASSERT_EQ(v.to_bytes(k), buf) << "k=" << k << " zeros=" << zeros;
+    }
+  }
+  // All-zero buffer: the integer 0 padded back out.
+  const common::Bytes zero(12, 0);
+  EXPECT_EQ(BigUint::from_bytes(zero).to_bytes(12), zero);
+}
+
 TEST(BigUint, MulCommutesAndAssociates) {
   common::Rng rng(53);
   const BigUint a = BigUint::random_bits(rng, 70);

@@ -1,0 +1,108 @@
+// Differential tests for the Montgomery kernel: the schoolbook
+// `modexp_plain` path is kept in the tree precisely so this suite can use
+// it as an oracle — every Montgomery result must match it bit-for-bit.
+#include "crypto/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/bignum.hpp"
+
+namespace iotls::crypto {
+namespace {
+
+BigUint random_odd(common::Rng& rng, std::size_t bits) {
+  BigUint m = BigUint::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(BigUint(1));
+  return m;
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigUint(42)), common::CryptoError);
+  EXPECT_THROW(Montgomery(BigUint(0)), common::CryptoError);
+}
+
+TEST(Montgomery, ToFromMontRoundTrip) {
+  common::Rng rng(0x303);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint m = random_odd(rng, 96);
+    const Montgomery mont(m);
+    const BigUint a = BigUint::random_bits(rng, 128).mod(m);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery, MulMatchesSchoolbookOracle) {
+  common::Rng rng(0x304);
+  std::size_t cases = 0;
+  for (const std::size_t bits : {17UL, 33UL, 64UL, 96UL, 160UL, 256UL}) {
+    for (int i = 0; i < 100; ++i) {
+      const BigUint m = random_odd(rng, bits);
+      if (m <= BigUint(1)) continue;
+      const Montgomery mont(m);
+      const BigUint a = BigUint::random_bits(rng, bits + 16).mod(m);
+      const BigUint b = BigUint::random_bits(rng, bits + 16).mod(m);
+      const BigUint expected = a.mul(b).mod(m);
+      const BigUint got =
+          mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+      ASSERT_EQ(got, expected) << "bits=" << bits << " case=" << i;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 500u);
+}
+
+TEST(Montgomery, PowMatchesSchoolbookOracle) {
+  common::Rng rng(0x305);
+  std::size_t cases = 0;
+  for (const std::size_t bits : {16UL, 48UL, 96UL, 192UL}) {
+    for (int i = 0; i < 150; ++i) {
+      const BigUint m = random_odd(rng, bits);
+      if (m <= BigUint(1)) continue;
+      const BigUint base = BigUint::random_bits(rng, bits + 8);
+      const BigUint exp = BigUint::random_bits(
+          rng, 1 + (static_cast<std::size_t>(rng.next_u64()) % bits));
+      ASSERT_EQ(Montgomery(m).pow(base, exp), base.modexp_plain(exp, m))
+          << "bits=" << bits << " case=" << i;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 500u);
+}
+
+TEST(Montgomery, PowEdgeCases) {
+  const BigUint m(0xFFFFFFFB);  // odd
+  const Montgomery mont(m);
+  // exp = 0 -> 1, base = 0 -> 0, base >= m reduced first.
+  EXPECT_EQ(mont.pow(BigUint(12345), BigUint(0)), BigUint(1));
+  EXPECT_EQ(mont.pow(BigUint(0), BigUint(977)), BigUint(0));
+  EXPECT_EQ(mont.pow(m.add(BigUint(7)), BigUint(2)),
+            BigUint(7).modexp_plain(BigUint(2), m));
+  // m = 1: everything is 0 mod 1, including x^0.
+  const Montgomery unit(BigUint(1));
+  EXPECT_EQ(unit.pow(BigUint(5), BigUint(0)), BigUint(0));
+  EXPECT_EQ(unit.pow(BigUint(5), BigUint(3)), BigUint(0));
+}
+
+TEST(Montgomery, ModexpDispatchesForOddAndFallsBackForEven) {
+  common::Rng rng(0x306);
+  for (int i = 0; i < 200; ++i) {
+    const BigUint base = BigUint::random_bits(rng, 80);
+    const BigUint exp = BigUint::random_bits(rng, 40);
+    const BigUint odd = random_odd(rng, 72);
+    ASSERT_EQ(base.modexp(exp, odd), base.modexp_plain(exp, odd));
+    // Even moduli take the schoolbook fallback; results must still agree.
+    BigUint even = BigUint::random_bits(rng, 72);
+    if (even.is_odd()) even = even.add(BigUint(1));
+    if (even.is_zero()) even = BigUint(2);
+    ASSERT_EQ(base.modexp(exp, even), base.modexp_plain(exp, even));
+  }
+}
+
+TEST(Montgomery, ModexpZeroModulusStillThrows) {
+  EXPECT_THROW(BigUint(3).modexp(BigUint(4), BigUint(0)),
+               common::CryptoError);
+}
+
+}  // namespace
+}  // namespace iotls::crypto

@@ -95,6 +95,102 @@ TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
   EXPECT_EQ(parsed, keypair().pub);
 }
 
+TEST_F(RsaTest, VerifyRejectsNonMinimalEncoding) {
+  // A k+1-byte encoding with an extra leading zero names the same integer
+  // but is not the canonical signature; it must be rejected on width alone.
+  const auto msg = to_bytes("canonical widths only");
+  auto sig = rsa_sign(keypair().priv, msg);
+  ASSERT_TRUE(rsa_verify(keypair().pub, msg, sig));
+  common::Bytes padded;
+  padded.push_back(0x00);
+  padded.insert(padded.end(), sig.begin(), sig.end());
+  EXPECT_FALSE(rsa_verify(keypair().pub, msg, padded));
+}
+
+TEST_F(RsaTest, ZeroLeadingSignatureIsAccepted) {
+  // rsa_sign pads to the modulus width, so ~1 in 256 signatures begin with
+  // a zero byte. Those are canonical and must verify — the historical trap
+  // is a from_bytes/to_bytes round trip that strips the leading zero.
+  const std::size_t k = keypair().pub.modulus_bytes();
+  common::Bytes sig;
+  std::uint64_t nonce = 0;
+  std::string text;
+  do {
+    text = "find a zero-leading signature #" + std::to_string(nonce++);
+    sig = rsa_sign(keypair().priv, to_bytes(text));
+    ASSERT_LT(nonce, 5000u) << "no zero-leading signature found";
+  } while (sig[0] != 0x00);
+  EXPECT_EQ(sig.size(), k);
+  EXPECT_TRUE(rsa_verify(keypair().pub, to_bytes(text), sig));
+}
+
+TEST_F(RsaTest, PrivateKeySerializationRoundTripsCrtFields) {
+  const RsaPrivateKey& priv = keypair().priv;
+  ASSERT_TRUE(priv.has_crt());
+  const RsaPrivateKey parsed = RsaPrivateKey::parse(priv.serialize());
+  EXPECT_EQ(parsed, priv);
+  EXPECT_TRUE(parsed.has_crt());
+}
+
+TEST_F(RsaTest, LegacyPrivateKeySerializationStillParses) {
+  // Pre-CRT fixtures carried only n || e || d; they must keep parsing and
+  // fall back to the non-CRT private op.
+  const RsaPrivateKey& priv = keypair().priv;
+  common::ByteWriter w;
+  w.vec(priv.n.to_bytes(), 2);
+  w.vec(priv.e.to_bytes(), 2);
+  w.vec(priv.d.to_bytes(), 2);
+  const RsaPrivateKey parsed = RsaPrivateKey::parse(w.take());
+  EXPECT_FALSE(parsed.has_crt());
+  EXPECT_EQ(parsed.n, priv.n);
+  EXPECT_EQ(parsed.d, priv.d);
+  const auto msg = to_bytes("legacy key, same signature");
+  EXPECT_EQ(rsa_sign(parsed, msg), rsa_sign(priv, msg));
+}
+
+TEST_F(RsaTest, CrtSignatureEqualsPlainSignature) {
+  // Strip the CRT fields: rsa_private_op then runs the single full-width
+  // modexp the seed implementation used. Signatures must match exactly.
+  const RsaPrivateKey& priv = keypair().priv;
+  RsaPrivateKey stripped;
+  stripped.n = priv.n;
+  stripped.e = priv.e;
+  stripped.d = priv.d;
+  ASSERT_FALSE(stripped.has_crt());
+  for (int i = 0; i < 8; ++i) {
+    const auto msg = to_bytes("crt-vs-plain message " + std::to_string(i));
+    EXPECT_EQ(rsa_sign(priv, msg), rsa_sign(stripped, msg));
+  }
+}
+
+TEST_F(RsaTest, CrtDecryptEqualsPlainDecrypt) {
+  RsaPrivateKey stripped;
+  stripped.n = keypair().priv.n;
+  stripped.e = keypair().priv.e;
+  stripped.d = keypair().priv.d;
+  common::Rng rng(1006);
+  const auto secret = to_bytes("premaster");
+  const auto ct = rsa_encrypt(keypair().pub, rng, secret);
+  const auto a = rsa_decrypt(keypair().priv, ct);
+  const auto b = rsa_decrypt(stripped, ct);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(*a, secret);
+}
+
+TEST(Rsa, GeneratePopulatesConsistentCrtFields) {
+  common::Rng rng(2024);
+  const RsaKeyPair kp = rsa_generate(rng, 384);
+  const RsaPrivateKey& priv = kp.priv;
+  ASSERT_TRUE(priv.has_crt());
+  EXPECT_EQ(priv.p.mul(priv.q), priv.n);
+  const BigUint one(1);
+  EXPECT_EQ(priv.dp, priv.d.mod(priv.p.sub(one)));
+  EXPECT_EQ(priv.dq, priv.d.mod(priv.q.sub(one)));
+  EXPECT_EQ(priv.qinv.mul(priv.q).mod(priv.p), one);
+}
+
 TEST(Rsa, GenerateIsDeterministicPerSeed) {
   common::Rng a(7);
   common::Rng b(7);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/hex.hpp"
+#include "common/rng.hpp"
 
 namespace iotls::crypto {
 namespace {
@@ -66,6 +67,51 @@ TEST(Sha256, UpdateAfterFinishThrows) {
   (void)h.finish();
   EXPECT_THROW(h.update(to_bytes("y")), common::CryptoError);
   EXPECT_THROW((void)h.finish(), common::CryptoError);
+}
+
+TEST(Sha256, IncrementalEqualsOneShotAcrossChunkings) {
+  // The streaming path compresses whole blocks straight from the caller's
+  // span; every way of slicing the input must land on the one-shot digest.
+  common::Bytes data(1024 + 17, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  const Sha256Digest expected = Sha256::digest(data);
+
+  for (const std::size_t chunk : {1UL, 63UL, 64UL, 65UL, 128UL, 1000UL}) {
+    Sha256 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      const std::size_t take = std::min(chunk, data.size() - off);
+      h.update(common::BytesView(data.data() + off, take));
+    }
+    EXPECT_EQ(h.finish(), expected) << "chunk=" << chunk;
+  }
+
+  // Random splits, including empty updates.
+  common::Rng rng(0x5A);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sha256 h;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(rng.next_u64() % 200, data.size() - off);
+      h.update(common::BytesView(data.data() + off, take));
+      off += take;
+    }
+    ASSERT_EQ(h.finish(), expected) << "trial=" << trial;
+  }
+}
+
+TEST(Sha256, IncrementalBoundaryLengths) {
+  // Exact padding boundaries: 55/56/63/64 bytes straddle the one-vs-two
+  // tail-block split in finish().
+  for (const std::size_t len : {0UL, 1UL, 55UL, 56UL, 57UL, 63UL, 64UL,
+                                65UL, 119UL, 120UL, 127UL, 128UL}) {
+    const common::Bytes data(len, 0xAB);
+    Sha256 h;
+    for (const std::uint8_t b : data) h.update(common::BytesView(&b, 1));
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << "len=" << len;
+  }
 }
 
 TEST(Sha256, DigestBytesMatchesDigest) {

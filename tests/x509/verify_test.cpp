@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "crypto/cache.hpp"
 #include "pki/ca.hpp"
 #include "pki/spoof.hpp"
 
@@ -183,6 +184,100 @@ TEST_F(VerifyTest, PresentedRootIsIgnoredInFavourOfStore) {
 TEST_F(VerifyTest, EmptyHostnameSkipsHostnameCheck) {
   const auto res = verify_chain({{leaf_}}, "", anchors_, kNow);
   EXPECT_TRUE(res.ok());
+}
+
+// ---- chain-verification cache semantics ----
+//
+// The cache must be invisible except for speed: repeats agree, different
+// anchors/policies/validity windows land in distinct entries.
+
+class VerifyCacheTest : public VerifyTest {
+ protected:
+  void SetUp() override {
+    was_enabled_ = crypto::crypto_cache_enabled();
+    crypto::set_crypto_cache_enabled(true);
+    crypto::crypto_caches_clear();
+  }
+  void TearDown() override {
+    crypto::set_crypto_cache_enabled(was_enabled_);
+    crypto::crypto_caches_clear();
+  }
+
+  bool was_enabled_ = true;
+};
+
+TEST_F(VerifyCacheTest, RepeatedVerificationsAgreeWithUncached) {
+  const std::vector<Certificate> chain = {leaf_};
+  const auto cold = verify_chain(chain, "device.example.com", anchors_, kNow);
+  const auto warm = verify_chain(chain, "device.example.com", anchors_, kNow);
+  crypto::set_crypto_cache_enabled(false);
+  const auto plain = verify_chain(chain, "device.example.com", anchors_, kNow);
+  EXPECT_EQ(cold.error, plain.error);
+  EXPECT_EQ(warm.error, plain.error);
+  EXPECT_EQ(warm.failed_depth, plain.failed_depth);
+  EXPECT_TRUE(plain.ok());
+}
+
+TEST_F(VerifyCacheTest, ValidityWindowCrossingsAreNotConflated) {
+  // Same chain verified on three sides of its window: before, inside,
+  // after. The cached entries must stay distinct — expiry semantics are
+  // the paper's Table 8 signal and may not be blurred by memoisation.
+  const auto cert = ca_.issue_server_cert("device.example.com",
+                                          server_keys_.pub,
+                                          Validity{{2020, 1, 1}, {2022, 1, 1}});
+  const std::vector<Certificate> chain = {cert};
+  const auto before =
+      verify_chain(chain, "device.example.com", anchors_, {2019, 6, 1});
+  const auto inside =
+      verify_chain(chain, "device.example.com", anchors_, {2021, 6, 1});
+  const auto after =
+      verify_chain(chain, "device.example.com", anchors_, {2023, 6, 1});
+  EXPECT_EQ(before.error, VerifyError::NotYetValid);
+  EXPECT_TRUE(inside.ok());
+  EXPECT_EQ(after.error, VerifyError::Expired);
+  // Two dates inside the window share an entry; verdicts still correct.
+  const auto inside2 =
+      verify_chain(chain, "device.example.com", anchors_, {2021, 11, 30});
+  EXPECT_TRUE(inside2.ok());
+}
+
+TEST_F(VerifyCacheTest, DifferentAnchorStoresAreNotConfused) {
+  // A store that lacks our CA must keep failing even right after the same
+  // chain verified OK against the full store (and vice versa).
+  common::Rng rng(424);
+  pki::CertificateAuthority other_ca(DistinguishedName::cn("Other Root"),
+                                     rng);
+  const std::vector<Certificate> chain = {leaf_};
+  const std::vector<Certificate> wrong_store = {other_ca.root()};
+
+  EXPECT_TRUE(
+      verify_chain(chain, "device.example.com", anchors_, kNow).ok());
+  EXPECT_EQ(
+      verify_chain(chain, "device.example.com", wrong_store, kNow).error,
+      VerifyError::UnknownIssuer);
+  EXPECT_TRUE(
+      verify_chain(chain, "device.example.com", anchors_, kNow).ok());
+}
+
+TEST_F(VerifyCacheTest, PolicyVariationsGetDistinctEntries) {
+  const std::vector<Certificate> chain = {leaf_};
+  const auto strict =
+      verify_chain(chain, "wrong.example.com", anchors_, kNow);
+  const auto lax = verify_chain(chain, "wrong.example.com", anchors_, kNow,
+                                VerifyPolicy::no_hostname());
+  const auto strict_again =
+      verify_chain(chain, "wrong.example.com", anchors_, kNow);
+  EXPECT_EQ(strict.error, VerifyError::HostnameMismatch);
+  EXPECT_TRUE(lax.ok());
+  EXPECT_EQ(strict_again.error, VerifyError::HostnameMismatch);
+}
+
+TEST_F(VerifyCacheTest, HostnamesGetDistinctEntries) {
+  const std::vector<Certificate> chain = {leaf_};
+  EXPECT_TRUE(
+      verify_chain(chain, "device.example.com", anchors_, kNow).ok());
+  EXPECT_EQ(verify_chain(chain, "evil.example.com", anchors_, kNow).error,
+            VerifyError::HostnameMismatch);
 }
 
 TEST(VerifyErrorName, AllNamesDistinct) {
