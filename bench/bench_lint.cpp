@@ -1,0 +1,81 @@
+// Analyzer-cost lane: times iotls-lint over the whole tree and writes
+// BENCH_lint.json, so static-analysis wall time stays visible as the
+// codebase grows (it runs on every tier-1 ctest invocation).
+//
+// Knobs:
+//   IOTLS_BENCH_ITERS  full-tree lint repetitions (default 5)
+//   IOTLS_LINT_ROOT    tree to lint (default: the configure-time repo root)
+//
+// Usage: bench_lint [output.json]   (default ./BENCH_lint.json)
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/env.hpp"
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_lint.json";
+  const auto iters = static_cast<std::size_t>(
+      iotls::common::strict_env_long("IOTLS_BENCH_ITERS", 5));
+
+  iotls::lint::LintOptions options;
+  // iotls-lint: allow(determinism) — bench root override, not a study knob.
+  const char* root_env = std::getenv("IOTLS_LINT_ROOT");
+  options.root = (root_env != nullptr && *root_env != '\0')
+                     ? std::filesystem::path(root_env)
+                     : std::filesystem::path(IOTLS_REPO_ROOT);
+
+  // Split the walk from the lex+rules pass so the JSON separates filesystem
+  // cost from analysis cost.
+  const auto walk0 = std::chrono::steady_clock::now();
+  const auto files = iotls::lint::collect_tree(options);
+  const std::chrono::duration<double, std::milli> walk_ms =
+      std::chrono::steady_clock::now() - walk0;
+
+  std::size_t findings = 0;
+  std::size_t tokens = 0;
+  const auto lint0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    findings = iotls::lint::lint_files(options, files).size();
+  }
+  const std::chrono::duration<double, std::milli> lint_total =
+      std::chrono::steady_clock::now() - lint0;
+  const double lint_ms = lint_total.count() / static_cast<double>(iters);
+
+  for (const auto& file : files) {
+    tokens += iotls::lint::load_file(options.root, file).lex.tokens.size();
+  }
+
+  std::printf("==== bench_lint (iters=%zu) ====\n", iters);
+  std::printf("%-24s %12zu\n", "files", files.size());
+  std::printf("%-24s %12zu\n", "tokens", tokens);
+  std::printf("%-24s %12.3f ms\n", "walk", walk_ms.count());
+  std::printf("%-24s %12.3f ms\n", "lint_full_tree", lint_ms);
+  std::printf("%-24s %12zu\n", "findings", findings);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"lint\",\n  \"iters\": %zu,\n"
+               "  \"results\": [\n"
+               "    {\"name\": \"files\", \"value\": %zu, \"unit\": "
+               "\"count\"},\n"
+               "    {\"name\": \"tokens\", \"value\": %zu, \"unit\": "
+               "\"count\"},\n"
+               "    {\"name\": \"walk\", \"value\": %.6f, \"unit\": "
+               "\"ms\"},\n"
+               "    {\"name\": \"lint_full_tree\", \"value\": %.6f, "
+               "\"unit\": \"ms\"},\n"
+               "    {\"name\": \"findings\", \"value\": %zu, \"unit\": "
+               "\"count\"}\n"
+               "  ]\n}\n",
+               iters, files.size(), tokens, walk_ms.count(), lint_ms,
+               findings);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

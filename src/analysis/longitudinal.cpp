@@ -181,7 +181,11 @@ std::string render_version_heatmap(const std::vector<VersionSeries>& series,
           tls::VersionBucket::Older}) {
       out += "  " + tls::bucket_name(bucket);
       out.append(6 - tls::bucket_name(bucket).size(), ' ');
-      out += "|" + common::heat_strip(side.at(bucket)) + "|\n";
+      // Appended piecewise: `"|" + heat_strip(...) + "|\n"` trips gcc 12's
+      // -Wrestrict false positive (PR 105651) under -Werror.
+      out += '|';
+      out += common::heat_strip(side.at(bucket));
+      out += "|\n";
     }
   }
   return out;

@@ -78,6 +78,8 @@ void Sha256::process_block(const std::uint8_t* block) {
 
 void Sha256::update(common::BytesView data) {
   if (finished_) throw common::CryptoError("Sha256::update after finish");
+  // An empty view may carry a null data(); memcpy(dst, nullptr, 0) is UB.
+  if (data.empty()) return;
   total_bytes_ += data.size();
   std::size_t offset = 0;
 

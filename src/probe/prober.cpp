@@ -29,6 +29,13 @@ struct ProbeMetrics {
   }
 };
 
+/// Trace annotation for a probe's alert observation: the Table-4 display
+/// form plus the classification axis the verdict logic keys on.
+std::string alert_class_attr(const std::optional<tls::Alert>& alert) {
+  if (!alert.has_value()) return "none";
+  return tls::alert_class_name(tls::alert_classify(alert->description));
+}
+
 /// The probe targets the device's boot-time first connection — the same
 /// TLS instance every reboot (§4.2's determinism requirement).
 const devices::DestinationSpec& probe_destination(
@@ -103,8 +110,10 @@ bool RootStoreProber::device_amenable(const std::string& device_name) {
   if (trace != nullptr && trace->enabled()) {
     obs::Span span = trace->start_span("amenability:" + device_name);
     span.set_attr("device", device_name);
-    span.event("probe_unknown", {{"alert", tls::alert_display(alert_unknown)}});
-    span.event("probe_spoofed", {{"alert", tls::alert_display(alert_spoofed)}});
+    span.event("probe_unknown", {{"alert", tls::alert_display(alert_unknown)},
+                                 {"class", alert_class_attr(alert_unknown)}});
+    span.event("probe_spoofed", {{"alert", tls::alert_display(alert_spoofed)},
+                                 {"class", alert_class_attr(alert_spoofed)}});
     span.event("verdict", {{"amenable", amenable ? "true" : "false"}});
     trace->add(std::move(span));
   }
@@ -151,9 +160,11 @@ ProbeOutcome RootStoreProber::probe_certificate(
     span.set_attr("device", device_name);
     span.set_attr("ca", ca_name);
     span.event("probe_unknown",
-               {{"alert", tls::alert_display(outcome.alert_unknown)}});
+               {{"alert", tls::alert_display(outcome.alert_unknown)},
+                {"class", alert_class_attr(outcome.alert_unknown)}});
     span.event("probe_spoofed",
-               {{"alert", tls::alert_display(outcome.alert_spoofed)}});
+               {{"alert", tls::alert_display(outcome.alert_spoofed)},
+                {"class", alert_class_attr(outcome.alert_spoofed)}});
     std::string signal;
     if (outcome.verdict == Verdict::Inconclusive) {
       signal = "missing_alert";

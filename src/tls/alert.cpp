@@ -18,6 +18,51 @@ Alert Alert::parse(common::BytesView data) {
   return a;
 }
 
+// iotls-lint: alert-exhaustive(alert_classify)
+AlertClass alert_classify(AlertDescription d) {
+  switch (d) {
+    case AlertDescription::CloseNotify:
+    case AlertDescription::UserCanceled:
+    case AlertDescription::NoRenegotiation:
+      return AlertClass::Benign;
+    case AlertDescription::BadCertificate:
+    case AlertDescription::UnsupportedCertificate:
+    case AlertDescription::CertificateRevoked:
+    case AlertDescription::CertificateExpired:
+    case AlertDescription::CertificateUnknown:
+    case AlertDescription::UnknownCa:
+    case AlertDescription::AccessDenied:
+      return AlertClass::TrustFailure;
+    case AlertDescription::BadRecordMac:
+    case AlertDescription::DecryptError:
+      return AlertClass::CryptoFailure;
+    case AlertDescription::UnexpectedMessage:
+    case AlertDescription::RecordOverflow:
+    case AlertDescription::HandshakeFailure:
+    case AlertDescription::IllegalParameter:
+    case AlertDescription::DecodeError:
+    case AlertDescription::ProtocolVersion:
+    case AlertDescription::InsufficientSecurity:
+    case AlertDescription::InternalError:
+    case AlertDescription::UnsupportedExtension:
+      return AlertClass::ProtocolFailure;
+  }
+  // Alert::parse admits unknown description bytes; treat them as protocol
+  // failures rather than trust signals.
+  return AlertClass::ProtocolFailure;
+}
+
+std::string alert_class_name(AlertClass c) {
+  switch (c) {
+    case AlertClass::Benign: return "benign";
+    case AlertClass::TrustFailure: return "trust_failure";
+    case AlertClass::CryptoFailure: return "crypto_failure";
+    case AlertClass::ProtocolFailure: return "protocol_failure";
+  }
+  return "unknown";
+}
+
+// iotls-lint: alert-exhaustive(alert_name)
 std::string alert_name(AlertDescription d) {
   switch (d) {
     case AlertDescription::CloseNotify: return "close_notify";
@@ -52,6 +97,7 @@ std::string alert_level_name(AlertLevel l) {
   return l == AlertLevel::Warning ? "warning" : "fatal";
 }
 
+// iotls-lint: alert-exhaustive(alert_display)
 std::string alert_display(const std::optional<Alert>& alert) {
   if (!alert) return "No Alert";
   switch (alert->description) {
@@ -61,8 +107,27 @@ std::string alert_display(const std::optional<Alert>& alert) {
     case AlertDescription::CertificateUnknown: return "Certificate Unknown";
     case AlertDescription::CertificateExpired: return "Certificate Expired";
     case AlertDescription::HandshakeFailure: return "Handshake Failure";
-    default: return alert_name(alert->description);
+    // Paper tables never needed a display form for the rest; the wire name
+    // is the display. Enumerated (not defaulted) so the exhaustiveness rule
+    // forces a rendering decision for every future alert.
+    case AlertDescription::CloseNotify:
+    case AlertDescription::UnexpectedMessage:
+    case AlertDescription::BadRecordMac:
+    case AlertDescription::RecordOverflow:
+    case AlertDescription::UnsupportedCertificate:
+    case AlertDescription::CertificateRevoked:
+    case AlertDescription::IllegalParameter:
+    case AlertDescription::AccessDenied:
+    case AlertDescription::DecodeError:
+    case AlertDescription::ProtocolVersion:
+    case AlertDescription::InsufficientSecurity:
+    case AlertDescription::InternalError:
+    case AlertDescription::UserCanceled:
+    case AlertDescription::NoRenegotiation:
+    case AlertDescription::UnsupportedExtension:
+      return alert_name(alert->description);
   }
+  return alert_name(alert->description);  // unknown wire bytes
 }
 
 }  // namespace iotls::tls

@@ -52,6 +52,25 @@ struct Alert {
   static Alert parse(common::BytesView data);
 };
 
+/// Coarse classification of what an alert reveals about why the handshake
+/// died — the signal axis behind the paper's side channel. `TrustFailure`
+/// vs `CryptoFailure` is exactly the unknown_ca / decrypt_error distinction
+/// Table 4 keys on; `ProtocolFailure` covers negotiation-level rejections
+/// that carry no root-store information; `Benign` alerts are not failures.
+enum class AlertClass : std::uint8_t {
+  Benign,           // close_notify, user_canceled, no_renegotiation
+  TrustFailure,     // issuer not trusted / certificate rejected
+  CryptoFailure,    // signature or record-protection failure
+  ProtocolFailure,  // negotiation, decoding, or internal failure
+};
+
+/// Classify an alert description. Exhaustive over AlertDescription —
+/// enforced by iotls-lint's alert-exhaustive rule, so adding an enumerator
+/// without deciding its class fails tier-1.
+AlertClass alert_classify(AlertDescription d);
+
+std::string alert_class_name(AlertClass c);
+
 std::string alert_name(AlertDescription d);
 std::string alert_level_name(AlertLevel l);
 

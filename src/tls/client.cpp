@@ -525,13 +525,17 @@ void trace_result(obs::Span& span, const ClientResult& result,
   if (result.alert_sent.has_value()) {
     span.event("alert_sent",
                {{"level", alert_level_name(result.alert_sent->level)},
-                {"description", alert_name(result.alert_sent->description)}});
+                {"description", alert_name(result.alert_sent->description)},
+                {"class", alert_class_name(
+                              alert_classify(result.alert_sent->description))}});
   }
   if (result.alert_received.has_value()) {
     span.event(
         "alert_received",
         {{"level", alert_level_name(result.alert_received->level)},
-         {"description", alert_name(result.alert_received->description)}});
+         {"description", alert_name(result.alert_received->description)},
+         {"class", alert_class_name(
+                       alert_classify(result.alert_received->description))}});
   }
   if (resumption_offered) {
     span.event("resumption", {{"offered", "true"},

@@ -61,6 +61,16 @@ TEST(Sha256, BoundaryLengths) {
   }
 }
 
+TEST(Sha256, EmptyUpdateWithPartialBlockBuffered) {
+  // Regression (UBSan): an empty view may carry a null data() pointer, and
+  // update() used to memcpy from it when a partial block was buffered.
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  h.update(common::BytesView());
+  h.update(common::Bytes{});
+  EXPECT_EQ(h.finish(), Sha256::digest(to_bytes("abc")));
+}
+
 TEST(Sha256, UpdateAfterFinishThrows) {
   Sha256 h;
   h.update(to_bytes("x"));

@@ -1,0 +1,13 @@
+// Mini AlertDescription enum for alert-exhaustive fixture runs.
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+
+enum class AlertDescription : std::uint8_t {
+  CloseNotify = 0,
+  UnknownCa = 48,
+  DecryptError = 51,
+};
+
+}  // namespace fixture

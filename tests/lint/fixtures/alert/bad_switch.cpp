@@ -1,0 +1,15 @@
+// Known-bad fixture: a registered switch that misses an enumerator.
+#include "alert/alert.hpp"
+
+namespace fixture {
+
+// iotls-lint: alert-exhaustive(render)
+const char* render(AlertDescription d) {  // finding anchors at line 6
+  switch (d) {
+    case AlertDescription::CloseNotify: return "close_notify";
+    case AlertDescription::UnknownCa: return "unknown_ca";
+    default: return "other";  // DecryptError unhandled
+  }
+}
+
+}  // namespace fixture

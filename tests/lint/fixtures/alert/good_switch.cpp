@@ -1,0 +1,16 @@
+// Known-good fixture: a registered switch covering every enumerator.
+#include "alert/alert.hpp"
+
+namespace fixture {
+
+// iotls-lint: alert-exhaustive(classify)
+int classify(AlertDescription d) {
+  switch (d) {
+    case AlertDescription::CloseNotify: return 0;
+    case AlertDescription::UnknownCa: return 1;
+    case AlertDescription::DecryptError: return 2;
+  }
+  return -1;
+}
+
+}  // namespace fixture

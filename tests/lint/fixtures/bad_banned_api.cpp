@@ -1,0 +1,10 @@
+// Known-bad fixture for the banned-api rule.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+void copy(char* dst, const char* src) { strcpy(dst, src); }  // fires (line 6)
+void fmt(char* dst, int v) { sprintf(dst, "%d", v); }        // fires (line 7)
+int parse(const char* s) { return atoi(s); }                 // fires (line 8)
+int parse_std(const char* s) { return std::atoi(s); }        // fires (line 9)
+long parse_l(const char* s) { return atol(s); }              // fires (line 10)

@@ -1,0 +1,22 @@
+// Known-bad fixture: every way the determinism rule must fire.
+// Lines are asserted by number in lint_test.cpp — append, don't reorder.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long wall() { return time(nullptr); }                      // fires (line 8)
+long wall_std() { return std::time(nullptr); }             // fires (line 9)
+long cpu() { return clock(); }                             // fires (line 10)
+int roll() { return rand(); }                              // fires (line 11)
+std::random_device ambient_entropy;                        // fires (line 12)
+auto stamp() { return std::chrono::system_clock::now(); }  // fires (line 13)
+const char* knob() { return getenv("IOTLS_THREADS"); }     // fires (line 14)
+
+struct Widget {};
+std::size_t widget_id(const Widget* w) {
+  return std::hash<const Widget*>{}(w);  // fires (line 18)
+}
+std::size_t widget_addr(const Widget* w) {
+  return reinterpret_cast<std::uintptr_t>(w);  // fires (line 21)
+}

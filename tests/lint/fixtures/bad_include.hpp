@@ -1,0 +1,7 @@
+// Known-bad fixture for the include-hygiene rule (header).
+#pragma once
+
+#include "../crypto/rsa.hpp"       // fires (line 4): relative include
+#include "tls/../common/rng.hpp"   // fires (line 5): embedded ../
+
+using namespace std;  // fires (line 7): using namespace in a header

@@ -1,0 +1,32 @@
+// Known-bad fixture for the secret-hygiene rule.
+#include <cstdio>
+#include <iostream>
+
+struct RsaPrivateKey {
+  int n, e, d, p, q, dp, dq, qinv;
+};
+struct Span {
+  template <typename... A>
+  void event(A...) {}
+  void set_attr(const char*, int) {}
+};
+
+void leak_via_event(Span& span, const RsaPrivateKey& key) {
+  span.event("keygen", key.d);  // fires (line 15): private exponent
+}
+
+void leak_via_attr(Span& span, const RsaPrivateKey& key) {
+  span.set_attr("prime", key.p);  // fires (line 19): CRT prime
+}
+
+void leak_via_printf(const RsaPrivateKey& key) {
+  std::printf("qinv=%d\n", key.qinv);  // fires (line 23)
+}
+
+std::ostream& operator<<(std::ostream& os, const RsaPrivateKey& key) {
+  return os << key.n;  // fires (line 26): printable key type
+}
+
+void leak_via_stream(const RsaPrivateKey& key) {
+  std::cout << key.dq;  // fires (line 31): streamed CRT param
+}

@@ -1,0 +1,18 @@
+// Known-good fixture for the banned-api rule.
+#include <charconv>
+#include <cstdio>
+
+struct Parser {
+  int atoi(const char* s) { return s[0] - '0'; }  // member, not libc
+};
+
+int parse(const char* s) {
+  int value = 0;
+  std::from_chars(s, s + 3, value);
+  return value;
+}
+
+void fmt(char* dst, std::size_t n, int v) { std::snprintf(dst, n, "%d", v); }
+
+// Waived for a legacy call site.
+int waived(const char* s) { return atoi(s); }  // iotls-lint: allow(banned-api)

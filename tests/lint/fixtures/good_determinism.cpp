@@ -1,0 +1,31 @@
+// Known-good fixture: look-alikes the determinism rule must NOT flag, plus
+// one real violation silenced by a suppression comment.
+#include <chrono>
+
+struct SimClock {
+  explicit SimClock(int day) : day_(day) {}
+  int day_;
+};
+
+struct Span {
+  long time(long t) { return t; }
+  long rand(long r) { return r; }
+};
+
+// A declaration whose variable shares a libc name is not a call.
+SimClock clock(42);
+
+// Member calls and user-qualified names are fine.
+long via_members(Span& span) { return span.time(1) + span.rand(2); }
+
+// steady_clock is the sanctioned timing source.
+auto elapsed() { return std::chrono::steady_clock::now(); }
+
+// Identifiers that merely contain a banned name must not match.
+long wall_time(long clock_skew) { return clock_skew; }
+
+// The banned name inside a string or comment must not match: time(nullptr).
+const char* doc = "call time(nullptr) for wall time";
+
+// A real violation, but explicitly waived for this line.
+long waived() { return time(nullptr); }  // iotls-lint: allow(determinism)

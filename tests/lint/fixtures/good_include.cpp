@@ -1,0 +1,11 @@
+// Known-good fixture for the include-hygiene rule: src-root-relative
+// includes, and `using namespace` confined to a .cpp.
+#include "common/rng.hpp"
+#include "tls/alert.hpp"
+
+using namespace std::chrono;
+
+int dots_in_strings() {
+  const char* path = "../not/an/include";
+  return path[0];
+}

@@ -1,0 +1,33 @@
+// Known-good fixture for the secret-hygiene rule: public-key material and
+// key *metadata* are fine to log; one waived diagnostic.
+#include <cstdio>
+
+struct RsaPublicKey {
+  int n, e;
+};
+struct RsaPrivateKey {
+  int d;
+  int modulus_bits;
+};
+struct Span {
+  template <typename... A>
+  void event(A...) {}
+};
+
+void log_public(Span& span, const RsaPublicKey& pub) {
+  span.event("keygen", pub.n, pub.e);  // public modulus + exponent: fine
+}
+
+void log_metadata(Span& span, const RsaPrivateKey& key) {
+  span.event("keygen", key.modulus_bits);  // size, not secret material
+}
+
+void math_not_logging(const RsaPrivateKey& key) {
+  const int twice = key.d + key.d;  // using the key is not logging it
+  std::printf("result has %d bits\n", twice);
+}
+
+void waived_debug(Span& span, const RsaPrivateKey& key) {
+  // iotls-lint: allow(secret-hygiene)
+  span.event("debug_keygen", key.d);
+}

@@ -1,0 +1,7 @@
+// A suppression names a different rule than the one that fires: the
+// violation must still be reported (allow() is per-rule, not per-line).
+#include <cstdlib>
+
+const char* knob() {
+  return getenv("IOTLS_X");  // iotls-lint: allow(banned-api)
+}

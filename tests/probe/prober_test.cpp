@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
 
 namespace iotls::probe {
 namespace {
@@ -130,6 +134,33 @@ TEST(Prober, ExploreAggregatesAndInconclusives) {
       shared_prober().explore("Google Home Mini", subset, 0.5);
   EXPECT_GT(with_failures.inconclusive, 0);
   EXPECT_LT(with_failures.checked, 20);
+}
+
+TEST(Prober, TraceAnnotatesAlertsWithClassification) {
+  // The probe span's alert events carry the classification axis: the
+  // absent-issuer probe is a trust_failure, the forged-signature probe a
+  // crypto_failure (the unknown_ca vs decrypt_error side channel, §4.2).
+  obs::TraceLog trace(obs::TraceLevel::Full);
+  shared_testbed().set_trace(&trace);
+  const auto outcome =
+      shared_prober().probe_certificate("LG TV", "WoSign CA Free SSL");
+  shared_testbed().set_trace(nullptr);
+  ASSERT_EQ(outcome.verdict, Verdict::Present);
+
+  const obs::Span* probe_span = nullptr;
+  // Spans from inner handshakes also land in the log; find the probe's.
+  for (const auto& span : trace.spans()) {
+    if (span.name().rfind("probe:", 0) == 0) probe_span = &span;
+  }
+  ASSERT_NE(probe_span, nullptr);
+  const obs::TraceEvent* unknown = probe_span->find("probe_unknown");
+  const obs::TraceEvent* spoofed = probe_span->find("probe_spoofed");
+  ASSERT_NE(unknown, nullptr);
+  ASSERT_NE(spoofed, nullptr);
+  ASSERT_NE(unknown->attr("class"), nullptr);
+  ASSERT_NE(spoofed->attr("class"), nullptr);
+  EXPECT_EQ(*unknown->attr("class"), "trust_failure");
+  EXPECT_EQ(*spoofed->attr("class"), "crypto_failure");
 }
 
 TEST(Prober, VerdictNames) {

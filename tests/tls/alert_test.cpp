@@ -101,5 +101,36 @@ TEST(Alert, DisplayDistinguishesProbeOutcomes) {
             "close_notify");
 }
 
+// The classification axis behind the side channel: absent-issuer and
+// forged-signature probes must land in *different* classes, or the probe
+// verdict carries no information.
+TEST(Alert, ClassifySeparatesTrustFromCryptoFailures) {
+  EXPECT_EQ(alert_classify(AlertDescription::UnknownCa),
+            AlertClass::TrustFailure);
+  EXPECT_EQ(alert_classify(AlertDescription::BadCertificate),
+            AlertClass::TrustFailure);
+  EXPECT_EQ(alert_classify(AlertDescription::DecryptError),
+            AlertClass::CryptoFailure);
+  EXPECT_EQ(alert_classify(AlertDescription::BadRecordMac),
+            AlertClass::CryptoFailure);
+  EXPECT_EQ(alert_classify(AlertDescription::CloseNotify),
+            AlertClass::Benign);
+  EXPECT_EQ(alert_classify(AlertDescription::HandshakeFailure),
+            AlertClass::ProtocolFailure);
+}
+
+TEST(Alert, ClassifyCoversEveryDescriptionAndUnknownBytes) {
+  const std::set<std::string> valid = {"benign", "trust_failure",
+                                       "crypto_failure", "protocol_failure"};
+  for (const auto description : kAllDescriptions) {
+    const auto name = alert_class_name(alert_classify(description));
+    EXPECT_TRUE(valid.count(name) == 1) << name;
+  }
+  // Alert::parse admits unknown description bytes; they must classify as
+  // protocol failures, never as trust signals.
+  EXPECT_EQ(alert_classify(static_cast<AlertDescription>(255)),
+            AlertClass::ProtocolFailure);
+}
+
 }  // namespace
 }  // namespace iotls::tls

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Format drift check over the tree iotls-lint walks (src/ tests/ bench/
+# examples/ tools/), excluding the deliberately-unformattable lint fixtures.
+#
+#   tools/check_format.sh            report drift, always exit 0 (local use)
+#   tools/check_format.sh --strict   exit 1 on drift or missing clang-format
+#                                    (the CI mode)
+set -u
+
+strict=0
+if [ "${1:-}" = "--strict" ]; then
+  strict=1
+fi
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (install it to check)"
+  [ "$strict" = 1 ] && exit 1
+  exit 0
+fi
+
+drifted=0
+while IFS= read -r file; do
+  if ! clang-format --dry-run --Werror "$file" > /dev/null 2>&1; then
+    echo "drift: $file"
+    drifted=$((drifted + 1))
+  fi
+done < <(find src tests bench examples tools \
+           \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' -o -name '*.cc' \) \
+           -not -path 'tests/lint/fixtures/*' | sort)
+
+if [ "$drifted" -gt 0 ]; then
+  echo "check_format: $drifted file(s) drift from .clang-format" \
+       "(run clang-format -i on them)"
+  [ "$strict" = 1 ] && exit 1
+else
+  echo "check_format: clean"
+fi
+exit 0

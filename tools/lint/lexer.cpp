@@ -1,0 +1,205 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace iotls::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuation, longest first so maximal munch works with a
+/// simple prefix scan. ">>" is intentionally absent: template argument
+/// nesting is easier when every '>' is its own token (same trick the real
+/// grammar plays since C++11).
+constexpr std::array<std::string_view, 18> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "<<", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++",  "--", "+=", "-=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_has_code_ = false;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '#' && !line_has_code_) {
+        pp_line();
+      } else if (ident_start(c)) {
+        ident_or_raw_string();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+      } else if (c == '"' || c == '\'') {
+        quoted(c);
+      } else {
+        punct();
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokenKind kind, std::string text, int line) {
+    line_has_code_ = true;
+    result_.tokens.push_back({kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    const bool own = !line_has_code_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < src_.size() && src_[pos_] != '\n') body += src_[pos_++];
+    result_.comments.push_back({std::move(body), start_line, own});
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    const bool own = !line_has_code_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      body += src_[pos_++];
+    }
+    result_.comments.push_back({std::move(body), start_line, own});
+  }
+
+  /// A preprocessor directive runs to end of line, honoring backslash
+  /// continuations. Trailing // comments stay in the text — harmless, rules
+  /// over PPLine only look at the directive head and the include path.
+  void pp_line() {
+    const int start_line = line_;
+    ++pos_;  // '#'
+    std::string body;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        body += ' ';
+        continue;
+      }
+      if (c == '\n') break;  // newline handled by the main loop
+      body += c;
+      ++pos_;
+    }
+    emit(TokenKind::PPLine, std::move(body), start_line);
+    line_has_code_ = false;  // a directive doesn't count as code for '#'
+  }
+
+  void ident_or_raw_string() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) text += src_[pos_++];
+    // R"( — and encoding-prefixed forms like u8R"( — start a raw string.
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+         text == "LR")) {
+      raw_string(start_line);
+      return;
+    }
+    emit(TokenKind::Ident, std::move(text), start_line);
+  }
+
+  void raw_string(int start_line) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    if (pos_ < src_.size()) ++pos_;  // '('
+    while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      body += src_[pos_++];
+    }
+    pos_ += closer.size() <= src_.size() - pos_ ? closer.size()
+                                                : src_.size() - pos_;
+    emit(TokenKind::String, std::move(body), start_line);
+  }
+
+  void number() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() &&
+           (ident_char(src_[pos_]) || src_[pos_] == '.' || src_[pos_] == '\'' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && !text.empty() &&
+             (text.back() == 'e' || text.back() == 'E' ||
+              text.back() == 'p' || text.back() == 'P')))) {
+      text += src_[pos_++];
+    }
+    emit(TokenKind::Number, std::move(text), start_line);
+  }
+
+  void quoted(char quote) {
+    const int start_line = line_;
+    ++pos_;
+    std::string body;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        body += src_[pos_];
+        body += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') {
+        ++line_;  // unterminated literal; keep line counts honest
+      }
+      body += src_[pos_++];
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    emit(TokenKind::String, std::move(body), start_line);
+  }
+
+  void punct() {
+    const int start_line = line_;
+    for (const auto op : kMultiPunct) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        pos_ += op.size();
+        emit(TokenKind::Punct, std::string(op), start_line);
+        return;
+      }
+    }
+    emit(TokenKind::Punct, std::string(1, src_[pos_]), start_line);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace iotls::lint

@@ -1,0 +1,50 @@
+// Minimal C++ lexer for iotls-lint.
+//
+// Produces a flat token stream (identifiers, numbers, string/char literals,
+// punctuation, preprocessor directives) plus a separate comment list, so the
+// rule engine can match on code tokens without false-firing inside comments
+// or string literals, and can read suppression/marker comments on the side.
+//
+// This is deliberately NOT a conforming C++ lexer: no trigraphs, no UCNs,
+// no macro expansion. It only needs to be faithful enough that rules keyed
+// on identifier sequences never misfire on literals or comments across the
+// styles actually used in this tree.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotls::lint {
+
+enum class TokenKind {
+  Ident,    // identifiers and keywords
+  Number,   // numeric literals (incl. suffixes / digit separators)
+  String,   // string and character literals (incl. raw strings)
+  Punct,    // operators and punctuation, maximal-munch ("->", "::", "<<")
+  PPLine,   // whole preprocessor directive, text without the leading '#'
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string text;  // body without the // or /* */ delimiters
+  int line;          // line the comment starts on
+  bool own_line;     // no code tokens precede it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize a translation unit. Never throws on malformed input: an
+/// unterminated literal or comment simply consumes to end of file.
+LexResult tokenize(std::string_view source);
+
+}  // namespace iotls::lint

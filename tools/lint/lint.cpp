@@ -1,0 +1,82 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iotls::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string relative_slash_path(const fs::path& root, const fs::path& file) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+SourceFile load_file(const fs::path& root, const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + file.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SourceFile out;
+  out.path = relative_slash_path(root, file);
+  out.lex = tokenize(buf.str());
+  return out;
+}
+
+std::vector<fs::path> collect_tree(const LintOptions& options) {
+  std::vector<fs::path> files;
+  for (const auto& sub : options.subdirs) {
+    const fs::path dir = options.root / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable_extension(entry.path())) {
+        continue;
+      }
+      const std::string rel = relative_slash_path(options.root, entry.path());
+      const bool excluded = std::any_of(
+          options.exclude_fragments.begin(), options.exclude_fragments.end(),
+          [&](const std::string& frag) {
+            return rel.find(frag) != std::string::npos;
+          });
+      if (!excluded) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Finding> lint_files(const LintOptions& options,
+                                const std::vector<fs::path>& files) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const auto& file : files) {
+    sources.push_back(load_file(options.root, file));
+  }
+  return run_rules(sources, options.rules);
+}
+
+std::vector<Finding> lint_tree(const LintOptions& options) {
+  return lint_files(options, collect_tree(options));
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace iotls::lint

@@ -1,0 +1,43 @@
+// Tree walking and top-level entry points for iotls-lint.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace iotls::lint {
+
+struct LintOptions {
+  std::filesystem::path root;  // repo root; paths report relative to it
+  /// Directories under root to walk when no explicit files are given.
+  std::vector<std::string> subdirs = {"src", "tests", "bench", "examples",
+                                      "tools"};
+  /// Path fragments excluded from the walk. The lint fixture corpus is
+  /// known-bad on purpose.
+  std::vector<std::string> exclude_fragments = {"tests/lint/fixtures"};
+  RuleConfig rules;
+};
+
+/// Lex one file into a SourceFile with a root-relative forward-slash path.
+/// Throws std::runtime_error if the file cannot be read.
+SourceFile load_file(const std::filesystem::path& root,
+                     const std::filesystem::path& file);
+
+/// Collect the .hpp/.cpp/.h/.cc files the default walk would lint,
+/// sorted for deterministic output.
+std::vector<std::filesystem::path> collect_tree(const LintOptions& options);
+
+/// Lint an explicit file list (relative or absolute).
+std::vector<Finding> lint_files(
+    const LintOptions& options,
+    const std::vector<std::filesystem::path>& files);
+
+/// Lint the whole tree under options.root.
+std::vector<Finding> lint_tree(const LintOptions& options);
+
+/// "path:line: [rule] message" — one line per finding.
+std::string format_finding(const Finding& finding);
+
+}  // namespace iotls::lint

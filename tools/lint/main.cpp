@@ -1,0 +1,95 @@
+// iotls-lint — project-invariant static analyzer (DESIGN.md §9).
+//
+// Usage:
+//   iotls-lint --check [--root <dir>]      lint src/ tests/ bench/ examples/
+//                                          tools/ under the repo root
+//   iotls-lint [--root <dir>] <files...>   lint explicit files
+//   iotls-lint --list-rules                print the rule catalogue
+//
+// Exit status: 0 clean, 1 findings, 2 usage / IO error.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--check] [--root <dir>] [--list-rules] "
+               "[files...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iotls::lint::LintOptions options;
+  options.root = std::filesystem::current_path();
+  std::vector<std::filesystem::path> files;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      // Default behavior; kept as an explicit flag so CI invocations read
+      // as assertions rather than reports.
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      options.root = argv[i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& name : iotls::lint::rule_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  // Explicit-file mode lints a slice of the tree, so obligations that only
+  // make sense tree-wide (registered alert switches, the enum definition)
+  // are waived unless the relevant file is part of the slice.
+  if (!files.empty()) {
+    options.rules.required_alert_markers.clear();
+    const bool has_enum_file = std::any_of(
+        files.begin(), files.end(), [&](const std::filesystem::path& f) {
+          return f.generic_string().find(options.rules.alert_enum_file) !=
+                 std::string::npos;
+        });
+    if (!has_enum_file) options.rules.alert_enum_file.clear();
+  }
+
+  std::vector<iotls::lint::Finding> findings;
+  std::size_t scanned = 0;
+  try {
+    if (files.empty()) {
+      const auto tree = iotls::lint::collect_tree(options);
+      scanned = tree.size();
+      findings = iotls::lint::lint_files(options, tree);
+    } else {
+      scanned = files.size();
+      findings = iotls::lint::lint_files(options, files);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iotls-lint: %s\n", e.what());
+    return 2;
+  }
+
+  for (const auto& finding : findings) {
+    std::printf("%s\n", iotls::lint::format_finding(finding).c_str());
+  }
+  std::fprintf(stderr, "iotls-lint: %zu file(s), %zu finding(s)\n", scanned,
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// iotls-lint rule engine.
+//
+// Five named rules enforce the project invariants review keeps re-checking
+// by hand (DESIGN.md §9):
+//
+//   determinism      no wall-clock / ambient randomness / getenv / pointer
+//                    hashing in code that feeds study tables
+//   alert-exhaustive every AlertDescription enumerator is handled by each
+//                    registered classification/rendering switch
+//   secret-hygiene   key material never reaches logging / trace / metrics
+//   banned-api       strcpy/sprintf/atoi-family calls
+//   include-hygiene  relative "../" includes, `using namespace` in headers
+//
+// Suppression: a `// iotls-lint: allow(rule-a, rule-b)` comment silences
+// those rules on its own line and on the following line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace iotls::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One lexed source file, path-normalized relative to the lint root.
+struct SourceFile {
+  std::string path;
+  LexResult lex;
+  [[nodiscard]] bool is_header() const {
+    return path.size() >= 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                                path.rfind(".h") == path.size() - 2);
+  }
+};
+
+struct RuleConfig {
+  /// Files where `getenv` is legitimate (the one strict parsing chokepoint).
+  std::vector<std::string> getenv_allowed_files = {"src/common/env.hpp"};
+
+  /// Where the AlertDescription enum definition lives.
+  std::string alert_enum_file = "src/tls/alert.hpp";
+
+  /// Switches that MUST carry an alert-exhaustive marker comment somewhere
+  /// in the tree. Deleting a registered switch (or its marker) is itself a
+  /// violation — the invariant cannot silently vanish.
+  std::vector<std::string> required_alert_markers = {
+      "alert_name", "alert_display", "alert_classify"};
+};
+
+/// Names of every rule, for --list-rules and suppression validation.
+const std::vector<std::string>& rule_names();
+
+/// Run all rules over a set of lexed files. Cross-file rules
+/// (alert-exhaustive) see the whole set; suppression comments are applied
+/// before findings are returned. Output is sorted by (file, line, rule).
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const RuleConfig& config);
+
+}  // namespace iotls::lint
