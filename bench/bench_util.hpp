@@ -2,8 +2,10 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "common/env.hpp"
 #include "core/study.hpp"
@@ -54,6 +56,41 @@ inline void print_observability(const core::IotlsStudy& study) {
     std::fputs("\n==== metrics (IOTLS_METRICS) ====\n", stdout);
     std::fputs(study.metrics().render_prometheus().c_str(), stdout);
   }
+}
+
+/// One timed streaming pass, reported as derived rates. Used by the
+/// store lane (write/read throughput) and any future bulk-I/O benches.
+struct Throughput {
+  double wall_ms = 0.0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double records_per_sec() const {
+    return wall_ms > 0.0 ? static_cast<double>(records) * 1000.0 / wall_ms
+                         : 0.0;
+  }
+  [[nodiscard]] double mib_per_sec() const {
+    return wall_ms > 0.0 ? static_cast<double>(bytes) * 1000.0 / wall_ms /
+                               (1024.0 * 1024.0)
+                         : 0.0;
+  }
+};
+
+/// Run `fn` under a wall-clock stopwatch. `fn` returns the {records, bytes}
+/// pair it processed; the elapsed time fills in the rates.
+template <typename Fn>
+Throughput timed_throughput(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::pair<std::uint64_t, std::uint64_t> counts = fn();
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - start;
+  return Throughput{wall.count(), counts.first, counts.second};
+}
+
+/// One aligned throughput row: wall time plus both derived rates.
+inline void print_throughput(const std::string& name, const Throughput& t) {
+  std::printf("%-24s %10.3f ms %14.0f rec/s %10.2f MiB/s\n", name.c_str(),
+              t.wall_ms, t.records_per_sec(), t.mib_per_sec());
 }
 
 /// Print a reproduction banner + body with wall-clock timing.

@@ -2,16 +2,21 @@
 // per-device version/cipher evolution for one device plus study-wide
 // statistics — the §5.1 analysis as a reusable tool.
 //
-// Usage: ./build/examples/longitudinal_report [device-name]
+// Usage: ./build/examples/longitudinal_report [device-name] [store-dir]
+//
+// With a second argument the dataset is also persisted as a sharded
+// capture store (DESIGN.md §11) — inspect it with `iotls-store`.
 #include <cstdio>
 
 #include "analysis/longitudinal.hpp"
 #include "analysis/summary.hpp"
 #include "common/table.hpp"
+#include "store/writer.hpp"
 
 int main(int argc, char** argv) {
   using namespace iotls;
   const std::string device = argc > 1 ? argv[1] : "Apple TV";
+  const std::string store_dir = argc > 2 ? argv[2] : "";
 
   std::printf("generating 27 months of passive traffic (40 devices)...\n");
   testbed::GeneratorOptions gen;
@@ -38,5 +43,21 @@ int main(int argc, char** argv) {
   const auto summary = analysis::summarize(dataset);
   std::printf("\n== study-wide ==\n%s",
               analysis::render_summary(summary).c_str());
+
+  if (!store_dir.empty()) {
+    store::StoreOptions opts;
+    opts.layout = store::ShardLayout::PerDevice;
+    opts.seed = gen.seed;
+    opts.first = gen.first;
+    opts.last = gen.last;
+    const auto report = store::write_store(dataset, store_dir, opts);
+    std::printf(
+        "\nwrote capture store: %zu shards, %llu groups, %llu bytes -> %s\n"
+        "(inspect with: iotls-store inspect %s)\n",
+        report.shards.size(),
+        static_cast<unsigned long long>(report.total_groups()),
+        static_cast<unsigned long long>(report.total_bytes()),
+        store_dir.c_str(), store_dir.c_str());
+  }
   return 0;
 }

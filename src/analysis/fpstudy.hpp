@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/fold.hpp"
 #include "fingerprint/database.hpp"
 #include "fingerprint/graph.hpp"
 #include "testbed/testbed.hpp"
@@ -30,6 +31,16 @@ struct FingerprintStudy {
 /// hardware concurrency, 1 = serial); the study is identical either way.
 FingerprintStudy run_fingerprint_study(testbed::Testbed& testbed,
                                        std::size_t threads = 0);
+
+/// Passive variants of §5.3: fingerprints extracted from the captured
+/// ClientHellos of the longitudinal dataset, weighted by connection
+/// counts. The three overloads (in-memory, pre-folded, streamed from a
+/// capture store) produce identical studies.
+FingerprintStudy passive_fingerprint_study(
+    const testbed::PassiveDataset& dataset);
+FingerprintStudy passive_fingerprint_study(const DatasetFold& fold);
+FingerprintStudy passive_fingerprint_study(const store::DatasetCursor& cursor,
+                                           std::size_t threads = 0);
 
 /// Text rendering of the sharing graph (cluster list + edges).
 std::string render_sharing_graph(const FingerprintStudy& study);

@@ -13,31 +13,6 @@ std::vector<common::Month> study_months() {
 
 namespace {
 
-/// Accumulates weighted per-month counts.
-struct MonthAccumulator {
-  std::vector<std::uint64_t> total;
-  std::map<tls::VersionBucket, std::vector<std::uint64_t>> adv_bucket;
-  std::map<tls::VersionBucket, std::vector<std::uint64_t>> est_bucket;
-  std::vector<std::uint64_t> insecure_adv, insecure_est;
-  std::vector<std::uint64_t> strong_adv, strong_est;
-  std::vector<std::uint64_t> established_total;
-
-  explicit MonthAccumulator(std::size_t n) {
-    total.assign(n, 0);
-    insecure_adv.assign(n, 0);
-    insecure_est.assign(n, 0);
-    strong_adv.assign(n, 0);
-    strong_est.assign(n, 0);
-    established_total.assign(n, 0);
-    for (const auto bucket :
-         {tls::VersionBucket::Tls13, tls::VersionBucket::Tls12,
-          tls::VersionBucket::Older}) {
-      adv_bucket[bucket].assign(n, 0);
-      est_bucket[bucket].assign(n, 0);
-    }
-  }
-};
-
 std::vector<double> to_fractions(const std::vector<std::uint64_t>& counts,
                                  const std::vector<std::uint64_t>& totals) {
   std::vector<double> out(counts.size(), kNoTraffic);
@@ -50,32 +25,35 @@ std::vector<double> to_fractions(const std::vector<std::uint64_t>& counts,
   return out;
 }
 
-MonthAccumulator accumulate(const testbed::PassiveDataset& dataset,
-                            const std::string& device,
-                            const std::vector<common::Month>& months) {
-  MonthAccumulator acc(months.size());
+/// Per-device in-memory tally (the fold path reaches the same MonthTallies
+/// via DatasetFold::add — one accumulation code path for both).
+MonthTallies accumulate(const testbed::PassiveDataset& dataset,
+                        const std::string& device,
+                        const std::vector<common::Month>& months) {
+  MonthTallies acc(months.size());
   const int base = months.empty() ? 0 : months.front().index();
   for (const auto* group : dataset.for_device(device)) {
-    const int idx = group->record.month.index() - base;
-    if (idx < 0 || idx >= static_cast<int>(months.size())) continue;
-    const auto& rec = group->record;
-    const std::uint64_t n = group->count;
-
-    acc.total[idx] += n;
-    if (!rec.advertised_versions.empty()) {
-      acc.adv_bucket[tls::bucket_of(rec.max_advertised_version())][idx] += n;
-    }
-    if (rec.advertises_insecure_suite()) acc.insecure_adv[idx] += n;
-    if (rec.advertises_strong_suite()) acc.strong_adv[idx] += n;
-
-    if (rec.established_version.has_value()) {
-      acc.established_total[idx] += n;
-      acc.est_bucket[tls::bucket_of(*rec.established_version)][idx] += n;
-      if (rec.established_insecure_suite()) acc.insecure_est[idx] += n;
-      if (rec.established_strong_suite()) acc.strong_est[idx] += n;
-    }
+    acc.add(group->record, group->count, base);
   }
   return acc;
+}
+
+/// Shared ordering + construction behind the all_* overloads.
+template <typename Series, typename Build>
+std::vector<Series> series_for_devices(const std::vector<std::string>& devices,
+                                       const Build& build) {
+  std::vector<Series> out;
+  out.reserve(devices.size());
+  for (const auto& device : devices) out.push_back(build(device));
+  return out;
+}
+
+void sort_fig1(std::vector<VersionSeries>* series) {
+  // Fig 1 ordering: mixed-version devices first.
+  std::stable_sort(series->begin(), series->end(),
+                   [](const VersionSeries& a, const VersionSeries& b) {
+                     return !a.tls12_exclusive() && b.tls12_exclusive();
+                   });
 }
 
 }  // namespace
@@ -93,36 +71,56 @@ bool VersionSeries::tls12_exclusive(double threshold) const {
   return check(advertised) && check(established);
 }
 
-VersionSeries version_series(const testbed::PassiveDataset& dataset,
-                             const std::string& device,
-                             const std::vector<common::Month>& months) {
-  const MonthAccumulator acc = accumulate(dataset, device, months);
+VersionSeries version_series_from(const MonthTallies& tallies,
+                                  const std::string& device,
+                                  const std::vector<common::Month>& months) {
   VersionSeries series;
   series.device = device;
   series.months = months;
-  for (const auto& [bucket, counts] : acc.adv_bucket) {
-    series.advertised[bucket] = to_fractions(counts, acc.total);
+  for (const auto& [bucket, counts] : tallies.adv_bucket) {
+    series.advertised[bucket] = to_fractions(counts, tallies.total);
   }
-  for (const auto& [bucket, counts] : acc.est_bucket) {
+  for (const auto& [bucket, counts] : tallies.est_bucket) {
     series.established[bucket] =
-        to_fractions(counts, acc.established_total);
+        to_fractions(counts, tallies.established_total);
   }
   return series;
+}
+
+VersionSeries version_series(const testbed::PassiveDataset& dataset,
+                             const std::string& device,
+                             const std::vector<common::Month>& months) {
+  return version_series_from(accumulate(dataset, device, months), device,
+                             months);
 }
 
 std::vector<VersionSeries> all_version_series(
     const testbed::PassiveDataset& dataset,
     const std::vector<common::Month>& months) {
-  std::vector<VersionSeries> out;
-  for (const auto& device : dataset.devices()) {
-    out.push_back(version_series(dataset, device, months));
-  }
-  // Fig 1 ordering: mixed-version devices first.
-  std::stable_sort(out.begin(), out.end(),
-                   [](const VersionSeries& a, const VersionSeries& b) {
-                     return !a.tls12_exclusive() && b.tls12_exclusive();
-                   });
+  auto out = series_for_devices<VersionSeries>(
+      dataset.devices(), [&](const std::string& device) {
+        return version_series(dataset, device, months);
+      });
+  sort_fig1(&out);
   return out;
+}
+
+std::vector<VersionSeries> all_version_series(const DatasetFold& fold) {
+  auto out = series_for_devices<VersionSeries>(
+      fold.devices(), [&](const std::string& device) {
+        return version_series_from(fold.tallies.at(device), device,
+                                   fold.months);
+      });
+  sort_fig1(&out);
+  return out;
+}
+
+std::vector<VersionSeries> all_version_series(
+    const store::DatasetCursor& cursor,
+    const std::vector<common::Month>& months, std::size_t threads) {
+  FoldOptions options;
+  options.threads = threads;
+  return all_version_series(fold_store(cursor, months, options));
 }
 
 double CipherSeries::max_insecure_advertised() const {
@@ -144,30 +142,52 @@ double CipherSeries::mean_strong_established() const {
   return n > 0 ? sum / n : 0.0;
 }
 
-CipherSeries cipher_series(const testbed::PassiveDataset& dataset,
-                           const std::string& device,
-                           const std::vector<common::Month>& months) {
-  const MonthAccumulator acc = accumulate(dataset, device, months);
+CipherSeries cipher_series_from(const MonthTallies& tallies,
+                                const std::string& device,
+                                const std::vector<common::Month>& months) {
   CipherSeries series;
   series.device = device;
   series.months = months;
-  series.insecure_advertised = to_fractions(acc.insecure_adv, acc.total);
+  series.insecure_advertised =
+      to_fractions(tallies.insecure_adv, tallies.total);
   series.insecure_established =
-      to_fractions(acc.insecure_est, acc.established_total);
-  series.strong_advertised = to_fractions(acc.strong_adv, acc.total);
+      to_fractions(tallies.insecure_est, tallies.established_total);
+  series.strong_advertised = to_fractions(tallies.strong_adv, tallies.total);
   series.strong_established =
-      to_fractions(acc.strong_est, acc.established_total);
+      to_fractions(tallies.strong_est, tallies.established_total);
   return series;
+}
+
+CipherSeries cipher_series(const testbed::PassiveDataset& dataset,
+                           const std::string& device,
+                           const std::vector<common::Month>& months) {
+  return cipher_series_from(accumulate(dataset, device, months), device,
+                            months);
 }
 
 std::vector<CipherSeries> all_cipher_series(
     const testbed::PassiveDataset& dataset,
     const std::vector<common::Month>& months) {
-  std::vector<CipherSeries> out;
-  for (const auto& device : dataset.devices()) {
-    out.push_back(cipher_series(dataset, device, months));
-  }
-  return out;
+  return series_for_devices<CipherSeries>(
+      dataset.devices(), [&](const std::string& device) {
+        return cipher_series(dataset, device, months);
+      });
+}
+
+std::vector<CipherSeries> all_cipher_series(const DatasetFold& fold) {
+  return series_for_devices<CipherSeries>(
+      fold.devices(), [&](const std::string& device) {
+        return cipher_series_from(fold.tallies.at(device), device,
+                                  fold.months);
+      });
+}
+
+std::vector<CipherSeries> all_cipher_series(
+    const store::DatasetCursor& cursor,
+    const std::vector<common::Month>& months, std::size_t threads) {
+  FoldOptions options;
+  options.threads = threads;
+  return all_cipher_series(fold_store(cursor, months, options));
 }
 
 std::string render_version_heatmap(const std::vector<VersionSeries>& series,
@@ -188,6 +208,55 @@ std::string render_version_heatmap(const std::vector<VersionSeries>& series,
       out += "|\n";
     }
   }
+  return out;
+}
+
+std::string render_fig1(const std::vector<VersionSeries>& series,
+                        const std::vector<common::Month>& months) {
+  // The figure omits TLS1.2-exclusive devices.
+  std::vector<VersionSeries> shown;
+  for (const auto& s : series) {
+    if (!s.tls12_exclusive()) shown.push_back(s);
+  }
+  std::string out = "Fig 1: TLS version support over time (" +
+                    std::to_string(shown.size()) + " devices shown; " +
+                    std::to_string(series.size() - shown.size()) +
+                    " TLS1.2-exclusive devices omitted)\n";
+  out += "months: " + months.front().str() + " .. " + months.back().str() +
+         "  (shade = fraction of connections; x = no traffic)\n\n";
+  out += "== advertised ==\n" +
+         render_version_heatmap(shown, /*advertised=*/true);
+  out += "\n== established ==\n" +
+         render_version_heatmap(shown, /*advertised=*/false);
+  return out;
+}
+
+std::string render_fig2(const std::vector<CipherSeries>& series) {
+  std::vector<CipherSeries> shown;
+  for (const auto& s : series) {
+    if (s.max_insecure_advertised() > 0.05) shown.push_back(s);
+  }
+  std::string out = "Fig 2: insecure ciphersuites advertised (" +
+                    std::to_string(shown.size()) + " devices shown; " +
+                    std::to_string(series.size() - shown.size()) +
+                    " rarely-advertising devices omitted; lower is "
+                    "better)\n\n";
+  out += render_cipher_heatmap(shown, /*insecure=*/true,
+                               /*advertised=*/true);
+  return out;
+}
+
+std::string render_fig3(const std::vector<CipherSeries>& series) {
+  std::vector<CipherSeries> shown;
+  for (const auto& s : series) {
+    if (s.mean_strong_established() < 0.9) shown.push_back(s);
+  }
+  std::string out = "Fig 3: strong (PFS) ciphersuites established (" +
+                    std::to_string(shown.size()) + " devices shown; " +
+                    std::to_string(series.size() - shown.size()) +
+                    " mostly-strong devices omitted; higher is better)\n\n";
+  out += render_cipher_heatmap(shown, /*insecure=*/false,
+                               /*advertised=*/false);
   return out;
 }
 

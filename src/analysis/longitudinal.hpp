@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/fold.hpp"
 #include "testbed/longitudinal.hpp"
 #include "tls/version.hpp"
 
@@ -34,10 +35,24 @@ VersionSeries version_series(const testbed::PassiveDataset& dataset,
                              const std::string& device,
                              const std::vector<common::Month>& months);
 
+/// Build a device's series from already-folded tallies — the single code
+/// path both the in-memory and the streamed analyses go through (this is
+/// what makes streamed results byte-identical).
+VersionSeries version_series_from(const MonthTallies& tallies,
+                                  const std::string& device,
+                                  const std::vector<common::Month>& months);
+
 /// All devices, Fig 1 ordering (non-exclusive devices first).
 std::vector<VersionSeries> all_version_series(
     const testbed::PassiveDataset& dataset,
     const std::vector<common::Month>& months);
+std::vector<VersionSeries> all_version_series(const DatasetFold& fold);
+
+/// Out-of-core overload: fold the store (parallel over shards), then build
+/// the same series.
+std::vector<VersionSeries> all_version_series(
+    const store::DatasetCursor& cursor,
+    const std::vector<common::Month>& months, std::size_t threads = 0);
 
 /// Fig 2 / Fig 3: per-device monthly ciphersuite-quality fractions.
 struct CipherSeries {
@@ -56,15 +71,31 @@ CipherSeries cipher_series(const testbed::PassiveDataset& dataset,
                            const std::string& device,
                            const std::vector<common::Month>& months);
 
+CipherSeries cipher_series_from(const MonthTallies& tallies,
+                                const std::string& device,
+                                const std::vector<common::Month>& months);
+
 std::vector<CipherSeries> all_cipher_series(
     const testbed::PassiveDataset& dataset,
     const std::vector<common::Month>& months);
+std::vector<CipherSeries> all_cipher_series(const DatasetFold& fold);
+std::vector<CipherSeries> all_cipher_series(
+    const store::DatasetCursor& cursor,
+    const std::vector<common::Month>& months, std::size_t threads = 0);
 
 /// Render helpers (text heatmaps in the paper's row layout).
 std::string render_version_heatmap(const std::vector<VersionSeries>& series,
                                    bool advertised);
 std::string render_cipher_heatmap(const std::vector<CipherSeries>& series,
                                   bool insecure, bool advertised);
+
+/// Full-figure renderings (headers + device filters + heatmaps) — the
+/// exact text IotlsStudy emits, factored out so the streamed pipeline
+/// renders through the same code.
+std::string render_fig1(const std::vector<VersionSeries>& series,
+                        const std::vector<common::Month>& months);
+std::string render_fig2(const std::vector<CipherSeries>& series);
+std::string render_fig3(const std::vector<CipherSeries>& series);
 
 /// The study window.
 std::vector<common::Month> study_months();

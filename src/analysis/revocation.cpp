@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/strings.hpp"
+#include "common/table.hpp"
 #include "devices/catalog.hpp"
 
 namespace iotls::analysis {
@@ -28,6 +30,40 @@ RevocationSummary analyze_revocation(const testbed::PassiveDataset& dataset) {
   }
   summary.stapling_devices.assign(stapling.begin(), stapling.end());
   return summary;
+}
+
+RevocationSummary analyze_revocation(const DatasetFold& fold) {
+  RevocationSummary summary = revocation_from_catalog();
+  summary.stapling_devices.assign(fold.stapling_devices.begin(),
+                                  fold.stapling_devices.end());
+  return summary;
+}
+
+RevocationSummary analyze_revocation(const store::DatasetCursor& cursor,
+                                     std::size_t threads) {
+  FoldOptions options;
+  options.threads = threads;
+  return analyze_revocation(
+      fold_store(cursor, std::vector<common::Month>{}, options));
+}
+
+std::string render_table8(const RevocationSummary& summary,
+                          int total_devices) {
+  auto join = [](const std::vector<std::string>& names) {
+    return common::join(names, ", ") + " (" + std::to_string(names.size()) +
+           ")";
+  };
+  common::TextTable table({"Method", "Devices (Count)"});
+  table.add_row({"Certificate Revocation Lists (CRLs)",
+                 join(summary.crl_devices)});
+  table.add_row({"Online Certificate Status Protocol (OCSP)",
+                 join(summary.ocsp_devices)});
+  table.add_row({"OCSP Stapling", join(summary.stapling_devices)});
+  auto out = "Table 8: certificate-revocation support\n" + table.render();
+  out += "devices never checking revocation: " +
+         std::to_string(summary.non_checking_count(total_devices)) + "/" +
+         std::to_string(total_devices) + "\n";
+  return out;
 }
 
 RevocationSummary revocation_from_catalog() {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/fold.hpp"
 #include "testbed/longitudinal.hpp"
 
 namespace iotls::analysis {
@@ -27,7 +28,18 @@ struct RevocationSummary {
 /// catalogue (CRL/OCSP).
 RevocationSummary analyze_revocation(const testbed::PassiveDataset& dataset);
 
+/// Shared reduction (stapling devices come pre-folded).
+RevocationSummary analyze_revocation(const DatasetFold& fold);
+
+/// Out-of-core overload over a capture-store cursor.
+RevocationSummary analyze_revocation(const store::DatasetCursor& cursor,
+                                     std::size_t threads = 0);
+
 /// Specification-only variant (no dataset needed).
 RevocationSummary revocation_from_catalog();
+
+/// Table 8 text (the exact rendering IotlsStudy emits).
+std::string render_table8(const RevocationSummary& summary,
+                          int total_devices);
 
 }  // namespace iotls::analysis

@@ -9,70 +9,57 @@
 
 namespace iotls::analysis {
 
-StudySummary summarize(const testbed::PassiveDataset& dataset) {
+StudySummary summarize(const DatasetFold& fold) {
   StudySummary summary;
-  summary.total_connections = dataset.total_connections();
+  summary.total_connections = fold.total_connections;
 
-  const auto devices = dataset.devices();
+  const auto devices = fold.devices();
   summary.device_count = static_cast<int>(devices.size());
 
   std::vector<std::uint64_t> per_device;
-  for (const auto& device : devices) {
-    per_device.push_back(dataset.device_connections(device));
+  for (const auto& [device, n] : fold.connections_per_device) {
+    per_device.push_back(n);
   }
   if (!per_device.empty()) {
-    summary.mean_per_device =
-        summary.total_connections / per_device.size();
+    summary.mean_per_device = summary.total_connections / per_device.size();
     std::sort(per_device.begin(), per_device.end());
     summary.median_per_device = per_device[per_device.size() / 2];
   }
 
-  const auto months = study_months();
-  std::uint64_t tls13_adv = 0;
-  std::uint64_t rc4_adv = 0;
-  std::map<std::string, std::set<tls::ProtocolVersion>> max_versions;
-  std::set<std::string> null_anon_devices;
-
-  for (const auto& group : dataset.groups()) {
-    const auto& rec = group.record;
-    if (!rec.advertised_versions.empty()) {
-      const auto max = rec.max_advertised_version();
-      max_versions[rec.device].insert(max);
-      if (max == tls::ProtocolVersion::Tls1_3) tls13_adv += group.count;
-    }
-    const bool has_rc4 = std::any_of(
-        rec.advertised_suites.begin(), rec.advertised_suites.end(),
-        [](std::uint16_t id) {
-          const auto* info = tls::suite_info(id);
-          return info != nullptr && info->cipher == tls::BulkCipher::Rc4;
-        });
-    if (has_rc4) rc4_adv += group.count;
-    if (std::any_of(rec.advertised_suites.begin(),
-                    rec.advertised_suites.end(),
-                    tls::suite_is_null_or_anon)) {
-      null_anon_devices.insert(rec.device);
-    }
-  }
   if (summary.total_connections > 0) {
     summary.tls13_advertising_fraction =
-        static_cast<double>(tls13_adv) / summary.total_connections;
+        static_cast<double>(fold.tls13_advertising) /
+        summary.total_connections;
     summary.rc4_advertising_fraction =
-        static_cast<double>(rc4_adv) / summary.total_connections;
+        static_cast<double>(fold.rc4_advertising) /
+        summary.total_connections;
   }
-  for (const auto& [device, versions] : max_versions) {
+  for (const auto& [device, versions] : fold.max_versions) {
     if (versions.size() > 1) {
       ++summary.devices_advertising_multiple_max_versions;
     }
   }
   summary.null_anon_advertising_devices =
-      static_cast<int>(null_anon_devices.size());
+      static_cast<int>(fold.null_anon_devices.size());
 
   for (const auto& device : devices) {
-    if (version_series(dataset, device, months).tls12_exclusive()) {
+    if (version_series_from(fold.tallies.at(device), device, fold.months)
+            .tls12_exclusive()) {
       ++summary.tls12_exclusive_devices;
     }
   }
   return summary;
+}
+
+StudySummary summarize(const testbed::PassiveDataset& dataset) {
+  return summarize(fold_dataset(dataset, study_months()));
+}
+
+StudySummary summarize(const store::DatasetCursor& cursor,
+                       std::size_t threads) {
+  FoldOptions options;
+  options.threads = threads;
+  return summarize(fold_store(cursor, study_months(), options));
 }
 
 std::string render_summary(const StudySummary& summary) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/fold.hpp"
 #include "testbed/longitudinal.hpp"
 
 namespace iotls::analysis {
@@ -27,6 +28,14 @@ struct StudySummary {
 };
 
 StudySummary summarize(const testbed::PassiveDataset& dataset);
+
+/// Shared reduction both the in-memory and the streamed paths go through.
+StudySummary summarize(const DatasetFold& fold);
+
+/// Out-of-core overload: stream the shards (parallel), never materializing
+/// the dataset. Byte-identical to the in-memory summary.
+StudySummary summarize(const store::DatasetCursor& cursor,
+                       std::size_t threads = 0);
 
 std::string render_summary(const StudySummary& summary);
 

@@ -89,17 +89,32 @@ IotlsStudy::IotlsStudy(Options options)
 
 const testbed::PassiveDataset& IotlsStudy::passive_dataset() {
   if (!passive_) {
-    testbed::GeneratorOptions gen;
-    gen.seed = options_.seed ^ 0x9A55;
-    gen.universe = options_.universe;
-    gen.count_scale = options_.passive_scale;
-    gen.first = options_.passive_first;
-    gen.last = options_.passive_last;
-    gen.threads = options_.threads;
-    passive_ = timed("passive-dataset", devices::device_catalog().size(),
-                     [&] { return testbed::generate_passive_dataset(gen); });
+    if (!options_.passive_store.empty()) {
+      passive_ = timed("passive-dataset", 0, [&] {
+        return store::read_store(options_.passive_store);
+      });
+    } else {
+      testbed::GeneratorOptions gen;
+      gen.seed = options_.seed ^ 0x9A55;
+      gen.universe = options_.universe;
+      gen.count_scale = options_.passive_scale;
+      gen.first = options_.passive_first;
+      gen.last = options_.passive_last;
+      gen.threads = options_.threads;
+      passive_ = timed("passive-dataset", devices::device_catalog().size(),
+                       [&] { return testbed::generate_passive_dataset(gen); });
+    }
   }
   return *passive_;
+}
+
+store::StoreWriteReport IotlsStudy::export_passive_store(
+    const std::string& dir, store::StoreOptions options) {
+  options.seed = options_.seed ^ 0x9A55;
+  options.first = options_.passive_first;
+  options.last = options_.passive_last;
+  if (options.threads == 0) options.threads = options_.threads;
+  return store::write_store(passive_dataset(), dir, options);
 }
 
 const std::vector<LibraryProbeRow>& IotlsStudy::library_probe_rows() {
@@ -357,21 +372,7 @@ std::string IotlsStudy::render_table7() {
 }
 
 std::string IotlsStudy::render_table8() {
-  const auto& summary = revocation_summary();
-  auto join = [](const std::vector<std::string>& names) {
-    return common::join(names, ", ") + " (" +
-           std::to_string(names.size()) + ")";
-  };
-  common::TextTable table({"Method", "Devices (Count)"});
-  table.add_row({"Certificate Revocation Lists (CRLs)",
-                 join(summary.crl_devices)});
-  table.add_row({"Online Certificate Status Protocol (OCSP)",
-                 join(summary.ocsp_devices)});
-  table.add_row({"OCSP Stapling", join(summary.stapling_devices)});
-  auto out = "Table 8: certificate-revocation support\n" + table.render();
-  out += "devices never checking revocation: " +
-         std::to_string(summary.non_checking_count(40)) + "/40\n";
-  return out;
+  return analysis::render_table8(revocation_summary(), 40);
 }
 
 std::string IotlsStudy::render_table9() {
@@ -406,56 +407,20 @@ std::string IotlsStudy::render_table9() {
 
 std::string IotlsStudy::render_fig1() {
   const auto months = analysis::study_months();
-  auto series = analysis::all_version_series(passive_dataset(), months);
-  // The figure omits TLS1.2-exclusive devices.
-  std::vector<analysis::VersionSeries> shown;
-  for (auto& s : series) {
-    if (!s.tls12_exclusive()) shown.push_back(std::move(s));
-  }
-  std::string out = "Fig 1: TLS version support over time (" +
-                    std::to_string(shown.size()) + " devices shown; " +
-                    std::to_string(series.size() - shown.size()) +
-                    " TLS1.2-exclusive devices omitted)\n";
-  out += "months: " + months.front().str() + " .. " + months.back().str() +
-         "  (shade = fraction of connections; x = no traffic)\n\n";
-  out += "== advertised ==\n" +
-         analysis::render_version_heatmap(shown, /*advertised=*/true);
-  out += "\n== established ==\n" +
-         analysis::render_version_heatmap(shown, /*advertised=*/false);
-  return out;
+  return analysis::render_fig1(
+      analysis::all_version_series(passive_dataset(), months), months);
 }
 
 std::string IotlsStudy::render_fig2() {
-  const auto months = analysis::study_months();
-  auto series = analysis::all_cipher_series(passive_dataset(), months);
-  std::vector<analysis::CipherSeries> shown;
-  for (auto& s : series) {
-    if (s.max_insecure_advertised() > 0.05) shown.push_back(std::move(s));
-  }
-  std::string out = "Fig 2: insecure ciphersuites advertised (" +
-                    std::to_string(shown.size()) + " devices shown; " +
-                    std::to_string(series.size() - shown.size()) +
-                    " rarely-advertising devices omitted; lower is "
-                    "better)\n\n";
-  out += analysis::render_cipher_heatmap(shown, /*insecure=*/true,
-                                         /*advertised=*/true);
-  return out;
+  return analysis::render_fig2(
+      analysis::all_cipher_series(passive_dataset(),
+                                  analysis::study_months()));
 }
 
 std::string IotlsStudy::render_fig3() {
-  const auto months = analysis::study_months();
-  auto series = analysis::all_cipher_series(passive_dataset(), months);
-  std::vector<analysis::CipherSeries> shown;
-  for (auto& s : series) {
-    if (s.mean_strong_established() < 0.9) shown.push_back(std::move(s));
-  }
-  std::string out = "Fig 3: strong (PFS) ciphersuites established (" +
-                    std::to_string(shown.size()) + " devices shown; " +
-                    std::to_string(series.size() - shown.size()) +
-                    " mostly-strong devices omitted; higher is better)\n\n";
-  out += analysis::render_cipher_heatmap(shown, /*insecure=*/false,
-                                         /*advertised=*/false);
-  return out;
+  return analysis::render_fig3(
+      analysis::all_cipher_series(passive_dataset(),
+                                  analysis::study_months()));
 }
 
 std::string IotlsStudy::render_fig4() {

@@ -22,6 +22,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "probe/prober.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "testbed/testbed.hpp"
 
 namespace iotls::core {
@@ -62,6 +64,10 @@ class IotlsStudy {
     /// Metrics are an operator surface — wall-clock/scheduling dependent,
     /// never an input to any table, figure, or trace.
     bool metrics_enabled = false;
+    /// Load the passive dataset from this capture-store directory instead
+    /// of generating it (the seed/scale/window knobs above then describe
+    /// the run that *wrote* the store, not a fresh generation).
+    std::string passive_store;
   };
 
   IotlsStudy() : IotlsStudy(Options{}) {}
@@ -74,6 +80,11 @@ class IotlsStudy {
 
   // ---- datasets & experiment results (lazily computed, cached) ----
   const testbed::PassiveDataset& passive_dataset();
+  /// Write the passive dataset into `dir` as a sharded capture store
+  /// (seed/window metadata filled from this study's options).
+  store::StoreWriteReport export_passive_store(const std::string& dir,
+                                               store::StoreOptions options =
+                                                   store::StoreOptions{});
   const std::vector<LibraryProbeRow>& library_probe_rows();       // Table 4
   const mitm::DowngradeReport& downgrade_report();                // Table 5
   const mitm::OldVersionReport& old_version_report();             // Table 6

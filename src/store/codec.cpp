@@ -1,0 +1,330 @@
+#include "store/codec.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "tls/version.hpp"
+
+namespace iotls::store {
+
+namespace {
+
+// Group flag bits (flags byte).
+constexpr std::uint8_t kFlagOcspStaple = 1u << 0;
+constexpr std::uint8_t kFlagSni = 1u << 1;
+constexpr std::uint8_t kFlagComplete = 1u << 2;
+constexpr std::uint8_t kFlagAppData = 1u << 3;
+constexpr std::uint8_t kFlagEstVersion = 1u << 4;
+constexpr std::uint8_t kFlagEstSuite = 1u << 5;
+constexpr std::uint8_t kFlagClientAlert = 1u << 6;
+constexpr std::uint8_t kFlagServerAlert = 1u << 7;
+
+std::uint64_t zigzag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1u);
+}
+
+/// Id lists (suites, extensions, groups, sigalgs) are mostly ascending, so
+/// zigzag deltas from the previous entry pack most values into one byte.
+void put_u16_list(common::Bytes* out, const std::vector<std::uint16_t>& ids) {
+  put_varint(out, ids.size());
+  std::int64_t prev = 0;
+  for (const std::uint16_t id : ids) {
+    put_svarint(out, static_cast<std::int64_t>(id) - prev);
+    prev = id;
+  }
+}
+
+std::vector<std::uint16_t> read_u16_list(CodecReader* reader) {
+  const std::uint64_t n = reader->varint();
+  // A list cannot be longer than the remaining payload (≥1 byte/entry) —
+  // reject early so a forged count cannot drive a giant allocation.
+  if (n > reader->remaining()) {
+    throw StoreFormatError("id list length " + std::to_string(n) +
+                           " exceeds remaining payload");
+  }
+  std::vector<std::uint16_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t value = prev + reader->svarint();
+    if (value < 0 || value > 0xFFFF) {
+      throw StoreFormatError("id list entry out of u16 range: " +
+                             std::to_string(value));
+    }
+    out.push_back(static_cast<std::uint16_t>(value));
+    prev = value;
+  }
+  return out;
+}
+
+void put_alert(common::Bytes* out, const tls::Alert& alert) {
+  out->push_back(static_cast<std::uint8_t>(alert.level));
+  out->push_back(static_cast<std::uint8_t>(alert.description));
+}
+
+tls::Alert read_alert(CodecReader* reader) {
+  tls::Alert alert;
+  const std::uint8_t level = reader->u8();
+  if (level != 1 && level != 2) {
+    throw StoreFormatError("alert level out of range: " +
+                           std::to_string(level));
+  }
+  alert.level = static_cast<tls::AlertLevel>(level);
+  alert.description = static_cast<tls::AlertDescription>(reader->u8());
+  return alert;
+}
+
+tls::ProtocolVersion read_version(CodecReader* reader) {
+  const std::uint64_t wire = reader->varint();
+  if (wire > 0xFFFF) {
+    throw StoreFormatError("protocol version out of u16 range");
+  }
+  try {
+    return tls::version_from_wire(static_cast<std::uint16_t>(wire));
+  } catch (const common::ParseError& e) {
+    throw StoreFormatError(std::string("bad protocol version: ") + e.what());
+  }
+}
+
+}  // namespace
+
+void put_varint(common::Bytes* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_svarint(common::Bytes* out, std::int64_t value) {
+  put_varint(out, zigzag(value));
+}
+
+std::uint64_t CodecReader::varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pos_ >= data_.size()) {
+      throw StoreFormatError("varint runs past end of payload");
+    }
+    const std::uint8_t byte = data_[pos_++];
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      if (i == 9 && byte > 1) {
+        throw StoreFormatError("varint overflows 64 bits");
+      }
+      return value;
+    }
+    shift += 7;
+  }
+  throw StoreFormatError("varint longer than 10 bytes");
+}
+
+std::int64_t CodecReader::svarint() { return unzigzag(varint()); }
+
+std::uint8_t CodecReader::u8() {
+  if (pos_ >= data_.size()) {
+    throw StoreFormatError("byte read past end of payload");
+  }
+  return data_[pos_++];
+}
+
+std::string CodecReader::str(std::size_t len) {
+  if (len > remaining()) {
+    throw StoreFormatError("string length " + std::to_string(len) +
+                           " exceeds remaining payload");
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+std::uint32_t StringDictionary::intern(const std::string& text) {
+  const auto it = std::lower_bound(
+      ids_.begin(), ids_.end(), text,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != ids_.end() && it->first == text) return it->second;
+  const auto id = static_cast<std::uint32_t>(by_id_.size());
+  by_id_.push_back(text);
+  pending_.push_back(text);
+  ids_.insert(it, {text, id});
+  return id;
+}
+
+std::vector<std::string> StringDictionary::take_pending() {
+  return std::exchange(pending_, {});
+}
+
+void StringDictionary::append(std::string text) {
+  by_id_.push_back(std::move(text));
+}
+
+const std::string& StringDictionary::at(std::uint32_t id) const {
+  if (id >= by_id_.size()) {
+    throw StoreFormatError("dictionary id " + std::to_string(id) +
+                           " out of range (size " +
+                           std::to_string(by_id_.size()) + ")");
+  }
+  return by_id_[id];
+}
+
+void BlockEncoder::add(const testbed::PassiveConnectionGroup& group,
+                       StringDictionary* dict) {
+  if (fresh_) {
+    prev_month_index_ = delta_base_.index();
+    fresh_ = false;
+  }
+  const auto& r = group.record;
+  put_varint(&body_, dict->intern(r.device));
+  put_varint(&body_, dict->intern(r.destination));
+  put_svarint(&body_, r.month.index() - prev_month_index_);
+  prev_month_index_ = r.month.index();
+  put_varint(&body_, group.count);
+
+  put_varint(&body_, r.advertised_versions.size());
+  for (const auto v : r.advertised_versions) {
+    put_varint(&body_, static_cast<std::uint16_t>(v));
+  }
+  put_u16_list(&body_, r.advertised_suites);
+  put_u16_list(&body_, r.extension_types);
+  put_u16_list(&body_, r.advertised_groups);
+  put_u16_list(&body_, r.advertised_sigalgs);
+
+  std::uint8_t flags = 0;
+  if (r.requested_ocsp_staple) flags |= kFlagOcspStaple;
+  if (r.sent_sni) flags |= kFlagSni;
+  if (r.handshake_complete) flags |= kFlagComplete;
+  if (r.application_data_seen) flags |= kFlagAppData;
+  if (r.established_version.has_value()) flags |= kFlagEstVersion;
+  if (r.established_suite.has_value()) flags |= kFlagEstSuite;
+  if (r.client_alert.has_value()) flags |= kFlagClientAlert;
+  if (r.server_alert.has_value()) flags |= kFlagServerAlert;
+  body_.push_back(flags);
+  body_.push_back(
+      static_cast<std::uint8_t>(r.first_fatal_alert_direction));
+  put_svarint(&body_, r.first_fatal_alert_ordinal);
+
+  if (r.established_version.has_value()) {
+    put_varint(&body_, static_cast<std::uint16_t>(*r.established_version));
+  }
+  if (r.established_suite.has_value()) {
+    put_varint(&body_, *r.established_suite);
+  }
+  if (r.client_alert.has_value()) put_alert(&body_, *r.client_alert);
+  if (r.server_alert.has_value()) put_alert(&body_, *r.server_alert);
+  ++count_;
+}
+
+common::Bytes BlockEncoder::finish(StringDictionary* dict) {
+  common::Bytes payload;
+  const auto entries = dict->take_pending();
+  put_varint(&payload, entries.size());
+  for (const auto& entry : entries) {
+    put_varint(&payload, entry.size());
+    payload.insert(payload.end(), entry.begin(), entry.end());
+  }
+  put_varint(&payload, count_);
+  payload.insert(payload.end(), body_.begin(), body_.end());
+
+  body_.clear();
+  count_ = 0;
+  fresh_ = true;
+  return payload;
+}
+
+void decode_block(common::BytesView payload, const ShardHeader& header,
+                  StringDictionary* dict,
+                  std::vector<testbed::PassiveConnectionGroup>* out) {
+  CodecReader reader(payload);
+
+  const std::uint64_t new_entries = reader.varint();
+  if (new_entries > reader.remaining()) {
+    throw StoreFormatError("dictionary section longer than payload");
+  }
+  for (std::uint64_t i = 0; i < new_entries; ++i) {
+    const std::uint64_t len = reader.varint();
+    dict->append(reader.str(static_cast<std::size_t>(len)));
+  }
+
+  const std::uint64_t group_count = reader.varint();
+  if (group_count > reader.remaining()) {
+    throw StoreFormatError("group count " + std::to_string(group_count) +
+                           " exceeds remaining payload");
+  }
+  out->reserve(out->size() + static_cast<std::size_t>(group_count));
+  int prev_month_index = header.first.index();
+  for (std::uint64_t g = 0; g < group_count; ++g) {
+    testbed::PassiveConnectionGroup group;
+    auto& r = group.record;
+    r.device = dict->at(static_cast<std::uint32_t>(reader.varint()));
+    r.destination = dict->at(static_cast<std::uint32_t>(reader.varint()));
+    const std::int64_t month_index = prev_month_index + reader.svarint();
+    if (month_index < 0 || month_index > 12LL * 100000) {
+      throw StoreFormatError("month index out of range: " +
+                             std::to_string(month_index));
+    }
+    r.month = common::Month::from_index(static_cast<int>(month_index));
+    prev_month_index = static_cast<int>(month_index);
+    group.count = reader.varint();
+
+    const std::uint64_t versions = reader.varint();
+    if (versions > reader.remaining()) {
+      throw StoreFormatError("version list longer than payload");
+    }
+    r.advertised_versions.reserve(static_cast<std::size_t>(versions));
+    for (std::uint64_t i = 0; i < versions; ++i) {
+      r.advertised_versions.push_back(read_version(&reader));
+    }
+    r.advertised_suites = read_u16_list(&reader);
+    r.extension_types = read_u16_list(&reader);
+    r.advertised_groups = read_u16_list(&reader);
+    r.advertised_sigalgs = read_u16_list(&reader);
+
+    const std::uint8_t flags = reader.u8();
+    const std::uint8_t direction = reader.u8();
+    if (direction > 2) {
+      throw StoreFormatError("alert direction out of range: " +
+                             std::to_string(direction));
+    }
+    r.requested_ocsp_staple = (flags & kFlagOcspStaple) != 0;
+    r.sent_sni = (flags & kFlagSni) != 0;
+    r.handshake_complete = (flags & kFlagComplete) != 0;
+    r.application_data_seen = (flags & kFlagAppData) != 0;
+    r.first_fatal_alert_direction =
+        static_cast<net::HandshakeRecord::AlertDirection>(direction);
+    const std::int64_t ordinal = reader.svarint();
+    if (ordinal < -1 || ordinal > 1 << 30) {
+      throw StoreFormatError("alert ordinal out of range");
+    }
+    r.first_fatal_alert_ordinal = static_cast<int>(ordinal);
+
+    if ((flags & kFlagEstVersion) != 0) {
+      r.established_version = read_version(&reader);
+    }
+    if ((flags & kFlagEstSuite) != 0) {
+      const std::uint64_t suite = reader.varint();
+      if (suite > 0xFFFF) {
+        throw StoreFormatError("established suite out of u16 range");
+      }
+      r.established_suite = static_cast<std::uint16_t>(suite);
+    }
+    if ((flags & kFlagClientAlert) != 0) r.client_alert = read_alert(&reader);
+    if ((flags & kFlagServerAlert) != 0) r.server_alert = read_alert(&reader);
+    out->push_back(std::move(group));
+  }
+  if (!reader.empty()) {
+    throw StoreFormatError("block payload has " +
+                           std::to_string(reader.remaining()) +
+                           " trailing bytes");
+  }
+}
+
+}  // namespace iotls::store

@@ -1,0 +1,125 @@
+// Compact record codec for the capture store.
+//
+// Groups are packed with LEB128 varints, zigzag deltas (months relative to
+// the previous group in the block, u16 id lists relative to the previous
+// entry) and a per-shard string-interning dictionary: device/destination
+// names appear once per shard, groups carry small integer ids. New
+// dictionary entries ride in the block that first uses them, so a shard is
+// decodable in one forward streaming pass — the reader never needs more
+// than one block in memory.
+//
+// Block payload layout (framed and CRC'd by writer/reader, format.hpp):
+//   varint new_dict_entries; [varint len, bytes]*   strings, id = next slot
+//   varint group_count; [encoded group]*            month delta base resets
+//                                                   to header.first per block
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "store/format.hpp"
+#include "testbed/longitudinal.hpp"
+
+namespace iotls::store {
+
+// ---------------------------------------------------------------------------
+// Varint primitives (exposed for the codec property tests)
+// ---------------------------------------------------------------------------
+
+/// Append an LEB128-encoded unsigned varint.
+void put_varint(common::Bytes* out, std::uint64_t value);
+
+/// Zigzag-map a signed value and append it as a varint.
+void put_svarint(common::Bytes* out, std::int64_t value);
+
+/// Bounds-checked varint decoder over a borrowed buffer; throws
+/// StoreFormatError on overrun or a non-minimal > 10-byte encoding.
+class CodecReader {
+ public:
+  explicit CodecReader(common::BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::int64_t svarint();
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::string str(std::size_t len);
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+ private:
+  common::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Per-shard dictionary
+// ---------------------------------------------------------------------------
+
+/// Append-only string interner. Writer and reader grow identical tables:
+/// the writer assigns ids in order of first use, the reader replays the
+/// dictionary sections block by block.
+class StringDictionary {
+ public:
+  /// Writer side: id of `text`, interning it (and recording it as pending
+  /// for the current block) on first use.
+  std::uint32_t intern(const std::string& text);
+
+  /// New entries interned since the last `take_pending()`, in id order.
+  [[nodiscard]] std::vector<std::string> take_pending();
+
+  /// Reader side: append the next entry (ids are assigned sequentially).
+  void append(std::string text);
+
+  /// Lookup; throws StoreFormatError for an out-of-range id.
+  [[nodiscard]] const std::string& at(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+
+ private:
+  std::vector<std::string> by_id_;
+  std::vector<std::string> pending_;
+  // Flat sorted map keeps the hot intern() path allocation-light.
+  std::vector<std::pair<std::string, std::uint32_t>> ids_;
+};
+
+// ---------------------------------------------------------------------------
+// Block codec
+// ---------------------------------------------------------------------------
+
+/// Streaming encoder state for one block: the dictionary persists across
+/// blocks, the month-delta baseline resets each block.
+class BlockEncoder {
+ public:
+  explicit BlockEncoder(common::Month delta_base)
+      : delta_base_(delta_base) {}
+
+  /// Append one group to the pending block.
+  void add(const testbed::PassiveConnectionGroup& group,
+           StringDictionary* dict);
+
+  /// Assemble the block payload (dictionary section + group section) and
+  /// reset for the next block.
+  [[nodiscard]] common::Bytes finish(StringDictionary* dict);
+
+  [[nodiscard]] std::size_t pending_groups() const { return count_; }
+  /// Encoded size of the group section so far (flush heuristic).
+  [[nodiscard]] std::size_t pending_bytes() const { return body_.size(); }
+
+ private:
+  common::Month delta_base_;
+  int prev_month_index_;
+  common::Bytes body_;
+  std::size_t count_ = 0;
+  bool fresh_ = true;
+};
+
+/// Decode a whole block payload, appending groups to `out`. The dictionary
+/// is extended with the block's new entries first. Throws StoreFormatError
+/// on any structural violation (the frame CRC has already been checked, so
+/// a failure here means an encoder bug or a forged frame).
+void decode_block(common::BytesView payload, const ShardHeader& header,
+                  StringDictionary* dict,
+                  std::vector<testbed::PassiveConnectionGroup>* out);
+
+}  // namespace iotls::store

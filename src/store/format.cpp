@@ -1,0 +1,82 @@
+#include "store/format.hpp"
+
+namespace iotls::store {
+
+namespace {
+
+struct Crc32Table {
+  std::array<std::uint32_t, 256> entries;
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+common::Month read_month(common::ByteReader& reader) {
+  common::Month m;
+  m.year = static_cast<int>(reader.u16());
+  m.month = static_cast<int>(reader.u8());
+  if (m.month < 1 || m.month > 12) {
+    throw StoreFormatError("shard header: month out of range: " +
+                           std::to_string(m.month));
+  }
+  return m;
+}
+
+void write_month(common::ByteWriter& writer, common::Month m) {
+  writer.u16(static_cast<std::uint16_t>(m.year));
+  writer.u8(static_cast<std::uint8_t>(m.month));
+}
+
+}  // namespace
+
+std::uint32_t crc32(common::BytesView data) {
+  static const Crc32Table table;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc = table.entries[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+common::Bytes encode_shard_header(const ShardHeader& header) {
+  common::ByteWriter writer;
+  writer.u16(kFormatVersion);
+  writer.u64(header.seed);
+  write_month(writer, header.first);
+  write_month(writer, header.last);
+  writer.u32(header.shard_index);
+  writer.u32(header.shard_count);
+  writer.str(header.label, 2);
+  return writer.take();
+}
+
+ShardHeader decode_shard_header(common::BytesView payload) {
+  try {
+    common::ByteReader reader(payload);
+    const std::uint16_t version = reader.u16();
+    if (version != kFormatVersion) {
+      throw StoreFormatError("unsupported shard format version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kFormatVersion) + ")");
+    }
+    ShardHeader header;
+    header.seed = reader.u64();
+    header.first = read_month(reader);
+    header.last = read_month(reader);
+    header.shard_index = reader.u32();
+    header.shard_count = reader.u32();
+    header.label = reader.str(2);
+    reader.expect_end("shard header");
+    return header;
+  } catch (const common::ParseError& e) {
+    throw StoreFormatError(std::string("shard header: ") + e.what());
+  }
+}
+
+}  // namespace iotls::store

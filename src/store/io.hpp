@@ -1,0 +1,74 @@
+// Checked file I/O — the store's single chokepoint for raw stdio.
+//
+// Every byte the capture store reads or writes flows through CheckedFile:
+// OS failures become typed StoreIoError, short reads inside a structure
+// become StoreCorruptionError (a truncated tail, not a crash), and the
+// iotls_store_bytes_{read,written}_total metrics are fed in one place.
+//
+// The `raw-io` lint rule enforces the chokepoint: src/store/io.cpp is the
+// only file under src/store/ + tools/store/ allowed to call fopen/fread/
+// fwrite and friends.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "store/format.hpp"
+
+namespace iotls::store {
+
+class CheckedFile {
+ public:
+  /// Open an existing file for reading; StoreIoError if it cannot be opened.
+  static CheckedFile open_read(const std::string& path);
+
+  /// Create (truncate) a file for writing; StoreIoError on failure.
+  static CheckedFile create(const std::string& path);
+
+  CheckedFile(CheckedFile&& other) noexcept;
+  CheckedFile& operator=(CheckedFile&& other) noexcept;
+  CheckedFile(const CheckedFile&) = delete;
+  CheckedFile& operator=(const CheckedFile&) = delete;
+  ~CheckedFile();
+
+  /// Append `data`; throws StoreIoError on any short or failed write.
+  void write(common::BytesView data);
+  void write(const std::string& text);
+
+  /// Read up to `n` bytes; returns the count actually read (short only at
+  /// end-of-file). Throws StoreIoError on a stream error.
+  [[nodiscard]] std::size_t read(void* out, std::size_t n);
+
+  /// Read exactly `n` bytes or throw StoreCorruptionError naming `context`
+  /// — a short read inside a framed structure means the tail is truncated.
+  void read_exact(void* out, std::size_t n, const std::string& context);
+
+  /// True once a read returned 0 bytes.
+  [[nodiscard]] bool at_eof() const { return eof_; }
+
+  /// Flush buffered writes to the OS; StoreIoError on failure.
+  void flush();
+
+  /// Flush and close. Idempotent; the destructor closes without throwing.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return written_; }
+  [[nodiscard]] std::uint64_t bytes_read() const { return read_count_; }
+
+ private:
+  CheckedFile(std::FILE* file, std::string path);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t written_ = 0;
+  std::uint64_t read_count_ = 0;
+  bool eof_ = false;
+};
+
+/// Size of a file in bytes (StoreIoError if it cannot be stat'ed).
+std::uint64_t file_size(const std::string& path);
+
+}  // namespace iotls::store

@@ -1,0 +1,104 @@
+// Streaming readers for the capture store.
+//
+// `ShardReader` walks one shard file block by block — at most one decoded
+// block is resident — verifying the magic, the header CRC, every block CRC
+// and the footer totals as it goes. Any violation raises a typed
+// StoreError; a shard can never be silently read as partial data.
+//
+// `DatasetCursor` strings sorted shards into one logical group stream for
+// the out-of-core analyses; per-shard access (`shard_paths()`) is the unit
+// of parallel folding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "store/codec.hpp"
+#include "store/format.hpp"
+#include "store/io.hpp"
+#include "testbed/longitudinal.hpp"
+
+namespace iotls::store {
+
+class ShardReader {
+ public:
+  /// Open and validate magic + header. Throws StoreFormatError (bad magic,
+  /// bad version), StoreCorruptionError (header CRC/truncation) or
+  /// StoreIoError (cannot open).
+  explicit ShardReader(const std::string& path);
+
+  [[nodiscard]] const ShardHeader& header() const { return header_; }
+  [[nodiscard]] const std::string& path() const { return file_.path(); }
+
+  /// Decode the next group block into `out` (replacing its contents).
+  /// Returns false once the footer has been reached and verified. Throws a
+  /// typed StoreError on any corruption — including EOF before the footer
+  /// and trailing bytes after it.
+  [[nodiscard]] bool next(std::vector<testbed::PassiveConnectionGroup>* out);
+
+  [[nodiscard]] std::uint64_t groups_read() const { return groups_; }
+  [[nodiscard]] std::uint64_t blocks_read() const { return blocks_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  common::Bytes read_block(std::uint8_t* type_out);
+
+  CheckedFile file_;
+  ShardHeader header_;
+  StringDictionary dict_;
+  std::uint64_t groups_ = 0;
+  std::uint64_t blocks_ = 0;
+  bool finished_ = false;
+};
+
+/// Sorted shard paths of a store directory. Throws StoreIoError if the
+/// directory cannot be read or holds no shards.
+std::vector<std::string> list_shards(const std::string& dir);
+
+/// A read-only view over a store: iterate every group in shard order
+/// without ever holding a whole shard in memory. Cheap to copy; `for_each`
+/// opens its own readers, so a cursor can be consumed repeatedly and
+/// concurrently.
+class DatasetCursor {
+ public:
+  explicit DatasetCursor(std::vector<std::string> shard_paths);
+
+  /// Cursor over `list_shards(dir)`.
+  static DatasetCursor open(const std::string& dir);
+
+  [[nodiscard]] const std::vector<std::string>& shard_paths() const {
+    return shard_paths_;
+  }
+
+  /// Visit every group of every shard, in shard order then block order.
+  void for_each(
+      const std::function<void(const testbed::PassiveConnectionGroup&)>& fn)
+      const;
+
+ private:
+  std::vector<std::string> shard_paths_;
+};
+
+/// Full validation result for one shard or a whole store.
+struct ValidateReport {
+  std::uint64_t shards = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Stream a shard end to end, checking every frame. Throws on any defect.
+ValidateReport validate_shard(const std::string& path);
+
+/// Validate every shard of a store (parallel over shards; 0 = hardware
+/// concurrency). Also checks that shard_index/shard_count fields are
+/// mutually consistent. Throws on the first defect (lowest shard index).
+ValidateReport validate_store(const std::string& dir, std::size_t threads = 0);
+
+/// Materialize a store into memory (the bridge back to the in-memory
+/// analyses and the TSV release format).
+testbed::PassiveDataset read_store(const std::string& dir);
+
+}  // namespace iotls::store

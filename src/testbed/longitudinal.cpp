@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <set>
 #include <sstream>
 
 #include "common/pool.hpp"
@@ -13,35 +12,34 @@
 namespace iotls::testbed {
 
 void PassiveDataset::add(PassiveConnectionGroup group) {
+  DeviceEntry& entry = by_device_[group.record.device];
+  entry.group_indices.push_back(groups_.size());
+  entry.connections += group.count;
+  total_ += group.count;
   groups_.push_back(std::move(group));
-}
-
-std::uint64_t PassiveDataset::total_connections() const {
-  std::uint64_t total = 0;
-  for (const auto& g : groups_) total += g.count;
-  return total;
 }
 
 std::uint64_t PassiveDataset::device_connections(
     const std::string& device) const {
-  std::uint64_t total = 0;
-  for (const auto& g : groups_) {
-    if (g.record.device == device) total += g.count;
-  }
-  return total;
+  const auto it = by_device_.find(device);
+  return it == by_device_.end() ? 0 : it->second.connections;
 }
 
 std::vector<std::string> PassiveDataset::devices() const {
-  std::set<std::string> names;
-  for (const auto& g : groups_) names.insert(g.record.device);
-  return {names.begin(), names.end()};
+  std::vector<std::string> names;
+  names.reserve(by_device_.size());
+  for (const auto& [name, entry] : by_device_) names.push_back(name);
+  return names;
 }
 
 std::vector<const PassiveConnectionGroup*> PassiveDataset::for_device(
     const std::string& device) const {
   std::vector<const PassiveConnectionGroup*> out;
-  for (const auto& g : groups_) {
-    if (g.record.device == device) out.push_back(&g);
+  const auto it = by_device_.find(device);
+  if (it == by_device_.end()) return out;
+  out.reserve(it->second.group_indices.size());
+  for (const std::size_t i : it->second.group_indices) {
+    out.push_back(&groups_[i]);
   }
   return out;
 }
@@ -105,31 +103,37 @@ constexpr const char* kDatasetHeader =
 
 }  // namespace
 
+const std::string& dataset_tsv_header() {
+  static const std::string header(kDatasetHeader);
+  return header;
+}
+
+std::string group_to_tsv_row(const PassiveConnectionGroup& g) {
+  const auto& r = g.record;
+  return r.device + '\t' + r.destination + '\t' + r.month.str() + '\t' +
+         std::to_string(g.count) + '\t' +
+         join_versions(r.advertised_versions) + '\t' +
+         join_u16(r.advertised_suites) + '\t' +
+         join_u16(r.extension_types) + '\t' +
+         join_u16(r.advertised_groups) + '\t' +
+         join_u16(r.advertised_sigalgs) + '\t' +
+         (r.requested_ocsp_staple ? "1" : "0") + '\t' +
+         (r.sent_sni ? "1" : "0") + '\t' +
+         (r.established_version
+              ? std::to_string(
+                    static_cast<std::uint16_t>(*r.established_version))
+              : "-") +
+         '\t' +
+         (r.established_suite ? std::to_string(*r.established_suite) : "-") +
+         '\t' + (r.handshake_complete ? "1" : "0") + '\t' +
+         (r.application_data_seen ? "1" : "0") + '\t' +
+         alert_field(r.client_alert) + '\t' + alert_field(r.server_alert) +
+         '\n';
+}
+
 std::string dataset_to_tsv(const PassiveDataset& dataset) {
-  std::string out = std::string(kDatasetHeader) + "\n";
-  for (const auto& g : dataset.groups()) {
-    const auto& r = g.record;
-    out += r.device + '\t' + r.destination + '\t' + r.month.str() + '\t' +
-           std::to_string(g.count) + '\t' +
-           join_versions(r.advertised_versions) + '\t' +
-           join_u16(r.advertised_suites) + '\t' +
-           join_u16(r.extension_types) + '\t' +
-           join_u16(r.advertised_groups) + '\t' +
-           join_u16(r.advertised_sigalgs) + '\t' +
-           (r.requested_ocsp_staple ? "1" : "0") + '\t' +
-           (r.sent_sni ? "1" : "0") + '\t' +
-           (r.established_version
-                ? std::to_string(
-                      static_cast<std::uint16_t>(*r.established_version))
-                : "-") +
-           '\t' +
-           (r.established_suite ? std::to_string(*r.established_suite)
-                                : "-") +
-           '\t' + (r.handshake_complete ? "1" : "0") + '\t' +
-           (r.application_data_seen ? "1" : "0") + '\t' +
-           alert_field(r.client_alert) + '\t' + alert_field(r.server_alert) +
-           '\n';
-  }
+  std::string out = dataset_tsv_header() + "\n";
+  for (const auto& g : dataset.groups()) out += group_to_tsv_row(g);
   return out;
 }
 

@@ -29,7 +29,7 @@ class PassiveDataset {
   [[nodiscard]] const std::vector<PassiveConnectionGroup>& groups() const {
     return groups_;
   }
-  [[nodiscard]] std::uint64_t total_connections() const;
+  [[nodiscard]] std::uint64_t total_connections() const { return total_; }
   [[nodiscard]] std::uint64_t device_connections(
       const std::string& device) const;
   [[nodiscard]] std::vector<std::string> devices() const;
@@ -37,7 +37,16 @@ class PassiveDataset {
       const std::string& device) const;
 
  private:
+  struct DeviceEntry {
+    std::vector<std::size_t> group_indices;  // dataset order
+    std::uint64_t connections = 0;
+  };
+
   std::vector<PassiveConnectionGroup> groups_;
+  // Maintained by add(): device → its groups + totals, so the per-device
+  // accessors are index lookups, not O(groups) scans.
+  std::map<std::string, DeviceEntry> by_device_;
+  std::uint64_t total_ = 0;
 };
 
 struct GeneratorOptions {
@@ -69,5 +78,11 @@ PassiveDataset load_dataset(const std::string& path);
 /// In-memory TSV forms (exposed for tests and piping).
 std::string dataset_to_tsv(const PassiveDataset& dataset);
 PassiveDataset dataset_from_tsv(const std::string& tsv);
+
+/// Streaming TSV building blocks (used by dataset_to_tsv and by tooling
+/// that renders rows without materializing a dataset). The header has no
+/// trailing newline; a row includes its own.
+const std::string& dataset_tsv_header();
+std::string group_to_tsv_row(const PassiveConnectionGroup& group);
 
 }  // namespace iotls::testbed

@@ -1,0 +1,12 @@
+// Known-bad fixture for the raw-io rule (the test config scopes it in).
+#include <cstdio>
+#include <fstream>
+
+void save(const char* path, const void* buf, std::size_t n) {
+  std::FILE* f = fopen(path, "wb");  // fires (line 6)
+  fwrite(buf, 1, n, f);              // fires (line 7)
+  std::fprintf(f, "%zu\n", n);       // fires (line 8)
+  fclose(f);                         // fires (line 9)
+}
+
+void load(const char* path) { std::ifstream in(path); }  // fires (line 12)

@@ -1,0 +1,18 @@
+// Known-good fixture for the raw-io rule.
+#include <cstdio>
+
+struct CheckedFile {
+  void fwrite(const void* buf, std::size_t n);  // member, not stdio
+  long ftell();
+};
+
+void save(CheckedFile& file, const void* buf, std::size_t n) {
+  file.fwrite(buf, n);  // routed through the chokepoint wrapper
+  (void)file.ftell();
+}
+
+// Waived for a legacy dump path.
+void legacy(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");  // iotls-lint: allow(raw-io)
+  std::fclose(f);                         // iotls-lint: allow(raw-io)
+}

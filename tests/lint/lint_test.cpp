@@ -163,6 +163,40 @@ TEST(LintRules, SecretHygieneAllowsPublicMaterialAndMetadata) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-io
+// ---------------------------------------------------------------------------
+
+RuleConfig raw_io_config() {
+  RuleConfig config = fixture_config();
+  // Bring the fixture corpus into the rule's scope (in the real tree the
+  // default fragments cover src/store/ and tools/store/).
+  config.raw_io_scope_fragments = {"raw_io"};
+  return config;
+}
+
+TEST(LintRules, RawIoFiresOnStdioAndFstreams) {
+  const auto findings = run_fixtures({"bad_raw_io.cpp"}, raw_io_config());
+  const std::set<int> expected = {6, 7, 8, 9, 12};
+  EXPECT_EQ(lines_for_rule(findings, "raw-io"), expected);
+}
+
+TEST(LintRules, RawIoIgnoresMembersAndHonorsAllow) {
+  EXPECT_TRUE(run_fixtures({"good_raw_io.cpp"}, raw_io_config()).empty());
+}
+
+TEST(LintRules, RawIoDefaultScopeExcludesOtherDirectories) {
+  // Under the default config the fixtures sit outside src/store/ and
+  // tools/store/, so the same bad file produces nothing.
+  EXPECT_TRUE(run_fixtures({"bad_raw_io.cpp"}, fixture_config()).empty());
+}
+
+TEST(LintRules, RawIoAllowedChokepointFileIsExempt) {
+  RuleConfig config = raw_io_config();
+  config.raw_io_allowed_files = {"bad_raw_io.cpp"};
+  EXPECT_TRUE(run_fixtures({"bad_raw_io.cpp"}, config).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Rule: alert-exhaustive
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,164 @@
+// Corruption injection: every flipped bit, truncated tail, wrong magic or
+// format version must surface as a *typed* StoreError — never a crash, an
+// unhandled exception, or silently partial data. Runs under ASan/UBSan in
+// CI like the rest of the unit tier.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "testdata.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using iotls::store::StoreCorruptionError;
+using iotls::store::StoreError;
+using iotls::store::StoreFormatError;
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One pristine single-shard store, written once per process.
+class CorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string("/tmp/iotls_store_corruption_test");
+    fs::remove_all(*dir_);
+    const auto dataset = iotls::storetest::random_dataset(0xBADF00D, 64);
+    iotls::store::StoreOptions options;
+    options.block_bytes = 512;  // several blocks, so mid-stream frames exist
+    options.threads = 1;
+    iotls::store::write_store(dataset, *dir_, options);
+    shard_ = new std::string(
+        (fs::path(*dir_) / iotls::store::shard_filename(0)).string());
+    pristine_ = new std::vector<std::uint8_t>(read_bytes(*shard_));
+    mutant_ = new std::string(*dir_ + "/mutant.iotshard");
+  }
+
+  static void TearDownTestSuite() {
+    fs::remove_all(*dir_);
+    delete dir_;
+    delete shard_;
+    delete pristine_;
+    delete mutant_;
+  }
+
+  /// validate_shard over `bytes`, classifying the outcome.
+  enum class Outcome { Ok, Io, Format, Corruption, Foreign };
+  static Outcome validate(const std::vector<std::uint8_t>& bytes) {
+    write_bytes(*mutant_, bytes);
+    try {
+      (void)iotls::store::validate_shard(*mutant_);
+      return Outcome::Ok;
+    } catch (const StoreFormatError&) {
+      return Outcome::Format;
+    } catch (const StoreCorruptionError&) {
+      return Outcome::Corruption;
+    } catch (const StoreError&) {
+      return Outcome::Io;
+    } catch (...) {
+      return Outcome::Foreign;
+    }
+  }
+
+  static std::string* dir_;
+  static std::string* shard_;
+  static std::string* mutant_;
+  static std::vector<std::uint8_t>* pristine_;
+};
+
+std::string* CorruptionTest::dir_ = nullptr;
+std::string* CorruptionTest::shard_ = nullptr;
+std::string* CorruptionTest::mutant_ = nullptr;
+std::vector<std::uint8_t>* CorruptionTest::pristine_ = nullptr;
+
+TEST_F(CorruptionTest, PristineShardValidates) {
+  EXPECT_EQ(validate(*pristine_), Outcome::Ok);
+  const auto report = iotls::store::validate_shard(*shard_);
+  EXPECT_EQ(report.groups, 64u);
+  EXPECT_GT(report.blocks, 1u);
+}
+
+TEST_F(CorruptionTest, EveryFlippedBitIsATypedError) {
+  for (std::size_t offset = 0; offset < pristine_->size(); ++offset) {
+    auto bytes = *pristine_;
+    bytes[offset] ^= static_cast<std::uint8_t>(1u << (offset % 8));
+    const Outcome outcome = validate(bytes);
+    EXPECT_TRUE(outcome == Outcome::Format || outcome == Outcome::Corruption)
+        << "bit flip at offset " << offset << " produced outcome "
+        << static_cast<int>(outcome);
+  }
+}
+
+TEST_F(CorruptionTest, EveryTruncationIsATypedError) {
+  for (std::size_t len = 0; len < pristine_->size(); ++len) {
+    const std::vector<std::uint8_t> prefix(pristine_->begin(),
+                                           pristine_->begin() + len);
+    const Outcome outcome = validate(prefix);
+    EXPECT_TRUE(outcome == Outcome::Format || outcome == Outcome::Corruption)
+        << "truncation to " << len << " bytes produced outcome "
+        << static_cast<int>(outcome);
+  }
+}
+
+TEST_F(CorruptionTest, WrongMagicIsFormatError) {
+  auto bytes = *pristine_;
+  bytes[0] = 'X';
+  EXPECT_EQ(validate(bytes), Outcome::Format);
+}
+
+TEST_F(CorruptionTest, WrongFormatVersionIsFormatError) {
+  // The header frame follows the 8-byte magic: u32 length, u32 crc,
+  // payload. The payload's first u16 is the format version; bump it and
+  // re-CRC so the corruption checks pass and the version check must fire.
+  auto bytes = *pristine_;
+  ASSERT_GT(bytes.size(), 20u);
+  const std::size_t len = (static_cast<std::size_t>(bytes[8]) << 24) |
+                          (static_cast<std::size_t>(bytes[9]) << 16) |
+                          (static_cast<std::size_t>(bytes[10]) << 8) |
+                          static_cast<std::size_t>(bytes[11]);
+  bytes[16] = 0x7F;  // version 0x7F00 + original low byte
+  const std::uint32_t crc = iotls::store::crc32(
+      iotls::common::BytesView(bytes.data() + 16, len));
+  bytes[12] = static_cast<std::uint8_t>(crc >> 24);
+  bytes[13] = static_cast<std::uint8_t>(crc >> 16);
+  bytes[14] = static_cast<std::uint8_t>(crc >> 8);
+  bytes[15] = static_cast<std::uint8_t>(crc);
+
+  write_bytes(*mutant_, bytes);
+  try {
+    (void)iotls::store::validate_shard(*mutant_);
+    FAIL() << "forged version accepted";
+  } catch (const StoreFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(CorruptionTest, TrailingGarbageIsCorruptionError) {
+  auto bytes = *pristine_;
+  bytes.push_back(0x00);
+  EXPECT_EQ(validate(bytes), Outcome::Corruption);
+}
+
+TEST_F(CorruptionTest, MissingStoreDirectoryIsIoError) {
+  EXPECT_THROW((void)iotls::store::list_shards("/tmp/iotls_no_such_store"),
+               iotls::store::StoreIoError);
+}
+
+}  // namespace

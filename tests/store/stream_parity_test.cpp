@@ -1,0 +1,123 @@
+// Acceptance gate for the out-of-core pipeline: the full 40-device dataset
+// (count_scale = 1.0) is written to shards, then Figs 1-3, Table 8, the
+// §5.1 summary and the passive fingerprint study are recomputed from the
+// streamed cursor and must be byte-identical to the in-memory pipeline —
+// at thread counts 1 and 8, under both the single-shard and per-device
+// layouts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "analysis/fpstudy.hpp"
+#include "analysis/longitudinal.hpp"
+#include "analysis/revocation.hpp"
+#include "analysis/summary.hpp"
+#include "core/study.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "testbed/longitudinal.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace analysis = iotls::analysis;
+using iotls::store::DatasetCursor;
+using iotls::store::ShardLayout;
+
+struct Artifacts {
+  std::string fig1, fig2, fig3, table8, summary, sharing;
+};
+
+class StreamParityTest : public ::testing::Test {
+ protected:
+  static iotls::core::IotlsStudy& study() {
+    static iotls::core::IotlsStudy instance;  // seed 42, scale 1.0
+    return instance;
+  }
+
+  static const Artifacts& in_memory() {
+    static const Artifacts artifacts = [] {
+      Artifacts a;
+      a.fig1 = study().render_fig1();
+      a.fig2 = study().render_fig2();
+      a.fig3 = study().render_fig3();
+      a.table8 = study().render_table8();
+      a.summary = analysis::render_summary(study().summary());
+      a.sharing = analysis::render_sharing_graph(
+          analysis::passive_fingerprint_study(study().passive_dataset()));
+      return a;
+    }();
+    return artifacts;
+  }
+
+  static std::string exported_dir(ShardLayout layout) {
+    const std::string dir =
+        layout == ShardLayout::Single ? "/tmp/iotls_parity_store_single"
+                                      : "/tmp/iotls_parity_store_perdev";
+    if (!fs::exists(dir)) {
+      iotls::store::StoreOptions options;
+      options.layout = layout;
+      (void)study().export_passive_store(dir, options);
+    }
+    return dir;
+  }
+
+  static void check_layout(ShardLayout layout, std::size_t threads) {
+    const auto cursor = DatasetCursor::open(exported_dir(layout));
+    const auto months = analysis::study_months();
+    const Artifacts& want = in_memory();
+    EXPECT_EQ(analysis::render_fig1(
+                  analysis::all_version_series(cursor, months, threads),
+                  months),
+              want.fig1);
+    EXPECT_EQ(analysis::render_fig2(
+                  analysis::all_cipher_series(cursor, months, threads)),
+              want.fig2);
+    EXPECT_EQ(analysis::render_fig3(
+                  analysis::all_cipher_series(cursor, months, threads)),
+              want.fig3);
+    EXPECT_EQ(analysis::render_table8(
+                  analysis::analyze_revocation(cursor, threads), 40),
+              want.table8);
+    EXPECT_EQ(analysis::render_summary(analysis::summarize(cursor, threads)),
+              want.summary);
+    EXPECT_EQ(analysis::render_sharing_graph(
+                  analysis::passive_fingerprint_study(cursor, threads)),
+              want.sharing);
+  }
+
+  static void TearDownTestSuite() {
+    fs::remove_all("/tmp/iotls_parity_store_single");
+    fs::remove_all("/tmp/iotls_parity_store_perdev");
+  }
+};
+
+TEST_F(StreamParityTest, StoreValidatesAndRoundTripsAtFullScale) {
+  const std::string dir = exported_dir(ShardLayout::Single);
+  const auto report = iotls::store::validate_store(dir);
+  const auto& dataset = study().passive_dataset();
+  EXPECT_EQ(report.groups, dataset.groups().size());
+
+  const auto loaded = iotls::store::read_store(dir);
+  EXPECT_EQ(iotls::testbed::dataset_to_tsv(loaded),
+            iotls::testbed::dataset_to_tsv(dataset));
+}
+
+TEST_F(StreamParityTest, SingleLayoutSerial) {
+  check_layout(ShardLayout::Single, 1);
+}
+
+TEST_F(StreamParityTest, SingleLayoutParallel) {
+  check_layout(ShardLayout::Single, 8);
+}
+
+TEST_F(StreamParityTest, PerDeviceLayoutSerial) {
+  check_layout(ShardLayout::PerDevice, 1);
+}
+
+TEST_F(StreamParityTest, PerDeviceLayoutParallel) {
+  check_layout(ShardLayout::PerDevice, 8);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Shared seed-driven record builders for the capture-store test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simtime.hpp"
+#include "testbed/longitudinal.hpp"
+#include "tls/alert.hpp"
+#include "tls/version.hpp"
+
+namespace iotls::storetest {
+
+inline tls::ProtocolVersion random_version(common::Rng& rng) {
+  static constexpr tls::ProtocolVersion kVersions[] = {
+      tls::ProtocolVersion::Ssl3_0, tls::ProtocolVersion::Tls1_0,
+      tls::ProtocolVersion::Tls1_1, tls::ProtocolVersion::Tls1_2,
+      tls::ProtocolVersion::Tls1_3};
+  return kVersions[rng.uniform(5)];
+}
+
+inline tls::Alert random_alert(common::Rng& rng) {
+  static constexpr tls::AlertDescription kDescs[] = {
+      tls::AlertDescription::CloseNotify,
+      tls::AlertDescription::HandshakeFailure,
+      tls::AlertDescription::UnknownCa,
+      tls::AlertDescription::ProtocolVersion,
+      tls::AlertDescription::InternalError};
+  return tls::Alert{rng.chance(0.5) ? tls::AlertLevel::Warning
+                                    : tls::AlertLevel::Fatal,
+                    kDescs[rng.uniform(5)]};
+}
+
+inline std::vector<std::uint16_t> random_u16s(common::Rng& rng,
+                                              std::size_t max_len) {
+  std::vector<std::uint16_t> out(rng.uniform(max_len + 1));
+  for (auto& v : out) v = static_cast<std::uint16_t>(rng.uniform(0x10000));
+  return out;
+}
+
+/// One fully random (but structurally valid) connection group: every codec
+/// field class is exercised — optionals, flags, id lists, alert bytes.
+inline testbed::PassiveConnectionGroup random_group(common::Rng& rng) {
+  testbed::PassiveConnectionGroup group;
+  auto& r = group.record;
+  r.device = "dev-" + std::to_string(rng.uniform(6));
+  r.destination = "host-" + std::to_string(rng.uniform(8)) + ".example.com";
+  r.month = common::kStudyStart.plus(static_cast<int>(rng.uniform(27)));
+  const std::size_t versions = 1 + rng.uniform(5);
+  for (std::size_t i = 0; i < versions; ++i) {
+    r.advertised_versions.push_back(random_version(rng));
+  }
+  r.advertised_suites = random_u16s(rng, 8);
+  r.extension_types = random_u16s(rng, 8);
+  r.advertised_groups = random_u16s(rng, 4);
+  r.advertised_sigalgs = random_u16s(rng, 4);
+  r.requested_ocsp_staple = rng.chance(0.3);
+  r.sent_sni = rng.chance(0.8);
+  if (rng.chance(0.8)) r.established_version = random_version(rng);
+  if (rng.chance(0.8)) {
+    r.established_suite = static_cast<std::uint16_t>(rng.uniform(0x10000));
+  }
+  r.handshake_complete = rng.chance(0.9);
+  r.application_data_seen = rng.chance(0.8);
+  if (rng.chance(0.2)) r.client_alert = random_alert(rng);
+  if (rng.chance(0.2)) r.server_alert = random_alert(rng);
+  const auto direction = rng.uniform(3);
+  r.first_fatal_alert_direction =
+      static_cast<net::HandshakeRecord::AlertDirection>(direction);
+  r.first_fatal_alert_ordinal =
+      direction == 0 ? -1 : static_cast<int>(rng.range(1, 12));
+  group.count = rng.range(1, 1000000);
+  return group;
+}
+
+inline testbed::PassiveDataset random_dataset(std::uint64_t seed,
+                                              std::size_t groups) {
+  common::Rng rng(seed);
+  testbed::PassiveDataset dataset;
+  for (std::size_t i = 0; i < groups; ++i) dataset.add(random_group(rng));
+  return dataset;
+}
+
+/// Field-by-field equality (HandshakeRecord has no operator==).
+inline void expect_group_eq(const testbed::PassiveConnectionGroup& got,
+                            const testbed::PassiveConnectionGroup& want) {
+  const auto& g = got.record;
+  const auto& w = want.record;
+  EXPECT_EQ(g.device, w.device);
+  EXPECT_EQ(g.destination, w.destination);
+  EXPECT_EQ(g.month, w.month);
+  EXPECT_EQ(g.advertised_versions, w.advertised_versions);
+  EXPECT_EQ(g.advertised_suites, w.advertised_suites);
+  EXPECT_EQ(g.extension_types, w.extension_types);
+  EXPECT_EQ(g.advertised_groups, w.advertised_groups);
+  EXPECT_EQ(g.advertised_sigalgs, w.advertised_sigalgs);
+  EXPECT_EQ(g.requested_ocsp_staple, w.requested_ocsp_staple);
+  EXPECT_EQ(g.sent_sni, w.sent_sni);
+  EXPECT_EQ(g.established_version, w.established_version);
+  EXPECT_EQ(g.established_suite, w.established_suite);
+  EXPECT_EQ(g.handshake_complete, w.handshake_complete);
+  EXPECT_EQ(g.application_data_seen, w.application_data_seen);
+  EXPECT_EQ(g.client_alert, w.client_alert);
+  EXPECT_EQ(g.server_alert, w.server_alert);
+  EXPECT_EQ(g.first_fatal_alert_direction, w.first_fatal_alert_direction);
+  EXPECT_EQ(g.first_fatal_alert_ordinal, w.first_fatal_alert_ordinal);
+  EXPECT_EQ(got.count, want.count);
+}
+
+}  // namespace iotls::storetest

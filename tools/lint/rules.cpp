@@ -355,6 +355,54 @@ void rule_secret_hygiene(const SourceFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-io
+// ---------------------------------------------------------------------------
+
+/// Raw stdio entry points. Every one of these bypasses the capture store's
+/// CheckedFile chokepoint (src/store/io.hpp), which is where short writes,
+/// errno, and the byte-count metrics are handled exactly once.
+const std::set<std::string>& raw_io_calls() {
+  static const std::set<std::string> kCalls = {
+      "fopen",  "freopen", "fdopen", "fread", "fwrite", "fclose",
+      "fflush", "fgets",   "fputs",  "fgetc", "fputc",  "fprintf",
+      "fscanf", "fseek",   "ftell",  "rewind",
+  };
+  return kCalls;
+}
+
+void rule_raw_io(const SourceFile& file, const RuleConfig& config,
+                 std::vector<Finding>* out) {
+  const bool in_scope = std::any_of(
+      config.raw_io_scope_fragments.begin(),
+      config.raw_io_scope_fragments.end(), [&](const std::string& fragment) {
+        return file.path.find(fragment) != std::string::npos;
+      });
+  if (!in_scope) return;
+  const bool allowed =
+      std::find(config.raw_io_allowed_files.begin(),
+                config.raw_io_allowed_files.end(),
+                file.path) != config.raw_io_allowed_files.end();
+  if (allowed) return;
+  static const std::set<std::string> kStreamTypes = {"ifstream", "ofstream",
+                                                     "fstream"};
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident) continue;
+    if (raw_io_calls().count(t.text) != 0 && next_is_call(toks, i) &&
+        global_or_std(toks, i)) {
+      out->push_back({file.path, t.line, "raw-io",
+                      t.text + "() in capture-store code; route file I/O "
+                      "through store::CheckedFile (src/store/io.hpp)"});
+    } else if (kStreamTypes.count(t.text) != 0) {
+      out->push_back({file.path, t.line, "raw-io",
+                      "std::" + t.text + " in capture-store code; route file "
+                      "I/O through store::CheckedFile (src/store/io.hpp)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: alert-exhaustive (cross-file)
 // ---------------------------------------------------------------------------
 
@@ -467,7 +515,7 @@ void rule_alert_exhaustive(const std::vector<SourceFile>& files,
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "alert-exhaustive", "banned-api", "determinism", "include-hygiene",
-      "secret-hygiene"};
+      "raw-io", "secret-hygiene"};
   return kNames;
 }
 
@@ -478,6 +526,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     rule_determinism(file, config, &findings);
     rule_banned_api(file, &findings);
     rule_include_hygiene(file, &findings);
+    rule_raw_io(file, config, &findings);
     rule_secret_hygiene(file, &findings);
   }
   rule_alert_exhaustive(files, config, &findings);

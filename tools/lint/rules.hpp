@@ -10,6 +10,8 @@
 //   secret-hygiene   key material never reaches logging / trace / metrics
 //   banned-api       strcpy/sprintf/atoi-family calls
 //   include-hygiene  relative "../" includes, `using namespace` in headers
+//   raw-io           no raw fopen/fwrite/fstream file I/O in capture-store
+//                    code outside the CheckedFile chokepoint
 //
 // Suppression: a `// iotls-lint: allow(rule-a, rule-b)` comment silences
 // those rules on its own line and on the following line.
@@ -51,6 +53,15 @@ struct RuleConfig {
   /// violation — the invariant cannot silently vanish.
   std::vector<std::string> required_alert_markers = {
       "alert_name", "alert_display", "alert_classify"};
+
+  /// Scope of the `raw-io` rule: files whose repo-relative path contains
+  /// one of these fragments must route all file I/O through the capture
+  /// store's checked chokepoint (store::CheckedFile).
+  std::vector<std::string> raw_io_scope_fragments = {"src/store/",
+                                                     "tools/store/"};
+  /// The chokepoint implementation itself — the one file in scope allowed
+  /// to touch raw stdio.
+  std::vector<std::string> raw_io_allowed_files = {"src/store/io.cpp"};
 };
 
 /// Names of every rule, for --list-rules and suppression validation.
