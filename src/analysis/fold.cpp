@@ -174,4 +174,56 @@ DatasetFold fold_store(const store::DatasetCursor& cursor,
   return fold;
 }
 
+DatasetFold fold_store_scan(const store::DatasetCursor& cursor,
+                            const std::vector<common::Month>& months,
+                            const FoldOptions& options) {
+  // DatasetFold::add reads advertised versions + suites; fingerprinting
+  // additionally hashes extensions/groups/sigalgs.
+  const std::uint32_t fields =
+      options.fingerprints
+          ? store::kFieldAllLists
+          : (store::kFieldAdvVersions | store::kFieldAdvSuites);
+  const auto partials = common::parallel_map(
+      options.threads, cursor.shard_paths(), [&](const std::string& path) {
+        DatasetFold partial;
+        partial.months = months;
+        const store::ShardIndex index = store::read_shard_index(path);
+        store::StringDictionary dict;
+        const bool standalone = index.footer.has_stats;
+        if (standalone) {
+          for (const auto& entry : index.footer.dictionary) {
+            dict.append(entry);
+          }
+        }
+        store::BlockFetcher fetcher(index);
+        store::ProjectedRow row;
+        testbed::PassiveConnectionGroup group;
+        for (std::size_t i = 0; i < index.blocks.size(); ++i) {
+          const common::Bytes payload = fetcher.fetch(i);
+          store::ProjectedBlockCursor block(payload, index.header, fields,
+                                            &dict, standalone);
+          while (block.next(&row)) {
+            net::HandshakeRecord& rec = group.record;
+            rec.device = dict.at(row.device_id);
+            rec.month = row.month;
+            rec.advertised_versions = row.advertised_versions;
+            rec.advertised_suites = row.advertised_suites;
+            rec.extension_types = row.extension_types;
+            rec.advertised_groups = row.advertised_groups;
+            rec.advertised_sigalgs = row.advertised_sigalgs;
+            rec.requested_ocsp_staple = row.requested_ocsp_staple;
+            rec.established_version = row.established_version;
+            rec.established_suite = row.established_suite;
+            group.count = row.count;
+            partial.add(group, options.fingerprints);
+          }
+        }
+        return partial;
+      });
+  DatasetFold fold;
+  fold.months = months;
+  for (const auto& partial : partials) fold.merge(partial);
+  return fold;
+}
+
 }  // namespace iotls::analysis

@@ -95,4 +95,14 @@ DatasetFold fold_store(const store::DatasetCursor& cursor,
                        const std::vector<common::Month>& months,
                        const FoldOptions& options = FoldOptions{});
 
+/// Same fold on the columnar scan path (DESIGN.md §12): shards are
+/// frame-walk indexed and decoded through ProjectedBlockCursor, which
+/// materializes only the list columns the fold reads — advertised versions
+/// and suites; the fingerprint lists stay undecoded unless
+/// FoldOptions::fingerprints asks for them. Byte-identical to fold_store
+/// on every store (with or without block stats) at every thread count.
+DatasetFold fold_store_scan(const store::DatasetCursor& cursor,
+                            const std::vector<common::Month>& months,
+                            const FoldOptions& options = FoldOptions{});
+
 }  // namespace iotls::analysis

@@ -118,9 +118,11 @@ std::vector<VersionSeries> all_version_series(const DatasetFold& fold) {
 std::vector<VersionSeries> all_version_series(
     const store::DatasetCursor& cursor,
     const std::vector<common::Month>& months, std::size_t threads) {
+  // Folded on the columnar scan path: Figs 1-2 read only the advertised
+  // version/suite lists, so three of the five list columns stay undecoded.
   FoldOptions options;
   options.threads = threads;
-  return all_version_series(fold_store(cursor, months, options));
+  return all_version_series(fold_store_scan(cursor, months, options));
 }
 
 double CipherSeries::max_insecure_advertised() const {
@@ -187,7 +189,7 @@ std::vector<CipherSeries> all_cipher_series(
     const std::vector<common::Month>& months, std::size_t threads) {
   FoldOptions options;
   options.threads = threads;
-  return all_cipher_series(fold_store(cursor, months, options));
+  return all_cipher_series(fold_store_scan(cursor, months, options));
 }
 
 std::string render_version_heatmap(const std::vector<VersionSeries>& series,

@@ -1,0 +1,900 @@
+#include "query/expr.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/simtime.hpp"
+#include "common/strings.hpp"
+#include "net/capture.hpp"
+#include "tls/ciphersuite.hpp"
+#include "tls/version.hpp"
+
+namespace iotls::query {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { Word, Str, LParen, RParen, End };
+  Kind kind = Kind::End;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+[[noreturn]] void fail(std::size_t pos, const std::string& message) {
+  throw common::ParseError("filter: " + message + " (at offset " +
+                           std::to_string(pos) + ")");
+}
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({Token::Kind::LParen, "(", i});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({Token::Kind::RParen, ")", i});
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t start = i++;
+      std::string value;
+      while (i < text.size() && text[i] != '"') value.push_back(text[i++]);
+      if (i >= text.size()) fail(start, "unterminated string");
+      ++i;  // closing quote
+      tokens.push_back({Token::Kind::Str, std::move(value), start});
+      continue;
+    }
+    const std::size_t start = i;
+    std::string word;
+    while (i < text.size() && text[i] != '(' && text[i] != ')' &&
+           text[i] != '"' &&
+           std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+      word.push_back(text[i++]);
+    }
+    tokens.push_back({Token::Kind::Word, std::move(word), start});
+  }
+  tokens.push_back({Token::Kind::End, "", text.size()});
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Typed value parsing
+// ---------------------------------------------------------------------------
+
+enum class ColumnKind { Str, Month, Uint, Version, Suite, Bool, Alert, IdList };
+
+struct ColumnSpec {
+  Column column;
+  const char* name;
+  ColumnKind kind;
+};
+
+constexpr ColumnSpec kColumns[] = {
+    {Column::Device, "device", ColumnKind::Str},
+    {Column::Vendor, "vendor", ColumnKind::Str},
+    {Column::Dest, "dest", ColumnKind::Str},
+    {Column::Month, "month", ColumnKind::Month},
+    {Column::Count, "count", ColumnKind::Uint},
+    {Column::Version, "version", ColumnKind::Version},
+    {Column::Cipher, "cipher", ColumnKind::Suite},
+    {Column::Complete, "complete", ColumnKind::Bool},
+    {Column::AppData, "appdata", ColumnKind::Bool},
+    {Column::Sni, "sni", ColumnKind::Bool},
+    {Column::Staple, "staple", ColumnKind::Bool},
+    {Column::Alert, "alert", ColumnKind::Alert},
+    {Column::AdvVersion, "adv_version", ColumnKind::Version},
+    {Column::AdvSuite, "adv_suite", ColumnKind::Suite},
+    {Column::Extension, "extension", ColumnKind::IdList},
+    {Column::Group, "group", ColumnKind::IdList},
+    {Column::Sigalg, "sigalg", ColumnKind::IdList},
+};
+
+const ColumnSpec& spec_of(Column c) {
+  for (const auto& spec : kColumns) {
+    if (spec.column == c) return spec;
+  }
+  throw common::ParseError("filter: unknown column enumerator");
+}
+
+bool is_list_column(Column c) {
+  return c == Column::AdvVersion || c == Column::AdvSuite ||
+         c == Column::Extension || c == Column::Group || c == Column::Sigalg;
+}
+
+std::uint64_t parse_uint(const std::string& text, std::size_t pos,
+                         const char* what) {
+  if (text.empty()) fail(pos, std::string("empty ") + what);
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  int base = 10;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    base = 16;
+    i = 2;
+  }
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    if (digit < 0) {
+      fail(pos, std::string("bad ") + what + " '" + text + "'");
+    }
+    if (value > (0x7FFFFFFFFFFFFFFFull - static_cast<std::uint64_t>(digit)) /
+                    static_cast<std::uint64_t>(base)) {
+      fail(pos, std::string(what) + " '" + text + "' out of range");
+    }
+    value = value * static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+std::uint64_t parse_month_value(const std::string& text, std::size_t pos) {
+  const auto parts = common::split(text, '-');
+  if (parts.size() != 2) fail(pos, "bad month '" + text + "' (want YYYY-MM)");
+  const std::uint64_t year = parse_uint(parts[0], pos, "month year");
+  const std::uint64_t month = parse_uint(parts[1], pos, "month number");
+  if (year < 1 || year > 9999 || month < 1 || month > 12) {
+    fail(pos, "month '" + text + "' out of range");
+  }
+  const common::Month m{static_cast<int>(year), static_cast<int>(month)};
+  return static_cast<std::uint64_t>(m.index());
+}
+
+/// "tls1.2" / "1.2" / "ssl3.0" / "3.0" (case-insensitive, spaces ignored)
+/// → wire code; "none" → nullopt-marker via `is_none`.
+bool parse_version_value(const std::string& text, std::size_t pos,
+                         bool allow_none, std::uint64_t* wire,
+                         bool* is_none) {
+  std::string t;
+  for (const char c : common::to_lower(text)) {
+    if (c != ' ') t.push_back(c);
+  }
+  if (t == "none") {
+    if (!allow_none) fail(pos, "'none' is not a valid advertised version");
+    *is_none = true;
+    return true;
+  }
+  if (common::starts_with(t, "tls")) t = t.substr(3);
+  else if (common::starts_with(t, "ssl")) t = t.substr(3);
+  if (t == "3.0") *wire = 0x0300;
+  else if (t == "1.0") *wire = 0x0301;
+  else if (t == "1.1") *wire = 0x0302;
+  else if (t == "1.2") *wire = 0x0303;
+  else if (t == "1.3") *wire = 0x0304;
+  else fail(pos, "bad protocol version '" + text + "'");
+  return true;
+}
+
+std::uint64_t parse_suite_value(const std::string& text, std::size_t pos,
+                                bool allow_none, bool* is_none) {
+  if (common::to_lower(text) == "none") {
+    if (!allow_none) fail(pos, "'none' is not a valid advertised suite");
+    *is_none = true;
+    return 0;
+  }
+  if (const tls::CipherSuiteInfo* info = tls::suite_by_name(text)) {
+    return info->id;
+  }
+  const char first = text.empty() ? '\0' : text[0];
+  if (first >= '0' && first <= '9') {
+    const std::uint64_t id = parse_uint(text, pos, "ciphersuite id");
+    if (id > 0xFFFF) fail(pos, "ciphersuite id '" + text + "' out of range");
+    return id;
+  }
+  fail(pos, "unknown ciphersuite '" + text + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Expr parse() {
+    Expr expr = parse_or();
+    if (peek().kind != Token::Kind::End) {
+      fail(peek().pos, "unexpected '" + peek().text + "'");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[idx_]; }
+  const Token& take() { return tokens_[idx_++]; }
+
+  bool take_word(const char* word) {
+    if (peek().kind == Token::Kind::Word && peek().text == word) {
+      ++idx_;
+      return true;
+    }
+    return false;
+  }
+
+  Expr parse_or() {
+    Expr first = parse_and();
+    if (!(peek().kind == Token::Kind::Word && peek().text == "or")) {
+      return first;
+    }
+    Expr expr;
+    expr.kind = Expr::Kind::Or;
+    expr.children.push_back(std::move(first));
+    while (take_word("or")) expr.children.push_back(parse_and());
+    return expr;
+  }
+
+  Expr parse_and() {
+    Expr first = parse_unary();
+    if (!(peek().kind == Token::Kind::Word && peek().text == "and")) {
+      return first;
+    }
+    Expr expr;
+    expr.kind = Expr::Kind::And;
+    expr.children.push_back(std::move(first));
+    while (take_word("and")) expr.children.push_back(parse_unary());
+    return expr;
+  }
+
+  Expr parse_unary() {
+    if (take_word("not")) {
+      Expr expr;
+      expr.kind = Expr::Kind::Not;
+      expr.children.push_back(parse_unary());
+      return expr;
+    }
+    if (peek().kind == Token::Kind::LParen) {
+      ++idx_;
+      Expr expr = parse_or();
+      if (peek().kind != Token::Kind::RParen) {
+        fail(peek().pos, "expected ')'");
+      }
+      ++idx_;
+      return expr;
+    }
+    if (take_word("true")) {
+      return Expr{};  // Kind::True
+    }
+    return parse_predicate();
+  }
+
+  Expr parse_predicate() {
+    const Token& col_tok = take();
+    if (col_tok.kind != Token::Kind::Word) {
+      fail(col_tok.pos, "expected a column name");
+    }
+    Predicate pred;
+    pred.column = column_by_name(col_tok.text);
+
+    const Token& op_tok = take();
+    if (op_tok.kind != Token::Kind::Word) {
+      fail(op_tok.pos, "expected a comparison operator");
+    }
+    if (op_tok.text == "==") pred.op = CmpOp::Eq;
+    else if (op_tok.text == "!=") pred.op = CmpOp::Ne;
+    else if (op_tok.text == "<") pred.op = CmpOp::Lt;
+    else if (op_tok.text == "<=") pred.op = CmpOp::Le;
+    else if (op_tok.text == ">") pred.op = CmpOp::Gt;
+    else if (op_tok.text == ">=") pred.op = CmpOp::Ge;
+    else if (op_tok.text == "contains") pred.op = CmpOp::Contains;
+    else fail(op_tok.pos, "bad operator '" + op_tok.text + "'");
+
+    if (is_list_column(pred.column) != (pred.op == CmpOp::Contains)) {
+      fail(op_tok.pos, is_list_column(pred.column)
+                           ? "list column '" + col_tok.text +
+                                 "' supports only 'contains'"
+                           : "'contains' needs a list column, not '" +
+                                 col_tok.text + "'");
+    }
+
+    const Token& val_tok = take();
+    if (val_tok.kind != Token::Kind::Word &&
+        val_tok.kind != Token::Kind::Str) {
+      fail(val_tok.pos, "expected a value");
+    }
+    const ColumnKind kind = spec_of(pred.column).kind;
+    switch (kind) {
+      case ColumnKind::Str:
+        pred.str_value = val_tok.text;
+        if (pred.column == Column::Vendor && pred.op != CmpOp::Eq &&
+            pred.op != CmpOp::Ne) {
+          fail(op_tok.pos, "vendor supports only == and !=");
+        }
+        break;
+      case ColumnKind::Month:
+        pred.num_value = parse_month_value(val_tok.text, val_tok.pos);
+        break;
+      case ColumnKind::Uint:
+        pred.num_value = parse_uint(val_tok.text, val_tok.pos, "count");
+        break;
+      case ColumnKind::Version:
+        parse_version_value(val_tok.text, val_tok.pos,
+                            pred.column == Column::Version, &pred.num_value,
+                            &pred.is_none);
+        break;
+      case ColumnKind::Suite:
+        pred.num_value = parse_suite_value(
+            val_tok.text, val_tok.pos, pred.column == Column::Cipher,
+            &pred.is_none);
+        if (pred.column == Column::Cipher && pred.op != CmpOp::Eq &&
+            pred.op != CmpOp::Ne) {
+          fail(op_tok.pos, "cipher supports only == and !=");
+        }
+        break;
+      case ColumnKind::Bool: {
+        const std::string t = common::to_lower(val_tok.text);
+        if (t == "true") pred.num_value = 1;
+        else if (t == "false") pred.num_value = 0;
+        else fail(val_tok.pos, "bad boolean '" + val_tok.text + "'");
+        if (pred.op != CmpOp::Eq && pred.op != CmpOp::Ne) {
+          fail(op_tok.pos, "boolean columns support only == and !=");
+        }
+        break;
+      }
+      case ColumnKind::Alert: {
+        const std::string t = common::to_lower(val_tok.text);
+        if (t == "none") pred.num_value = 0;
+        else if (t == "client") pred.num_value = 1;
+        else if (t == "server") pred.num_value = 2;
+        else fail(val_tok.pos, "bad alert direction '" + val_tok.text + "'");
+        if (pred.op != CmpOp::Eq && pred.op != CmpOp::Ne) {
+          fail(op_tok.pos, "alert supports only == and !=");
+        }
+        break;
+      }
+      case ColumnKind::IdList:
+        pred.num_value = parse_uint(val_tok.text, val_tok.pos, "id");
+        if (pred.num_value > 0xFFFF) {
+          fail(val_tok.pos, "id '" + val_tok.text + "' out of u16 range");
+        }
+        break;
+    }
+    if (pred.is_none && pred.op != CmpOp::Eq && pred.op != CmpOp::Ne) {
+      fail(op_tok.pos, "'none' supports only == and !=");
+    }
+    Expr expr;
+    expr.kind = Expr::Kind::Pred;
+    expr.pred = pred;
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t idx_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+const char* op_text(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq: return "==";
+    case CmpOp::Ne: return "!=";
+    case CmpOp::Lt: return "<";
+    case CmpOp::Le: return "<=";
+    case CmpOp::Gt: return ">";
+    case CmpOp::Ge: return ">=";
+    case CmpOp::Contains: return "contains";
+  }
+  return "?";
+}
+
+std::string value_text(const Predicate& pred) {
+  switch (spec_of(pred.column).kind) {
+    case ColumnKind::Str:
+      return "\"" + pred.str_value + "\"";
+    case ColumnKind::Month:
+      return common::Month::from_index(static_cast<int>(pred.num_value))
+          .str();
+    case ColumnKind::Uint:
+    case ColumnKind::IdList:
+      return std::to_string(pred.num_value);
+    case ColumnKind::Version:
+      return pred.is_none ? "none" : version_token(pred.num_value);
+    case ColumnKind::Suite:
+      return pred.is_none
+                 ? "none"
+                 : tls::suite_name(static_cast<std::uint16_t>(pred.num_value));
+    case ColumnKind::Bool:
+      return pred.num_value != 0 ? "true" : "false";
+    case ColumnKind::Alert:
+      return pred.num_value == 0 ? "none"
+                                 : (pred.num_value == 1 ? "client" : "server");
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation helpers
+// ---------------------------------------------------------------------------
+
+template <typename T>
+bool cmp(const T& lhs, CmpOp op, const T& rhs) {
+  switch (op) {
+    case CmpOp::Eq: return lhs == rhs;
+    case CmpOp::Ne: return lhs != rhs;
+    case CmpOp::Lt: return lhs < rhs;
+    case CmpOp::Le: return lhs <= rhs;
+    case CmpOp::Gt: return lhs > rhs;
+    case CmpOp::Ge: return lhs >= rhs;
+    case CmpOp::Contains: break;
+  }
+  throw common::ParseError("filter: contains reached scalar comparison");
+}
+
+bool contains_u16(const std::vector<std::uint16_t>& list, std::uint64_t id) {
+  return std::find(list.begin(), list.end(),
+                   static_cast<std::uint16_t>(id)) != list.end();
+}
+
+/// Optional scalar vs constant: rows without a value match only !=.
+template <typename T>
+bool cmp_optional(const std::optional<T>& value, CmpOp op, std::uint64_t rhs,
+                  bool rhs_none) {
+  if (rhs_none) {
+    return op == CmpOp::Eq ? !value.has_value() : value.has_value();
+  }
+  if (!value.has_value()) return op == CmpOp::Ne;
+  return cmp<std::uint64_t>(static_cast<std::uint64_t>(*value), op, rhs);
+}
+
+Tri tri_invert(Tri t) {
+  if (t == Tri::No) return Tri::Yes;
+  if (t == Tri::Yes) return Tri::No;
+  return Tri::Maybe;
+}
+
+/// Verdict when every row's value lies in [min, max].
+template <typename T>
+Tri tri_range(const T& min, const T& max, CmpOp op, const T& c) {
+  switch (op) {
+    case CmpOp::Eq:
+      if (c < min || c > max) return Tri::No;
+      return (min == max && min == c) ? Tri::Yes : Tri::Maybe;
+    case CmpOp::Ne:
+      return tri_invert(tri_range(min, max, CmpOp::Eq, c));
+    case CmpOp::Lt:
+      if (max < c) return Tri::Yes;
+      if (min >= c) return Tri::No;
+      return Tri::Maybe;
+    case CmpOp::Le:
+      if (max <= c) return Tri::Yes;
+      if (min > c) return Tri::No;
+      return Tri::Maybe;
+    case CmpOp::Gt:
+      if (min > c) return Tri::Yes;
+      if (max <= c) return Tri::No;
+      return Tri::Maybe;
+    case CmpOp::Ge:
+      if (min >= c) return Tri::Yes;
+      if (max < c) return Tri::No;
+      return Tri::Maybe;
+    case CmpOp::Contains:
+      break;
+  }
+  return Tri::Maybe;
+}
+
+/// Verdict for an occurrence-pair: `seen` = some row matches, `other` =
+/// some row does not.
+Tri tri_pair(bool seen, bool other) {
+  if (!seen) return Tri::No;
+  if (!other) return Tri::Yes;
+  return Tri::Maybe;
+}
+
+Tri eval_pred_stats(const Predicate& pred, const store::BlockStats& s,
+                    const std::vector<std::string>& dict) {
+  using store::BlockStats;
+  const auto dict_str = [&](std::uint32_t id) -> const std::string* {
+    return id < dict.size() ? &dict[id] : nullptr;
+  };
+  switch (pred.column) {
+    case Column::Device:
+    case Column::Dest: {
+      const bool device = pred.column == Column::Device;
+      const std::string* min =
+          dict_str(device ? s.device_min_id : s.dest_min_id);
+      const std::string* max =
+          dict_str(device ? s.device_max_id : s.dest_max_id);
+      if (min == nullptr || max == nullptr) return Tri::Maybe;
+      return tri_range(*min, *max, pred.op, pred.str_value);
+    }
+    case Column::Vendor: {
+      const std::string* min = dict_str(s.device_min_id);
+      const std::string* max = dict_str(s.device_max_id);
+      if (min == nullptr || max == nullptr) return Tri::Maybe;
+      const std::string& v = pred.str_value;
+      // Devices with vendor v sort within [v, v + 0xFF): disjointness is a
+      // definite No. Definite Yes needs every device between min and max to
+      // start with "v " (a shared prefix one past the vendor), or a
+      // single-device block whose vendor matches.
+      Tri eq = Tri::Maybe;
+      const std::string upper = v + '\xff';
+      if (*max < v || *min > upper) {
+        eq = Tri::No;
+      } else if (*min == *max) {
+        eq = vendor_of(*min) == v ? Tri::Yes : Tri::No;
+      } else if (common::starts_with(*min, v + " ") &&
+                 common::starts_with(*max, v + " ")) {
+        eq = Tri::Yes;
+      }
+      return pred.op == CmpOp::Eq ? eq : tri_invert(eq);
+    }
+    case Column::Month:
+      return tri_range<std::uint64_t>(s.month_min, s.month_max, pred.op,
+                                      pred.num_value);
+    case Column::Count:
+      return tri_range<std::uint64_t>(s.count_min, s.count_max, pred.op,
+                                      pred.num_value);
+    case Column::Version: {
+      const std::uint8_t value_bits =
+          static_cast<std::uint8_t>(s.est_version_mask & 0x3F);
+      if (pred.is_none) {
+        const Tri eq = tri_pair((value_bits & BlockStats::kEstNoneBit) != 0,
+                                (value_bits & 0x1F) != 0);
+        return pred.op == CmpOp::Eq ? eq : tri_invert(eq);
+      }
+      if (pred.op == CmpOp::Eq || pred.op == CmpOp::Ne) {
+        const std::uint8_t bit = static_cast<std::uint8_t>(
+            1u << (pred.num_value - 0x0300));
+        const Tri eq =
+            tri_pair((value_bits & bit) != 0, (value_bits & ~bit & 0x3F) != 0);
+        return pred.op == CmpOp::Eq ? eq : tri_invert(eq);
+      }
+      // Ordered: rows without an established version never match.
+      bool any_match = false;
+      bool all_match = (value_bits & BlockStats::kEstNoneBit) == 0;
+      bool any_version = false;
+      for (std::uint32_t b = 0; b <= 4; ++b) {
+        if ((value_bits & (1u << b)) == 0) continue;
+        any_version = true;
+        const std::uint64_t wire = 0x0300 + b;
+        if (cmp<std::uint64_t>(wire, pred.op, pred.num_value)) {
+          any_match = true;
+        } else {
+          all_match = false;
+        }
+      }
+      if (!any_match) return Tri::No;
+      if (all_match && any_version) return Tri::Yes;
+      return Tri::Maybe;
+    }
+    case Column::Cipher: {
+      const bool some_suite =
+          (s.est_version_mask & BlockStats::kEstSuiteBit) != 0;
+      const bool some_without =
+          (s.est_version_mask & BlockStats::kEstNoSuiteBit) != 0;
+      Tri eq = Tri::Maybe;
+      if (pred.is_none) {
+        eq = tri_pair(some_without, some_suite);
+      } else if (!some_suite || pred.num_value < s.est_suite_min ||
+                 pred.num_value > s.est_suite_max) {
+        eq = Tri::No;
+      } else if (!some_without && s.est_suite_min == s.est_suite_max &&
+                 s.est_suite_min == pred.num_value) {
+        eq = Tri::Yes;
+      }
+      return pred.op == CmpOp::Eq ? eq : tri_invert(eq);
+    }
+    case Column::Complete:
+    case Column::AppData:
+    case Column::Sni:
+    case Column::Staple: {
+      int pair = 0;
+      if (pred.column == Column::AppData) pair = 1;
+      if (pred.column == Column::Sni) pair = 2;
+      if (pred.column == Column::Staple) pair = 3;
+      const bool want = pred.num_value != 0;
+      const std::uint8_t true_bit =
+          static_cast<std::uint8_t>(1u << (2 * pair));
+      const std::uint8_t false_bit =
+          static_cast<std::uint8_t>(1u << (2 * pair + 1));
+      const bool match_seen = (s.bool_mask & (want ? true_bit : false_bit));
+      const bool other_seen = (s.bool_mask & (want ? false_bit : true_bit));
+      const Tri eq = tri_pair(match_seen, other_seen);
+      return pred.op == CmpOp::Eq ? eq : tri_invert(eq);
+    }
+    case Column::Alert: {
+      const std::uint8_t bit =
+          static_cast<std::uint8_t>(1u << pred.num_value);
+      const Tri eq = tri_pair((s.alert_dir_mask & bit) != 0,
+                              (s.alert_dir_mask & ~bit & 0x7) != 0);
+      return pred.op == CmpOp::Eq ? eq : tri_invert(eq);
+    }
+    case Column::AdvVersion: {
+      const std::uint8_t bit = static_cast<std::uint8_t>(
+          1u << (pred.num_value - 0x0300));
+      // Union mask: an unset bit means no row advertises it; a set bit
+      // means *some* row does.
+      return (s.adv_version_mask & bit) != 0 ? Tri::Maybe : Tri::No;
+    }
+    case Column::AdvSuite: {
+      const std::uint64_t bit = 1ull << (pred.num_value % 64);
+      return (s.suite_bloom & bit) != 0 ? Tri::Maybe : Tri::No;
+    }
+    case Column::Extension:
+    case Column::Group:
+    case Column::Sigalg:
+      return Tri::Maybe;  // no summaries for these lists
+  }
+  return Tri::Maybe;
+}
+
+// ---------------------------------------------------------------------------
+// Row / group evaluation (two independent walks — see header)
+// ---------------------------------------------------------------------------
+
+bool eval_pred_group(const Predicate& pred,
+                     const testbed::PassiveConnectionGroup& g) {
+  const net::HandshakeRecord& r = g.record;
+  switch (pred.column) {
+    case Column::Device: return cmp(r.device, pred.op, pred.str_value);
+    case Column::Vendor:
+      return cmp(vendor_of(r.device), pred.op, pred.str_value);
+    case Column::Dest: return cmp(r.destination, pred.op, pred.str_value);
+    case Column::Month:
+      return cmp<std::uint64_t>(static_cast<std::uint64_t>(r.month.index()),
+                                pred.op, pred.num_value);
+    case Column::Count:
+      return cmp<std::uint64_t>(g.count, pred.op, pred.num_value);
+    case Column::Version: {
+      std::optional<std::uint16_t> wire;
+      if (r.established_version.has_value()) {
+        wire = static_cast<std::uint16_t>(*r.established_version);
+      }
+      return cmp_optional(wire, pred.op, pred.num_value, pred.is_none);
+    }
+    case Column::Cipher:
+      return cmp_optional(r.established_suite, pred.op, pred.num_value,
+                          pred.is_none);
+    case Column::Complete:
+      return cmp<std::uint64_t>(r.handshake_complete ? 1 : 0, pred.op,
+                                pred.num_value);
+    case Column::AppData:
+      return cmp<std::uint64_t>(r.application_data_seen ? 1 : 0, pred.op,
+                                pred.num_value);
+    case Column::Sni:
+      return cmp<std::uint64_t>(r.sent_sni ? 1 : 0, pred.op, pred.num_value);
+    case Column::Staple:
+      return cmp<std::uint64_t>(r.requested_ocsp_staple ? 1 : 0, pred.op,
+                                pred.num_value);
+    case Column::Alert:
+      return cmp<std::uint64_t>(
+          static_cast<std::uint64_t>(r.first_fatal_alert_direction), pred.op,
+          pred.num_value);
+    case Column::AdvVersion:
+      return std::any_of(r.advertised_versions.begin(),
+                         r.advertised_versions.end(),
+                         [&](tls::ProtocolVersion v) {
+                           return static_cast<std::uint64_t>(v) ==
+                                  pred.num_value;
+                         });
+    case Column::AdvSuite: return contains_u16(r.advertised_suites,
+                                               pred.num_value);
+    case Column::Extension: return contains_u16(r.extension_types,
+                                                pred.num_value);
+    case Column::Group: return contains_u16(r.advertised_groups,
+                                            pred.num_value);
+    case Column::Sigalg: return contains_u16(r.advertised_sigalgs,
+                                             pred.num_value);
+  }
+  return false;
+}
+
+bool eval_pred_row(const Predicate& pred, const store::ProjectedRow& row,
+                   const store::StringDictionary& dict) {
+  switch (pred.column) {
+    case Column::Device: return cmp(dict.at(row.device_id), pred.op,
+                                    pred.str_value);
+    case Column::Vendor:
+      return cmp(vendor_of(dict.at(row.device_id)), pred.op, pred.str_value);
+    case Column::Dest: return cmp(dict.at(row.dest_id), pred.op,
+                                  pred.str_value);
+    case Column::Month:
+      return cmp<std::uint64_t>(
+          static_cast<std::uint64_t>(row.month.index()), pred.op,
+          pred.num_value);
+    case Column::Count:
+      return cmp<std::uint64_t>(row.count, pred.op, pred.num_value);
+    case Column::Version: {
+      std::optional<std::uint16_t> wire;
+      if (row.established_version.has_value()) {
+        wire = static_cast<std::uint16_t>(*row.established_version);
+      }
+      return cmp_optional(wire, pred.op, pred.num_value, pred.is_none);
+    }
+    case Column::Cipher:
+      return cmp_optional(row.established_suite, pred.op, pred.num_value,
+                          pred.is_none);
+    case Column::Complete:
+      return cmp<std::uint64_t>(row.handshake_complete ? 1 : 0, pred.op,
+                                pred.num_value);
+    case Column::AppData:
+      return cmp<std::uint64_t>(row.application_data_seen ? 1 : 0, pred.op,
+                                pred.num_value);
+    case Column::Sni:
+      return cmp<std::uint64_t>(row.sent_sni ? 1 : 0, pred.op,
+                                pred.num_value);
+    case Column::Staple:
+      return cmp<std::uint64_t>(row.requested_ocsp_staple ? 1 : 0, pred.op,
+                                pred.num_value);
+    case Column::Alert:
+      return cmp<std::uint64_t>(
+          static_cast<std::uint64_t>(row.alert_direction), pred.op,
+          pred.num_value);
+    case Column::AdvVersion:
+      return std::any_of(row.advertised_versions.begin(),
+                         row.advertised_versions.end(),
+                         [&](tls::ProtocolVersion v) {
+                           return static_cast<std::uint64_t>(v) ==
+                                  pred.num_value;
+                         });
+    case Column::AdvSuite: return contains_u16(row.advertised_suites,
+                                               pred.num_value);
+    case Column::Extension: return contains_u16(row.extension_types,
+                                                pred.num_value);
+    case Column::Group: return contains_u16(row.advertised_groups,
+                                            pred.num_value);
+    case Column::Sigalg: return contains_u16(row.advertised_sigalgs,
+                                             pred.num_value);
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+Expr parse_expr(const std::string& text) {
+  if (common::trim(text).empty()) return Expr{};
+  return Parser(tokenize(text)).parse();
+}
+
+std::string to_string(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::True:
+      return "true";
+    case Expr::Kind::Pred:
+      return std::string(column_name(expr.pred.column)) + " " +
+             op_text(expr.pred.op) + " " + value_text(expr.pred);
+    case Expr::Kind::Not:
+      return "(not " + to_string(expr.children[0]) + ")";
+    case Expr::Kind::And:
+    case Expr::Kind::Or: {
+      const char* word = expr.kind == Expr::Kind::And ? " and " : " or ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        if (i != 0) out += word;
+        out += to_string(expr.children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "true";
+}
+
+std::uint32_t fields_needed(const Expr& expr) {
+  std::uint32_t fields = 0;
+  if (expr.kind == Expr::Kind::Pred) {
+    switch (expr.pred.column) {
+      case Column::AdvVersion: fields |= store::kFieldAdvVersions; break;
+      case Column::AdvSuite: fields |= store::kFieldAdvSuites; break;
+      case Column::Extension: fields |= store::kFieldExtensions; break;
+      case Column::Group: fields |= store::kFieldAdvGroups; break;
+      case Column::Sigalg: fields |= store::kFieldAdvSigalgs; break;
+      default: break;
+    }
+  }
+  for (const Expr& child : expr.children) fields |= fields_needed(child);
+  return fields;
+}
+
+std::string vendor_of(const std::string& device) {
+  const std::size_t space = device.find(' ');
+  return space == std::string::npos ? device : device.substr(0, space);
+}
+
+Column column_by_name(const std::string& name) {
+  for (const auto& spec : kColumns) {
+    if (name == spec.name) return spec.column;
+  }
+  throw common::ParseError("filter: unknown column '" + name + "'");
+}
+
+std::string column_name(Column c) { return spec_of(c).name; }
+
+std::string version_token(std::uint64_t wire) {
+  switch (wire) {
+    case 0x0300: return "ssl3.0";
+    case 0x0301: return "tls1.0";
+    case 0x0302: return "tls1.1";
+    case 0x0303: return "tls1.2";
+    case 0x0304: return "tls1.3";
+  }
+  return "unknown";
+}
+
+bool eval_group(const Expr& expr, const testbed::PassiveConnectionGroup& g) {
+  switch (expr.kind) {
+    case Expr::Kind::True: return true;
+    case Expr::Kind::Pred: return eval_pred_group(expr.pred, g);
+    case Expr::Kind::Not: return !eval_group(expr.children[0], g);
+    case Expr::Kind::And:
+      return std::all_of(expr.children.begin(), expr.children.end(),
+                         [&](const Expr& e) { return eval_group(e, g); });
+    case Expr::Kind::Or:
+      return std::any_of(expr.children.begin(), expr.children.end(),
+                         [&](const Expr& e) { return eval_group(e, g); });
+  }
+  return false;
+}
+
+bool eval_row(const Expr& expr, const store::ProjectedRow& row,
+              const store::StringDictionary& dict) {
+  switch (expr.kind) {
+    case Expr::Kind::True: return true;
+    case Expr::Kind::Pred: return eval_pred_row(expr.pred, row, dict);
+    case Expr::Kind::Not: return !eval_row(expr.children[0], row, dict);
+    case Expr::Kind::And:
+      return std::all_of(expr.children.begin(), expr.children.end(),
+                         [&](const Expr& e) { return eval_row(e, row, dict); });
+    case Expr::Kind::Or:
+      return std::any_of(expr.children.begin(), expr.children.end(),
+                         [&](const Expr& e) { return eval_row(e, row, dict); });
+  }
+  return false;
+}
+
+Tri eval_stats(const Expr& expr, const store::BlockStats& stats,
+               const std::vector<std::string>& dictionary) {
+  switch (expr.kind) {
+    case Expr::Kind::True:
+      return Tri::Yes;
+    case Expr::Kind::Pred:
+      return eval_pred_stats(expr.pred, stats, dictionary);
+    case Expr::Kind::Not:
+      return tri_invert(eval_stats(expr.children[0], stats, dictionary));
+    case Expr::Kind::And: {
+      Tri verdict = Tri::Yes;
+      for (const Expr& child : expr.children) {
+        const Tri t = eval_stats(child, stats, dictionary);
+        if (static_cast<int>(t) < static_cast<int>(verdict)) verdict = t;
+        if (verdict == Tri::No) break;
+      }
+      return verdict;
+    }
+    case Expr::Kind::Or: {
+      Tri verdict = Tri::No;
+      for (const Expr& child : expr.children) {
+        const Tri t = eval_stats(child, stats, dictionary);
+        if (static_cast<int>(t) > static_cast<int>(verdict)) verdict = t;
+        if (verdict == Tri::Yes) break;
+      }
+      return verdict;
+    }
+  }
+  return Tri::Maybe;
+}
+
+}  // namespace iotls::query

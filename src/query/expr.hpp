@@ -1,0 +1,115 @@
+// Filter expressions for the columnar query layer (DESIGN.md §12).
+//
+// A small boolean language over the capture store's columns:
+//
+//   expr  := or ; or := and ("or" and)* ; and := unary ("and" unary)*
+//   unary := "not" unary | "(" expr ")" | column op value
+//   op    := == != < <= > >= contains
+//
+// Values are barewords or double-quoted strings; comparisons are typed at
+// parse time against the column (months parse as "2018-01", versions as
+// "tls1.2"/"none", ciphers as IANA names or 0x-hex ids, bools as
+// true/false). The same parsed expression evaluates three ways:
+//
+//   eval_row    — scan path, against a ProjectedRow + dictionary
+//   eval_group  — oracle path, against a decoded PassiveConnectionGroup
+//   eval_stats  — pushdown, a *conservative* tri-state verdict against one
+//                 block's BlockStats: No means no row in the block can
+//                 match (skip it), Yes means every row matches, Maybe
+//                 means the block must be read.
+//
+// eval_row and eval_group are deliberately independent code paths over
+// different row types — the differential query suite asserts they agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/codec.hpp"
+#include "testbed/longitudinal.hpp"
+
+namespace iotls::query {
+
+/// Queryable columns. Scalar columns support the ordered operators; list
+/// columns (AdvVersion..Sigalg) support only `contains`.
+enum class Column {
+  Device,
+  Vendor,   // first whitespace-delimited token of the device name
+  Dest,
+  Month,
+  Count,
+  Version,  // established protocol version, or "none"
+  Cipher,   // established ciphersuite, or "none"
+  Complete,
+  AppData,
+  Sni,
+  Staple,
+  Alert,    // first fatal alert direction: none / client / server
+  AdvVersion,
+  AdvSuite,
+  Extension,
+  Group,
+  Sigalg,
+};
+
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge, Contains };
+
+/// One typed comparison. Exactly one of the constant fields is meaningful,
+/// chosen by the column's kind at parse time.
+struct Predicate {
+  Column column = Column::Device;
+  CmpOp op = CmpOp::Eq;
+  std::string str_value;          // Device / Vendor / Dest
+  std::uint64_t num_value = 0;    // everything numeric (month = index)
+  bool is_none = false;           // Version / Cipher "none"
+};
+
+/// Expression tree. `True` is the empty filter (matches everything).
+struct Expr {
+  enum class Kind { True, Pred, And, Or, Not };
+  Kind kind = Kind::True;
+  Predicate pred;               // Kind::Pred
+  std::vector<Expr> children;   // And / Or (2+), Not (1)
+};
+
+/// Parse a filter; an empty/blank string yields the match-all expression.
+/// Throws common::ParseError with a position-annotated message on bad
+/// syntax, an unknown column, an operator a column does not support, or an
+/// unparseable value.
+Expr parse_expr(const std::string& text);
+
+/// Canonical text form (fully parenthesized) — the normalized predicate
+/// line of a query plan. parse_expr(to_string(e)) round-trips.
+std::string to_string(const Expr& expr);
+
+/// Bitwise-or of the store::ProjectedFields the expression needs
+/// materialized (list columns it touches).
+std::uint32_t fields_needed(const Expr& expr);
+
+/// Column helpers shared by the scan, the oracle and the renderers.
+std::string vendor_of(const std::string& device);
+Column column_by_name(const std::string& name);   // throws ParseError
+std::string column_name(Column c);
+
+/// Canonical short form of a protocol version ("tls1.2", "ssl3.0") — the
+/// token the parser accepts and the renderers emit.
+std::string version_token(std::uint64_t wire);
+
+/// Oracle-side evaluation over a fully decoded group.
+bool eval_group(const Expr& expr, const testbed::PassiveConnectionGroup& g);
+
+/// Scan-side evaluation over a projected row. Only the list columns named
+/// by fields_needed() may be touched; strings resolve through `dict`.
+bool eval_row(const Expr& expr, const store::ProjectedRow& row,
+              const store::StringDictionary& dict);
+
+/// Conservative block verdict for predicate pushdown.
+enum class Tri { No, Maybe, Yes };
+
+/// Evaluate the expression against one block's summaries. `dictionary` is
+/// the shard's footer dictionary (resolves the min/max string ids).
+Tri eval_stats(const Expr& expr, const store::BlockStats& stats,
+               const std::vector<std::string>& dictionary);
+
+}  // namespace iotls::query

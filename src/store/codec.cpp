@@ -176,6 +176,33 @@ const std::string& StringDictionary::at(std::uint32_t id) const {
   return by_id_[id];
 }
 
+std::uint8_t version_stats_bit(tls::ProtocolVersion v) {
+  return static_cast<std::uint8_t>(static_cast<std::uint16_t>(v) - 0x0300);
+}
+
+namespace {
+
+/// Update a (id, string) lexicographic min/max pair.
+void track_string(const std::string& text, std::uint32_t id, bool first,
+                  std::string* min_text, std::uint32_t* min_id,
+                  std::string* max_text, std::uint32_t* max_id) {
+  if (first || text < *min_text) {
+    *min_text = text;
+    *min_id = id;
+  }
+  if (first || text > *max_text) {
+    *max_text = text;
+    *max_id = id;
+  }
+}
+
+/// (true-seen, false-seen) bit pair for boolean column `column` (0-3).
+std::uint8_t bool_pair_bit(int column, bool value) {
+  return static_cast<std::uint8_t>(1u << (2 * column + (value ? 0 : 1)));
+}
+
+}  // namespace
+
 void BlockEncoder::add(const testbed::PassiveConnectionGroup& group,
                        StringDictionary* dict) {
   if (fresh_) {
@@ -183,8 +210,54 @@ void BlockEncoder::add(const testbed::PassiveConnectionGroup& group,
     fresh_ = false;
   }
   const auto& r = group.record;
-  put_varint(&body_, dict->intern(r.device));
-  put_varint(&body_, dict->intern(r.destination));
+  const std::uint32_t device_id = dict->intern(r.device);
+  const std::uint32_t dest_id = dict->intern(r.destination);
+  if (stats_enabled_) {
+    BlockStats& s = pending_stats_;
+    const bool first = s.groups == 0;
+    track_string(r.device, device_id, first, &device_min_, &s.device_min_id,
+                 &device_max_, &s.device_max_id);
+    track_string(r.destination, dest_id, first, &dest_min_, &s.dest_min_id,
+                 &dest_max_, &s.dest_max_id);
+    const auto month_index = static_cast<std::uint32_t>(r.month.index());
+    if (first || month_index < s.month_min) s.month_min = month_index;
+    if (first || month_index > s.month_max) s.month_max = month_index;
+    if (first || group.count < s.count_min) s.count_min = group.count;
+    if (first || group.count > s.count_max) s.count_max = group.count;
+    for (const auto v : r.advertised_versions) {
+      s.adv_version_mask |= static_cast<std::uint8_t>(1u
+                                                      << version_stats_bit(v));
+    }
+    for (const auto suite : r.advertised_suites) {
+      s.suite_bloom |= 1ull << (suite % 64);
+    }
+    if (r.established_version.has_value()) {
+      s.est_version_mask |= static_cast<std::uint8_t>(
+          1u << version_stats_bit(*r.established_version));
+    } else {
+      s.est_version_mask |= BlockStats::kEstNoneBit;
+    }
+    if (r.established_suite.has_value()) {
+      s.est_version_mask |= BlockStats::kEstSuiteBit;
+      if (*r.established_suite < s.est_suite_min) {
+        s.est_suite_min = *r.established_suite;
+      }
+      if (*r.established_suite > s.est_suite_max) {
+        s.est_suite_max = *r.established_suite;
+      }
+    } else {
+      s.est_version_mask |= BlockStats::kEstNoSuiteBit;
+    }
+    s.bool_mask |= bool_pair_bit(0, r.handshake_complete);
+    s.bool_mask |= bool_pair_bit(1, r.application_data_seen);
+    s.bool_mask |= bool_pair_bit(2, r.sent_sni);
+    s.bool_mask |= bool_pair_bit(3, r.requested_ocsp_staple);
+    s.alert_dir_mask |= static_cast<std::uint8_t>(
+        1u << static_cast<int>(r.first_fatal_alert_direction));
+    ++s.groups;
+  }
+  put_varint(&body_, device_id);
+  put_varint(&body_, dest_id);
   put_svarint(&body_, r.month.index() - prev_month_index_);
   prev_month_index_ = r.month.index();
   put_varint(&body_, group.count);
@@ -237,12 +310,21 @@ common::Bytes BlockEncoder::finish(StringDictionary* dict) {
   body_.clear();
   count_ = 0;
   fresh_ = true;
+  if (stats_enabled_) {
+    last_stats_ = pending_stats_;
+    pending_stats_ = BlockStats{};
+    device_min_.clear();
+    device_max_.clear();
+    dest_min_.clear();
+    dest_max_.clear();
+  }
   return payload;
 }
 
 void decode_block(common::BytesView payload, const ShardHeader& header,
                   StringDictionary* dict,
-                  std::vector<testbed::PassiveConnectionGroup>* out) {
+                  std::vector<testbed::PassiveConnectionGroup>* out,
+                  bool dict_preloaded) {
   CodecReader reader(payload);
 
   const std::uint64_t new_entries = reader.varint();
@@ -251,7 +333,10 @@ void decode_block(common::BytesView payload, const ShardHeader& header,
   }
   for (std::uint64_t i = 0; i < new_entries; ++i) {
     const std::uint64_t len = reader.varint();
-    dict->append(reader.str(static_cast<std::size_t>(len)));
+    std::string entry = reader.str(static_cast<std::size_t>(len));
+    // With a preloaded (footer) dictionary the entries already exist at
+    // their assigned ids; the in-block copies are only walked past.
+    if (!dict_preloaded) dict->append(std::move(entry));
   }
 
   const std::uint64_t group_count = reader.varint();
@@ -325,6 +410,308 @@ void decode_block(common::BytesView payload, const ShardHeader& header,
                            std::to_string(reader.remaining()) +
                            " trailing bytes");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Shard footer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void put_block_stats(common::Bytes* out, const BlockStats& s) {
+  put_varint(out, s.groups);
+  put_varint(out, s.device_min_id);
+  put_varint(out, s.device_max_id);
+  put_varint(out, s.dest_min_id);
+  put_varint(out, s.dest_max_id);
+  put_varint(out, s.month_min);
+  put_varint(out, s.month_max);
+  put_varint(out, s.count_min);
+  put_varint(out, s.count_max);
+  out->push_back(s.adv_version_mask);
+  out->push_back(s.est_version_mask);
+  put_varint(out, s.est_suite_min);
+  put_varint(out, s.est_suite_max);
+  out->push_back(s.bool_mask);
+  out->push_back(s.alert_dir_mask);
+  put_varint(out, s.suite_bloom);
+}
+
+std::uint32_t read_u32_field(CodecReader* reader, const char* what) {
+  const std::uint64_t value = reader->varint();
+  if (value > 0xFFFFFFFFull) {
+    throw StoreFormatError(std::string("footer stats: ") + what +
+                           " out of u32 range");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+BlockStats read_block_stats(CodecReader* reader) {
+  BlockStats s;
+  s.groups = reader->varint();
+  s.device_min_id = read_u32_field(reader, "device_min_id");
+  s.device_max_id = read_u32_field(reader, "device_max_id");
+  s.dest_min_id = read_u32_field(reader, "dest_min_id");
+  s.dest_max_id = read_u32_field(reader, "dest_max_id");
+  s.month_min = read_u32_field(reader, "month_min");
+  s.month_max = read_u32_field(reader, "month_max");
+  s.count_min = reader->varint();
+  s.count_max = reader->varint();
+  s.adv_version_mask = reader->u8();
+  s.est_version_mask = reader->u8();
+  const std::uint64_t suite_min = reader->varint();
+  const std::uint64_t suite_max = reader->varint();
+  if (suite_min > 0xFFFF || suite_max > 0xFFFF) {
+    throw StoreFormatError("footer stats: established suite out of range");
+  }
+  s.est_suite_min = static_cast<std::uint16_t>(suite_min);
+  s.est_suite_max = static_cast<std::uint16_t>(suite_max);
+  s.bool_mask = reader->u8();
+  s.alert_dir_mask = reader->u8();
+  s.suite_bloom = reader->varint();
+  return s;
+}
+
+}  // namespace
+
+common::Bytes encode_shard_footer(const ShardFooter& footer) {
+  common::Bytes payload;
+  put_varint(&payload, footer.groups);
+  put_varint(&payload, footer.blocks);
+  put_varint(&payload, footer.dict_entries);
+  if (!footer.has_stats) return payload;
+  payload.push_back(kFooterStatsVersion);
+  put_varint(&payload, footer.block_stats.size());
+  for (const auto& stats : footer.block_stats) {
+    put_block_stats(&payload, stats);
+  }
+  put_varint(&payload, footer.dictionary.size());
+  for (const auto& entry : footer.dictionary) {
+    put_varint(&payload, entry.size());
+    payload.insert(payload.end(), entry.begin(), entry.end());
+  }
+  return payload;
+}
+
+ShardFooter decode_shard_footer(common::BytesView payload) {
+  CodecReader reader(payload);
+  ShardFooter footer;
+  footer.groups = reader.varint();
+  footer.blocks = reader.varint();
+  footer.dict_entries = reader.varint();
+  if (reader.empty()) return footer;  // v1 footer: totals only
+
+  const std::uint8_t version = reader.u8();
+  if (version != kFooterStatsVersion) {
+    throw StoreFormatError("unsupported footer stats version " +
+                           std::to_string(version));
+  }
+  footer.has_stats = true;
+  const std::uint64_t stats_count = reader.varint();
+  if (stats_count != footer.blocks) {
+    throw StoreFormatError("footer stats cover " +
+                           std::to_string(stats_count) + " blocks but the "
+                           "footer counts " + std::to_string(footer.blocks));
+  }
+  if (stats_count > reader.remaining()) {
+    throw StoreFormatError("footer stats section longer than payload");
+  }
+  footer.block_stats.reserve(static_cast<std::size_t>(stats_count));
+  for (std::uint64_t i = 0; i < stats_count; ++i) {
+    footer.block_stats.push_back(read_block_stats(&reader));
+  }
+  const std::uint64_t dict_count = reader.varint();
+  if (dict_count != footer.dict_entries) {
+    throw StoreFormatError("footer dictionary has " +
+                           std::to_string(dict_count) + " entries but the "
+                           "footer counts " +
+                           std::to_string(footer.dict_entries));
+  }
+  if (dict_count > reader.remaining()) {
+    throw StoreFormatError("footer dictionary longer than payload");
+  }
+  footer.dictionary.reserve(static_cast<std::size_t>(dict_count));
+  for (std::uint64_t i = 0; i < dict_count; ++i) {
+    const std::uint64_t len = reader.varint();
+    footer.dictionary.push_back(reader.str(static_cast<std::size_t>(len)));
+  }
+  if (!reader.empty()) {
+    throw StoreFormatError("trailing bytes in footer payload");
+  }
+  return footer;
+}
+
+// ---------------------------------------------------------------------------
+// Projected row cursor
+// ---------------------------------------------------------------------------
+
+ProjectedBlockCursor::ProjectedBlockCursor(common::BytesView payload,
+                                           const ShardHeader& header,
+                                           std::uint32_t fields,
+                                           StringDictionary* dict,
+                                           bool dict_preloaded)
+    : reader_(payload),
+      dict_(dict),
+      fields_(fields),
+      prev_month_index_(header.first.index()) {
+  const std::uint64_t new_entries = reader_.varint();
+  if (new_entries > reader_.remaining()) {
+    throw StoreFormatError("dictionary section longer than payload");
+  }
+  for (std::uint64_t i = 0; i < new_entries; ++i) {
+    const std::uint64_t len = reader_.varint();
+    std::string entry = reader_.str(static_cast<std::size_t>(len));
+    if (!dict_preloaded) dict_->append(std::move(entry));
+  }
+  rows_total_ = reader_.varint();
+  if (rows_total_ > reader_.remaining() && rows_total_ != 0) {
+    throw StoreFormatError("group count " + std::to_string(rows_total_) +
+                           " exceeds remaining payload");
+  }
+}
+
+void ProjectedBlockCursor::skip_u16_list() {
+  const std::uint64_t n = reader_.varint();
+  if (n > reader_.remaining()) {
+    throw StoreFormatError("id list length " + std::to_string(n) +
+                           " exceeds remaining payload");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    (void)reader_.svarint();
+  }
+}
+
+void ProjectedBlockCursor::read_u16_list(std::vector<std::uint16_t>* out) {
+  const std::uint64_t n = reader_.varint();
+  if (n > reader_.remaining()) {
+    throw StoreFormatError("id list length " + std::to_string(n) +
+                           " exceeds remaining payload");
+  }
+  out->clear();
+  out->reserve(static_cast<std::size_t>(n));
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t value = prev + reader_.svarint();
+    if (value < 0 || value > 0xFFFF) {
+      throw StoreFormatError("id list entry out of u16 range: " +
+                             std::to_string(value));
+    }
+    out->push_back(static_cast<std::uint16_t>(value));
+    prev = value;
+  }
+}
+
+bool ProjectedBlockCursor::next(ProjectedRow* row) {
+  if (rows_done_ >= rows_total_) {
+    if (!reader_.empty()) {
+      throw StoreFormatError("block payload has " +
+                             std::to_string(reader_.remaining()) +
+                             " trailing bytes");
+    }
+    return false;
+  }
+  ++rows_done_;
+
+  const std::uint64_t device_id = reader_.varint();
+  const std::uint64_t dest_id = reader_.varint();
+  const std::size_t dict_size = dict_->size();
+  if (device_id >= dict_size || dest_id >= dict_size) {
+    throw StoreFormatError(
+        "dictionary id " +
+        std::to_string(device_id >= dict_size ? device_id : dest_id) +
+        " out of range (size " + std::to_string(dict_size) + ")");
+  }
+  row->device_id = static_cast<std::uint32_t>(device_id);
+  row->dest_id = static_cast<std::uint32_t>(dest_id);
+
+  const std::int64_t month_index = prev_month_index_ + reader_.svarint();
+  if (month_index < 0 || month_index > 12LL * 100000) {
+    throw StoreFormatError("month index out of range: " +
+                           std::to_string(month_index));
+  }
+  row->month = common::Month::from_index(static_cast<int>(month_index));
+  prev_month_index_ = static_cast<int>(month_index);
+  row->count = reader_.varint();
+
+  const std::uint64_t versions = reader_.varint();
+  if (versions > reader_.remaining()) {
+    throw StoreFormatError("version list longer than payload");
+  }
+  if ((fields_ & kFieldAdvVersions) != 0) {
+    row->advertised_versions.clear();
+    row->advertised_versions.reserve(static_cast<std::size_t>(versions));
+  }
+  for (std::uint64_t i = 0; i < versions; ++i) {
+    const std::uint64_t wire = reader_.varint();
+    if (wire > 0xFFFF) {
+      throw StoreFormatError("protocol version out of u16 range");
+    }
+    if ((fields_ & kFieldAdvVersions) != 0) {
+      try {
+        row->advertised_versions.push_back(
+            tls::version_from_wire(static_cast<std::uint16_t>(wire)));
+      } catch (const common::ParseError& e) {
+        throw StoreFormatError(std::string("bad protocol version: ") +
+                               e.what());
+      }
+    }
+  }
+  if ((fields_ & kFieldAdvSuites) != 0) {
+    read_u16_list(&row->advertised_suites);
+  } else {
+    skip_u16_list();
+  }
+  if ((fields_ & kFieldExtensions) != 0) {
+    read_u16_list(&row->extension_types);
+  } else {
+    skip_u16_list();
+  }
+  if ((fields_ & kFieldAdvGroups) != 0) {
+    read_u16_list(&row->advertised_groups);
+  } else {
+    skip_u16_list();
+  }
+  if ((fields_ & kFieldAdvSigalgs) != 0) {
+    read_u16_list(&row->advertised_sigalgs);
+  } else {
+    skip_u16_list();
+  }
+
+  const std::uint8_t flags = reader_.u8();
+  const std::uint8_t direction = reader_.u8();
+  if (direction > 2) {
+    throw StoreFormatError("alert direction out of range: " +
+                           std::to_string(direction));
+  }
+  row->requested_ocsp_staple = (flags & kFlagOcspStaple) != 0;
+  row->sent_sni = (flags & kFlagSni) != 0;
+  row->handshake_complete = (flags & kFlagComplete) != 0;
+  row->application_data_seen = (flags & kFlagAppData) != 0;
+  row->alert_direction =
+      static_cast<net::HandshakeRecord::AlertDirection>(direction);
+  const std::int64_t ordinal = reader_.svarint();
+  if (ordinal < -1 || ordinal > 1 << 30) {
+    throw StoreFormatError("alert ordinal out of range");
+  }
+  row->alert_ordinal = static_cast<int>(ordinal);
+
+  row->established_version.reset();
+  row->established_suite.reset();
+  row->client_alert.reset();
+  row->server_alert.reset();
+  if ((flags & kFlagEstVersion) != 0) {
+    row->established_version = read_version(&reader_);
+  }
+  if ((flags & kFlagEstSuite) != 0) {
+    const std::uint64_t suite = reader_.varint();
+    if (suite > 0xFFFF) {
+      throw StoreFormatError("established suite out of u16 range");
+    }
+    row->established_suite = static_cast<std::uint16_t>(suite);
+  }
+  if ((flags & kFlagClientAlert) != 0) row->client_alert = read_alert(&reader_);
+  if ((flags & kFlagServerAlert) != 0) row->server_alert = read_alert(&reader_);
+  return true;
 }
 
 }  // namespace iotls::store

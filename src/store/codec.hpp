@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,11 @@ class StringDictionary {
 
   [[nodiscard]] std::size_t size() const { return by_id_.size(); }
 
+  /// Every entry in id order (the extended footer persists this).
+  [[nodiscard]] const std::vector<std::string>& entries() const {
+    return by_id_;
+  }
+
  private:
   std::vector<std::string> by_id_;
   std::vector<std::string> pending_;
@@ -84,15 +90,60 @@ class StringDictionary {
 };
 
 // ---------------------------------------------------------------------------
+// Per-block column summaries (extended footer, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// Bit for a protocol version in the stats masks: wire code - 0x0300.
+std::uint8_t version_stats_bit(tls::ProtocolVersion v);
+
+/// Min/max + occurrence summaries of one group block's columns, written to
+/// the extended shard footer so the query layer can skip whole blocks
+/// without reading their payloads. Every field is a *conservative union*
+/// over the block's rows: a predicate that cannot match the summary cannot
+/// match any row.
+struct BlockStats {
+  std::uint64_t groups = 0;
+  /// Dictionary ids of the lexicographically smallest / largest device and
+  /// destination strings in the block.
+  std::uint32_t device_min_id = 0, device_max_id = 0;
+  std::uint32_t dest_min_id = 0, dest_max_id = 0;
+  /// Month::index() range.
+  std::uint32_t month_min = 0, month_max = 0;
+  std::uint64_t count_min = 0, count_max = 0;
+  /// Union of advertised versions (bit = version_stats_bit).
+  std::uint8_t adv_version_mask = 0;
+  /// Established-version/suite occurrence: bits 0-4 = version present,
+  /// kEstNoneBit = a row without an established version, kEstSuiteBit = a
+  /// row with an established suite, kEstNoSuiteBit = a row without one.
+  std::uint8_t est_version_mask = 0;
+  std::uint16_t est_suite_min = 0xFFFF, est_suite_max = 0;
+  /// Boolean-column occurrence, one (true-seen, false-seen) bit pair per
+  /// column: complete 0-1, appdata 2-3, sni 4-5, staple 6-7.
+  std::uint8_t bool_mask = 0;
+  /// AlertDirection values present (bit = enum value, 0-2).
+  std::uint8_t alert_dir_mask = 0;
+  /// Bloom mask of advertised suite ids (bit = id % 64).
+  std::uint64_t suite_bloom = 0;
+
+  static constexpr std::uint8_t kEstNoneBit = 1u << 5;
+  static constexpr std::uint8_t kEstSuiteBit = 1u << 6;
+  static constexpr std::uint8_t kEstNoSuiteBit = 1u << 7;
+
+  bool operator==(const BlockStats&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Block codec
 // ---------------------------------------------------------------------------
 
 /// Streaming encoder state for one block: the dictionary persists across
-/// blocks, the month-delta baseline resets each block.
+/// blocks, the month-delta baseline resets each block. With `stats`
+/// enabled the encoder also accumulates the block's column summaries for
+/// the extended footer.
 class BlockEncoder {
  public:
-  explicit BlockEncoder(common::Month delta_base)
-      : delta_base_(delta_base) {}
+  explicit BlockEncoder(common::Month delta_base, bool stats = false)
+      : delta_base_(delta_base), stats_enabled_(stats) {}
 
   /// Append one group to the pending block.
   void add(const testbed::PassiveConnectionGroup& group,
@@ -101,6 +152,9 @@ class BlockEncoder {
   /// Assemble the block payload (dictionary section + group section) and
   /// reset for the next block.
   [[nodiscard]] common::Bytes finish(StringDictionary* dict);
+
+  /// Column summaries of the block just `finish()`ed (stats mode only).
+  [[nodiscard]] const BlockStats& last_stats() const { return last_stats_; }
 
   [[nodiscard]] std::size_t pending_groups() const { return count_; }
   /// Encoded size of the group section so far (flush heuristic).
@@ -112,14 +166,128 @@ class BlockEncoder {
   common::Bytes body_;
   std::size_t count_ = 0;
   bool fresh_ = true;
+  bool stats_enabled_;
+  BlockStats last_stats_;
+  // Min/max tracking for the pending block (compared as strings, stored as
+  // dictionary ids).
+  BlockStats pending_stats_;
+  std::string device_min_, device_max_, dest_min_, dest_max_;
 };
 
 /// Decode a whole block payload, appending groups to `out`. The dictionary
-/// is extended with the block's new entries first. Throws StoreFormatError
-/// on any structural violation (the frame CRC has already been checked, so
-/// a failure here means an encoder bug or a forged frame).
+/// is extended with the block's new entries first (unless `dict_preloaded`,
+/// in which case the block's dictionary section is skipped — the caller has
+/// already loaded the shard's full dictionary from an extended footer).
+/// Throws StoreFormatError on any structural violation (the frame CRC has
+/// already been checked, so a failure here means an encoder bug or a forged
+/// frame).
+///
+/// This is the naive decode-everything path — the full-scan oracle the
+/// differential query suite measures `ProjectedBlockCursor` against. Keep
+/// the two implementations independent.
 void decode_block(common::BytesView payload, const ShardHeader& header,
                   StringDictionary* dict,
-                  std::vector<testbed::PassiveConnectionGroup>* out);
+                  std::vector<testbed::PassiveConnectionGroup>* out,
+                  bool dict_preloaded = false);
+
+// ---------------------------------------------------------------------------
+// Shard footer
+// ---------------------------------------------------------------------------
+
+/// Footer payload. The three totals are the original (v1) footer; shards
+/// written with block stats append an extension carrying the per-block
+/// summaries and the full dictionary (so any block can be decoded without
+/// replaying the ones before it). Both forms parse — old shards simply
+/// have `has_stats == false` and take the sequential full-scan path.
+struct ShardFooter {
+  std::uint64_t groups = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t dict_entries = 0;
+  bool has_stats = false;
+  std::vector<BlockStats> block_stats;   // size == blocks when has_stats
+  std::vector<std::string> dictionary;   // size == dict_entries when set
+};
+
+/// Version byte introducing the footer extension.
+inline constexpr std::uint8_t kFooterStatsVersion = 1;
+
+common::Bytes encode_shard_footer(const ShardFooter& footer);
+
+/// Parse either footer form; throws StoreFormatError on malformed input or
+/// internally inconsistent counts.
+ShardFooter decode_shard_footer(common::BytesView payload);
+
+// ---------------------------------------------------------------------------
+// Projected row cursor (the query scan path)
+// ---------------------------------------------------------------------------
+
+/// Which list columns `ProjectedBlockCursor` materializes. Every other
+/// field of the row walk is scalar-cheap and always decoded; unselected
+/// lists are length-walked without building vectors — that skipped
+/// allocation is where column projection wins over `decode_block`.
+enum ProjectedFields : std::uint32_t {
+  kFieldAdvVersions = 1u << 0,
+  kFieldAdvSuites = 1u << 1,
+  kFieldExtensions = 1u << 2,
+  kFieldAdvGroups = 1u << 3,
+  kFieldAdvSigalgs = 1u << 4,
+  kFieldAllLists = 0x1F,
+};
+
+/// One decoded row, vectors reused across `next()` calls. Strings stay as
+/// dictionary ids; the scan resolves them only when a query touches them.
+struct ProjectedRow {
+  std::uint32_t device_id = 0;
+  std::uint32_t dest_id = 0;
+  common::Month month;
+  std::uint64_t count = 0;
+  bool requested_ocsp_staple = false;
+  bool sent_sni = false;
+  bool handshake_complete = false;
+  bool application_data_seen = false;
+  net::HandshakeRecord::AlertDirection alert_direction =
+      net::HandshakeRecord::AlertDirection::None;
+  int alert_ordinal = -1;
+  std::optional<tls::ProtocolVersion> established_version;
+  std::optional<std::uint16_t> established_suite;
+  std::optional<tls::Alert> client_alert, server_alert;
+  // Materialized only when the matching ProjectedFields bit is set.
+  std::vector<tls::ProtocolVersion> advertised_versions;
+  std::vector<std::uint16_t> advertised_suites;
+  std::vector<std::uint16_t> extension_types;
+  std::vector<std::uint16_t> advertised_groups;
+  std::vector<std::uint16_t> advertised_sigalgs;
+};
+
+/// Streaming decoder for one block payload that materializes only the
+/// requested fields. With `dict_preloaded` the block's dictionary section
+/// is skipped (ids resolve against the footer dictionary, so blocks decode
+/// standalone after a pushdown skip); otherwise new entries are appended to
+/// `dict` exactly like `decode_block`. Throws StoreFormatError on any
+/// structural violation. `payload` must outlive the cursor.
+class ProjectedBlockCursor {
+ public:
+  ProjectedBlockCursor(common::BytesView payload, const ShardHeader& header,
+                       std::uint32_t fields, StringDictionary* dict,
+                       bool dict_preloaded);
+
+  /// Decode the next row into `*row` (reusing its buffers); false at end of
+  /// block. The cursor verifies the payload is fully consumed on the last
+  /// row.
+  [[nodiscard]] bool next(ProjectedRow* row);
+
+  [[nodiscard]] std::uint64_t rows_total() const { return rows_total_; }
+
+ private:
+  void skip_u16_list();
+  void read_u16_list(std::vector<std::uint16_t>* out);
+
+  CodecReader reader_;
+  StringDictionary* dict_;
+  std::uint32_t fields_;
+  std::uint64_t rows_total_ = 0;
+  std::uint64_t rows_done_ = 0;
+  int prev_month_index_;
+};
 
 }  // namespace iotls::store

@@ -1,0 +1,118 @@
+#include "store/compact.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/pool.hpp"
+#include "store/reader.hpp"
+
+namespace iotls::store {
+
+namespace {
+
+/// One input shard with its position in the concatenated group sequence.
+struct InputShard {
+  std::string path;
+  std::uint64_t first_group = 0;  // global index of its first group
+  std::uint64_t groups = 0;
+};
+
+}  // namespace
+
+CompactReport compact_store(const std::vector<std::string>& input_dirs,
+                            const std::string& out_dir,
+                            const CompactOptions& options) {
+  namespace fs = std::filesystem;
+
+  // Index every input shard (frame walk only — no payload decode) to learn
+  // the global group layout and the merged header window.
+  std::vector<InputShard> inputs;
+  ShardHeader header;
+  bool first_header = true;
+  std::uint64_t total_groups = 0;
+  std::uint64_t bytes_in = 0;
+  for (const std::string& dir : input_dirs) {
+    for (const std::string& path : list_shards(dir, /*allow_empty=*/true)) {
+      const ShardIndex index = read_shard_index(path);
+      if (first_header) {
+        header.seed = index.header.seed;
+        header.first = index.header.first;
+        header.last = index.header.last;
+        first_header = false;
+      } else {
+        header.first = std::min(header.first, index.header.first);
+        header.last = std::max(header.last, index.header.last);
+      }
+      inputs.push_back({path, total_groups, index.footer.groups});
+      total_groups += index.footer.groups;
+      bytes_in += file_size(path);
+    }
+  }
+
+  const std::uint64_t per_shard =
+      std::max<std::uint64_t>(options.groups_per_shard, 1);
+  const std::uint64_t output_count =
+      std::max<std::uint64_t>((total_groups + per_shard - 1) / per_shard, 1);
+  header.shard_index = 0;
+  header.shard_count = static_cast<std::uint32_t>(output_count);
+  header.label.clear();
+
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) {
+    throw StoreIoError("cannot create store directory " + out_dir + ": " +
+                       ec.message());
+  }
+  for (std::uint64_t k = 0; k < output_count; ++k) {
+    const fs::path path =
+        fs::path(out_dir) / shard_filename(static_cast<std::uint32_t>(k));
+    if (fs::exists(path)) {
+      throw StoreIoError("refusing to overwrite existing shard " +
+                         path.string());
+    }
+  }
+
+  // Each output shard covers the contiguous global range
+  // [k * per_shard, min((k+1) * per_shard, total)); a worker re-streams
+  // exactly the input shards overlapping its range. Re-encoding from a
+  // fresh ShardWriter re-interns the dictionary per output shard.
+  std::vector<std::uint32_t> indices(static_cast<std::size_t>(output_count));
+  for (std::uint32_t i = 0; i < output_count; ++i) indices[i] = i;
+  const auto shard_infos = common::parallel_map(
+      options.threads, indices, [&](const std::uint32_t k) {
+        const std::uint64_t begin = static_cast<std::uint64_t>(k) * per_shard;
+        const std::uint64_t end = std::min(begin + per_shard, total_groups);
+        ShardHeader out_header = header;
+        out_header.shard_index = k;
+        ShardWriter writer(
+            (fs::path(out_dir) / shard_filename(k)).string(), out_header,
+            options.block_bytes);
+        std::vector<testbed::PassiveConnectionGroup> block;
+        for (const InputShard& input : inputs) {
+          if (input.first_group + input.groups <= begin) continue;
+          if (input.first_group >= end) break;
+          ShardReader reader(input.path);
+          std::uint64_t pos = input.first_group;
+          while (reader.next(&block)) {
+            for (const auto& group : block) {
+              if (pos >= begin && pos < end) writer.add(group);
+              ++pos;
+            }
+            if (pos >= end) break;
+          }
+        }
+        return writer.close();
+      });
+
+  CompactReport report;
+  report.input_shards = inputs.size();
+  report.output_shards = output_count;
+  report.bytes_in = bytes_in;
+  for (const ShardInfo& info : shard_infos) {
+    report.groups += info.groups;
+    report.bytes_out += info.bytes;
+  }
+  return report;
+}
+
+}  // namespace iotls::store

@@ -1,0 +1,51 @@
+// Shard compaction: coalesce many small shards into few large ones.
+//
+// Grown out of `iotls-store merge`: where merge streams everything into a
+// single shard serially, compaction plans fixed-size output shards over
+// the concatenated group sequence of all inputs and writes them in
+// parallel — each output is encoded independently by a fresh ShardWriter
+// (dictionaries re-interned per output shard, block stats and the footer
+// dictionary regenerated), so the output bytes are identical at any thread
+// count.
+//
+// Inputs are opened read-only and are never modified; a compaction killed
+// mid-write leaves the sources intact and the partial output detectable
+// (its shards end without a footer, which `iotls-store validate` reports
+// as truncation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/writer.hpp"
+
+namespace iotls::store {
+
+struct CompactOptions {
+  /// Target groups per output shard (the coalescing knob).
+  std::uint64_t groups_per_shard = 1u << 16;
+  /// Worker threads for the per-output-shard fan-out (0 = hardware
+  /// concurrency). Output bytes are identical for every value.
+  std::size_t threads = 0;
+  std::size_t block_bytes = kDefaultBlockBytes;
+};
+
+struct CompactReport {
+  std::uint64_t input_shards = 0;
+  std::uint64_t output_shards = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// Compact every shard of `input_dirs` (in argument order, shards sorted
+/// within each) into `out_dir`. Inputs with no shards are tolerated; zero
+/// groups total still produces a valid single-shard empty store. The
+/// output directory must not already contain shards. Throws typed
+/// StoreErrors on any input defect or output failure.
+CompactReport compact_store(const std::vector<std::string>& input_dirs,
+                            const std::string& out_dir,
+                            const CompactOptions& options = CompactOptions{});
+
+}  // namespace iotls::store

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -107,6 +108,27 @@ void CheckedFile::read_exact(void* out, std::size_t n,
                                std::to_string(got) + " of " +
                                std::to_string(n) + " bytes)");
   }
+}
+
+void CheckedFile::seek(std::uint64_t offset) {
+  if (file_ == nullptr) throw StoreIoError("seek on closed file " + path_);
+  if (offset > static_cast<std::uint64_t>(
+                   std::numeric_limits<long>::max()) ||
+      std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw StoreIoError("cannot seek to offset " + std::to_string(offset) +
+                       " in " + path_ + ": " + errno_text());
+  }
+  eof_ = false;
+}
+
+std::uint64_t CheckedFile::tell() const {
+  if (file_ == nullptr) throw StoreIoError("tell on closed file " + path_);
+  const long pos = std::ftell(file_);
+  if (pos < 0) {
+    throw StoreIoError("cannot tell position in " + path_ + ": " +
+                       errno_text());
+  }
+  return static_cast<std::uint64_t>(pos);
 }
 
 void CheckedFile::flush() {

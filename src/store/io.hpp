@@ -48,6 +48,14 @@ class CheckedFile {
   /// True once a read returned 0 bytes.
   [[nodiscard]] bool at_eof() const { return eof_; }
 
+  /// Reposition the read head to an absolute byte offset (read-only files;
+  /// the query layer's block skipping). Clears the EOF latch. Throws
+  /// StoreIoError on failure.
+  void seek(std::uint64_t offset);
+
+  /// Current byte offset; StoreIoError on failure.
+  [[nodiscard]] std::uint64_t tell() const;
+
   /// Flush buffered writes to the OS; StoreIoError on failure.
   void flush();
 

@@ -79,6 +79,7 @@ bool ShardReader::next(std::vector<testbed::PassiveConnectionGroup>* out) {
       throw StoreFormatError(file_.path() + ": " + e.what());
     }
     ++blocks_;
+    block_groups_.push_back(out->size());
     groups_ += out->size();
     count_metric("iotls_store_blocks_read_total",
                  "Capture-store blocks decoded", 1);
@@ -86,29 +87,36 @@ bool ShardReader::next(std::vector<testbed::PassiveConnectionGroup>* out) {
   }
   if (type == kBlockFooter) {
     const common::Bytes payload = read_framed_payload(&file_, "shard footer");
-    CodecReader reader(payload);
-    std::uint64_t footer_groups = 0;
-    std::uint64_t footer_blocks = 0;
-    std::uint64_t footer_dict = 0;
     try {
-      footer_groups = reader.varint();
-      footer_blocks = reader.varint();
-      footer_dict = reader.varint();
-      if (!reader.empty()) {
-        throw StoreFormatError("trailing bytes in footer payload");
-      }
+      footer_ = decode_shard_footer(payload);
     } catch (const StoreFormatError& e) {
       throw StoreFormatError(file_.path() + ": footer: " + e.what());
     }
-    if (footer_groups != groups_ || footer_blocks != blocks_ ||
-        footer_dict != dict_.size()) {
+    if (footer_.groups != groups_ || footer_.blocks != blocks_ ||
+        footer_.dict_entries != dict_.size()) {
       throw StoreCorruptionError(
           file_.path() + ": footer totals disagree with blocks read (footer " +
-          std::to_string(footer_groups) + " groups / " +
-          std::to_string(footer_blocks) + " blocks / " +
-          std::to_string(footer_dict) + " dict entries; read " +
+          std::to_string(footer_.groups) + " groups / " +
+          std::to_string(footer_.blocks) + " blocks / " +
+          std::to_string(footer_.dict_entries) + " dict entries; read " +
           std::to_string(groups_) + " / " + std::to_string(blocks_) + " / " +
           std::to_string(dict_.size()) + ")");
+    }
+    if (footer_.has_stats) {
+      for (std::size_t i = 0; i < block_groups_.size(); ++i) {
+        if (footer_.block_stats[i].groups != block_groups_[i]) {
+          throw StoreCorruptionError(
+              file_.path() + ": footer stats claim " +
+              std::to_string(footer_.block_stats[i].groups) +
+              " groups in block " + std::to_string(i) + " but it decoded " +
+              std::to_string(block_groups_[i]));
+        }
+      }
+      if (footer_.dictionary != dict_.entries()) {
+        throw StoreCorruptionError(
+            file_.path() +
+            ": footer dictionary disagrees with the in-block entries");
+      }
     }
     std::uint8_t extra = 0;
     if (file_.read(&extra, 1) != 0) {
@@ -124,7 +132,89 @@ bool ShardReader::next(std::vector<testbed::PassiveConnectionGroup>* out) {
                          std::to_string(type));
 }
 
-std::vector<std::string> list_shards(const std::string& dir) {
+ShardIndex read_shard_index(const std::string& path) {
+  ShardIndex index;
+  index.path = path;
+  CheckedFile file = CheckedFile::open_read(path);
+  std::array<std::uint8_t, kShardMagic.size()> magic{};
+  file.read_exact(magic.data(), magic.size(), "shard magic");
+  if (magic != kShardMagic) {
+    throw StoreFormatError(path + ": bad shard magic (not a capture-store "
+                           "shard file)");
+  }
+  try {
+    index.header =
+        decode_shard_header(read_framed_payload(&file, "shard header"));
+  } catch (const StoreFormatError& e) {
+    throw StoreFormatError(path + ": " + e.what());
+  }
+  for (;;) {
+    const std::uint64_t frame_offset = file.tell();
+    std::uint8_t type = 0;
+    if (file.read(&type, 1) != 1) {
+      throw StoreCorruptionError(path + ": shard truncated before footer");
+    }
+    if (type == kBlockGroups) {
+      const std::uint32_t len = read_u32(&file, "group block length");
+      (void)read_u32(&file, "group block checksum");
+      if (len > kMaxBlockPayload) {
+        throw StoreFormatError(path + ": group block length " +
+                               std::to_string(len) +
+                               " exceeds the format cap");
+      }
+      // Seek over the payload instead of reading it — BlockFetcher CRC-
+      // checks the blocks a scan actually touches.
+      file.seek(file.tell() + len);
+      index.blocks.push_back(BlockRef{frame_offset, len});
+      continue;
+    }
+    if (type == kBlockFooter) {
+      const common::Bytes payload = read_framed_payload(&file, "shard footer");
+      try {
+        index.footer = decode_shard_footer(payload);
+      } catch (const StoreFormatError& e) {
+        throw StoreFormatError(path + ": footer: " + e.what());
+      }
+      if (index.footer.blocks != index.blocks.size()) {
+        throw StoreCorruptionError(
+            path + ": footer counts " + std::to_string(index.footer.blocks) +
+            " blocks but the shard frames " +
+            std::to_string(index.blocks.size()));
+      }
+      std::uint8_t extra = 0;
+      if (file.read(&extra, 1) != 0) {
+        throw StoreCorruptionError(path +
+                                   ": trailing bytes after the shard footer");
+      }
+      return index;
+    }
+    throw StoreFormatError(path + ": unknown block type " +
+                           std::to_string(type));
+  }
+}
+
+BlockFetcher::BlockFetcher(const ShardIndex& index)
+    : index_(index), file_(CheckedFile::open_read(index.path)) {}
+
+common::Bytes BlockFetcher::fetch(std::size_t i) {
+  const BlockRef& ref = index_.blocks.at(i);
+  file_.seek(ref.offset);
+  std::uint8_t type = 0;
+  file_.read_exact(&type, 1, "group block type");
+  if (type != kBlockGroups) {
+    throw StoreCorruptionError(file_.path() + ": block " + std::to_string(i) +
+                               " frame type changed under the index");
+  }
+  common::Bytes payload = read_framed_payload(&file_, "group block");
+  if (payload.size() != ref.length) {
+    throw StoreCorruptionError(file_.path() + ": block " + std::to_string(i) +
+                               " length changed under the index");
+  }
+  return payload;
+}
+
+std::vector<std::string> list_shards(const std::string& dir,
+                                     bool allow_empty) {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::directory_iterator it(dir, ec);
@@ -141,7 +231,7 @@ std::vector<std::string> list_shards(const std::string& dir) {
       paths.push_back(entry.path().string());
     }
   }
-  if (paths.empty()) {
+  if (paths.empty() && !allow_empty) {
     throw StoreIoError("no " + std::string(kShardSuffix) + " shards in " +
                        dir);
   }

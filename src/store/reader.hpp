@@ -42,20 +42,71 @@ class ShardReader {
   [[nodiscard]] std::uint64_t blocks_read() const { return blocks_; }
   [[nodiscard]] bool finished() const { return finished_; }
 
+  /// The parsed footer; valid only once `next()` has returned false.
+  [[nodiscard]] const ShardFooter& footer() const { return footer_; }
+
  private:
   common::Bytes read_block(std::uint8_t* type_out);
 
   CheckedFile file_;
   ShardHeader header_;
   StringDictionary dict_;
+  ShardFooter footer_;
+  std::vector<std::uint64_t> block_groups_;  // per-block counts, vs stats
   std::uint64_t groups_ = 0;
   std::uint64_t blocks_ = 0;
   bool finished_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Random-access shard index (the query layer's entry point)
+// ---------------------------------------------------------------------------
+
+/// Location of one framed group block inside a shard file. `offset` points
+/// at the frame's type byte; `length` is the payload length (the frame adds
+/// the 9-byte type+length+CRC prelude).
+struct BlockRef {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// Everything needed to fetch and decode any block of a shard standalone:
+/// header, footer (with stats and full dictionary when the shard carries
+/// the extension) and the byte offsets of every group block.
+struct ShardIndex {
+  std::string path;
+  ShardHeader header;
+  ShardFooter footer;
+  std::vector<BlockRef> blocks;
+};
+
+/// Build a shard's index by walking frame headers only — each block's
+/// payload is seeked over, not read, so indexing costs O(blocks) small
+/// reads regardless of shard size. Verifies magic, header CRC, the footer
+/// CRC and the footer totals against the walked frames. Block payload CRCs
+/// are NOT checked here (BlockFetcher checks each block it actually reads).
+ShardIndex read_shard_index(const std::string& path);
+
+/// Random-access reads of individual group blocks, seek + CRC-check per
+/// fetch. Keeps its own file handle; not thread-safe (use one per worker).
+class BlockFetcher {
+ public:
+  explicit BlockFetcher(const ShardIndex& index);
+
+  /// Read and CRC-check block `i`'s payload. Throws StoreCorruptionError on
+  /// checksum mismatch or truncation, std::out_of_range on a bad index.
+  [[nodiscard]] common::Bytes fetch(std::size_t i);
+
+ private:
+  const ShardIndex& index_;
+  CheckedFile file_;
+};
+
 /// Sorted shard paths of a store directory. Throws StoreIoError if the
-/// directory cannot be read or holds no shards.
-std::vector<std::string> list_shards(const std::string& dir);
+/// directory cannot be read, or — unless `allow_empty` — if it holds no
+/// shards (merge/compact tolerate shard-less inputs; readers do not).
+std::vector<std::string> list_shards(const std::string& dir,
+                                     bool allow_empty = false);
 
 /// A read-only view over a store: iterate every group in shard order
 /// without ever holding a whole shard in memory. Cheap to copy; `for_each`

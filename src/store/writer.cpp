@@ -35,23 +35,15 @@ void write_frame(CheckedFile* file, std::uint8_t type,
   file->write(payload);
 }
 
-common::Bytes encode_footer(std::uint64_t groups, std::uint64_t blocks,
-                            std::uint64_t dict_entries) {
-  common::Bytes payload;
-  put_varint(&payload, groups);
-  put_varint(&payload, blocks);
-  put_varint(&payload, dict_entries);
-  return payload;
-}
-
 }  // namespace
 
 ShardWriter::ShardWriter(const std::string& path, ShardHeader header,
-                         std::size_t block_bytes)
+                         std::size_t block_bytes, bool block_stats)
     : file_(CheckedFile::create(path)),
       header_(std::move(header)),
       block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes),
-      encoder_(header_.first) {
+      block_stats_(block_stats),
+      encoder_(header_.first, block_stats) {
   file_.write(common::BytesView(kShardMagic.data(), kShardMagic.size()));
   const common::Bytes head = encode_shard_header(header_);
   common::ByteWriter frame;
@@ -71,6 +63,7 @@ void ShardWriter::flush_block() {
   if (encoder_.pending_groups() == 0) return;
   const common::Bytes payload = encoder_.finish(&dict_);
   write_frame(&file_, kBlockGroups, payload);
+  if (block_stats_) stats_.push_back(encoder_.last_stats());
   ++blocks_;
 }
 
@@ -78,8 +71,16 @@ ShardInfo ShardWriter::close() {
   if (closed_) throw StoreIoError("shard " + file_.path() + " already closed");
   closed_ = true;
   flush_block();
-  write_frame(&file_, kBlockFooter,
-              encode_footer(groups_, blocks_, dict_.size()));
+  ShardFooter footer;
+  footer.groups = groups_;
+  footer.blocks = blocks_;
+  footer.dict_entries = dict_.size();
+  if (block_stats_) {
+    footer.has_stats = true;
+    footer.block_stats = stats_;
+    footer.dictionary = dict_.entries();
+  }
+  write_frame(&file_, kBlockFooter, encode_shard_footer(footer));
   count_blocks(blocks_ + 1);
   ShardInfo info;
   info.path = file_.path();
@@ -188,7 +189,7 @@ StoreWriteReport write_store(const testbed::PassiveDataset& dataset,
         header.shard_count = static_cast<std::uint32_t>(plans.size());
         header.label = plan.label;
         ShardWriter writer((fs::path(dir) / shard_filename(index)).string(),
-                           header, options.block_bytes);
+                           header, options.block_bytes, options.block_stats);
         for (const auto* group : plan.groups) writer.add(*group);
         return writer.close();
       });

@@ -37,8 +37,13 @@ struct ShardInfo {
 /// (mandatory — it writes the footer; an unclosed shard reads as truncated).
 class ShardWriter {
  public:
+  /// With `block_stats` (the default) the footer carries per-block column
+  /// summaries plus the full dictionary — the extension the query layer's
+  /// pushdown and standalone block decode need. Disable it only to write
+  /// old-format shards (backward-compat tests).
   ShardWriter(const std::string& path, ShardHeader header,
-              std::size_t block_bytes = kDefaultBlockBytes);
+              std::size_t block_bytes = kDefaultBlockBytes,
+              bool block_stats = true);
 
   ShardWriter(ShardWriter&&) = default;
   ShardWriter& operator=(ShardWriter&&) = delete;
@@ -54,8 +59,10 @@ class ShardWriter {
   CheckedFile file_;
   ShardHeader header_;
   std::size_t block_bytes_;
+  bool block_stats_;
   StringDictionary dict_;
   BlockEncoder encoder_;
+  std::vector<BlockStats> stats_;
   std::uint64_t groups_ = 0;
   std::uint64_t blocks_ = 0;
   bool closed_ = false;
@@ -75,6 +82,9 @@ struct StoreOptions {
   /// 1 = serial). Output bytes are identical for every value.
   std::size_t threads = 0;
   std::size_t block_bytes = kDefaultBlockBytes;
+  /// Write the extended footer (per-block stats + full dictionary). Off
+  /// reproduces the original footer byte-for-byte.
+  bool block_stats = true;
   /// Recorded in every shard header (self-description, not re-generation).
   std::uint64_t seed = 0;
   common::Month first = common::kStudyStart;

@@ -1,0 +1,175 @@
+// Filter-expression unit tests: grammar, typed values, operator/column
+// compatibility, canonical round-trips, and the three evaluators on
+// handcrafted rows.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "query/expr.hpp"
+#include "testbed/longitudinal.hpp"
+#include "tls/ciphersuite.hpp"
+
+namespace {
+
+using iotls::common::ParseError;
+using iotls::query::Column;
+using iotls::query::Expr;
+using iotls::query::eval_group;
+using iotls::query::parse_expr;
+using iotls::query::to_string;
+
+std::string canon(const std::string& text) {
+  return to_string(parse_expr(text));
+}
+
+TEST(ExprParse, EmptyFilterMatchesEverything) {
+  EXPECT_EQ(parse_expr("").kind, Expr::Kind::True);
+  EXPECT_EQ(parse_expr("  \t ").kind, Expr::Kind::True);
+  EXPECT_EQ(parse_expr("true").kind, Expr::Kind::True);
+}
+
+TEST(ExprParse, PrecedenceAndCanonicalForm) {
+  // `and` binds tighter than `or`; `not` tighter than both.
+  EXPECT_EQ(canon("complete == true and sni == true or appdata == false"),
+            "((complete == true and sni == true) or appdata == false)");
+  EXPECT_EQ(canon("not complete == true and sni == true"),
+            "((not complete == true) and sni == true)");
+  EXPECT_EQ(canon("complete == true and (sni == true or appdata == false)"),
+            "(complete == true and (sni == true or appdata == false))");
+}
+
+TEST(ExprParse, CanonicalFormRoundTrips) {
+  for (const std::string text :
+       {"device == \"dev-1\"", "vendor != \"Amazon\"",
+        "month >= \"2019-06\" and month < \"2020-01\"",
+        "count > 1000 or count <= 3",
+        "version == tls1.2 or version == none",
+        "cipher == TLS_RSA_WITH_RC4_128_SHA",
+        "alert == server and staple == false",
+        "adv_suite contains 0x0005 and not extension contains 10",
+        "not (complete == true or appdata == true)"}) {
+    const std::string once = canon(text);
+    EXPECT_EQ(canon(once), once) << text;
+  }
+}
+
+TEST(ExprParse, TypedValues) {
+  // Quoted and bareword forms agree.
+  EXPECT_EQ(canon("device == dev-1"), canon("device == \"dev-1\""));
+  // Month parses to its index; out-of-range or malformed months fail.
+  EXPECT_NO_THROW(parse_expr("month == \"2018-01\""));
+  EXPECT_THROW(parse_expr("month == \"2018-13\""), ParseError);
+  EXPECT_THROW(parse_expr("month == january"), ParseError);
+  // Versions by token, case-insensitive, "none" only for ==/!=.
+  EXPECT_EQ(canon("version == TLS1.3"), canon("version == tls1.3"));
+  EXPECT_NO_THROW(parse_expr("version != none"));
+  EXPECT_THROW(parse_expr("version < none"), ParseError);
+  // Ciphers by IANA name or hex id.
+  EXPECT_EQ(canon("cipher == TLS_RSA_WITH_RC4_128_SHA"),
+            canon("cipher == 0x0005"));
+  // Counts in decimal or hex.
+  EXPECT_EQ(canon("count >= 0x10"), canon("count >= 16"));
+}
+
+TEST(ExprParse, RejectsBadSyntaxAndTypes) {
+  EXPECT_THROW(parse_expr("frobnicator == 1"), ParseError);      // column
+  EXPECT_THROW(parse_expr("device =="), ParseError);             // value
+  EXPECT_THROW(parse_expr("device == a extra"), ParseError);     // trailing
+  EXPECT_THROW(parse_expr("(device == a"), ParseError);          // paren
+  EXPECT_THROW(parse_expr("device contains a"), ParseError);     // op/column
+  EXPECT_THROW(parse_expr("vendor < a"), ParseError);            // unordered
+  EXPECT_THROW(parse_expr("cipher > 5"), ParseError);            // unordered
+  EXPECT_THROW(parse_expr("complete == maybe"), ParseError);     // bool
+  EXPECT_THROW(parse_expr("alert == sideways"), ParseError);     // alert
+  EXPECT_THROW(parse_expr("adv_suite == 5"), ParseError);        // list ==
+  EXPECT_THROW(parse_expr("count == 99999999999999999999"), ParseError);
+  EXPECT_THROW(parse_expr("and complete == true"), ParseError);
+}
+
+TEST(ExprFields, OnlyTouchedListColumnsAreMaterialized) {
+  EXPECT_EQ(iotls::query::fields_needed(parse_expr("device == a")), 0u);
+  EXPECT_EQ(iotls::query::fields_needed(parse_expr("adv_suite contains 5")),
+            iotls::store::kFieldAdvSuites);
+  EXPECT_EQ(iotls::query::fields_needed(
+                parse_expr("adv_version contains tls1.3 or "
+                           "sigalg contains 0x0401")),
+            iotls::store::kFieldAdvVersions | iotls::store::kFieldAdvSigalgs);
+}
+
+TEST(ExprHelpers, VendorAndColumnNames) {
+  EXPECT_EQ(iotls::query::vendor_of("Amazon Echo Dot"), "Amazon");
+  EXPECT_EQ(iotls::query::vendor_of("dev-3"), "dev-3");
+  for (const std::string name :
+       {"device", "vendor", "dest", "month", "count", "version", "cipher",
+        "complete", "appdata", "sni", "staple", "alert", "adv_version",
+        "adv_suite", "extension", "group", "sigalg"}) {
+    EXPECT_EQ(iotls::query::column_name(iotls::query::column_by_name(name)),
+              name);
+  }
+  EXPECT_THROW(iotls::query::column_by_name("bogus"), ParseError);
+}
+
+iotls::testbed::PassiveConnectionGroup sample_group() {
+  iotls::testbed::PassiveConnectionGroup group;
+  auto& r = group.record;
+  r.device = "Amazon Echo Dot";
+  r.destination = "alexa.example.com";
+  r.month = iotls::common::Month{2019, 6};
+  r.advertised_versions = {iotls::tls::ProtocolVersion::Tls1_0,
+                           iotls::tls::ProtocolVersion::Tls1_2};
+  r.advertised_suites = {0x0005, 0xC02F};
+  r.extension_types = {0, 10};
+  r.advertised_groups = {23};
+  r.advertised_sigalgs = {0x0401};
+  r.requested_ocsp_staple = true;
+  r.sent_sni = true;
+  r.established_version = iotls::tls::ProtocolVersion::Tls1_2;
+  r.established_suite = 0xC02F;
+  r.handshake_complete = true;
+  r.application_data_seen = false;
+  r.first_fatal_alert_direction =
+      iotls::net::HandshakeRecord::AlertDirection::ServerToClient;
+  r.first_fatal_alert_ordinal = 4;
+  group.count = 120;
+  return group;
+}
+
+TEST(ExprEval, GroupOracleCoversEveryColumn) {
+  const auto g = sample_group();
+  EXPECT_TRUE(eval_group(parse_expr("device == \"Amazon Echo Dot\""), g));
+  EXPECT_TRUE(eval_group(parse_expr("vendor == Amazon"), g));
+  EXPECT_TRUE(eval_group(parse_expr("dest >= alexa.example.com"), g));
+  EXPECT_TRUE(eval_group(parse_expr("month == \"2019-06\""), g));
+  EXPECT_FALSE(eval_group(parse_expr("month > \"2019-06\""), g));
+  EXPECT_TRUE(eval_group(parse_expr("count > 100 and count < 200"), g));
+  EXPECT_TRUE(eval_group(parse_expr("version == tls1.2"), g));
+  EXPECT_FALSE(eval_group(parse_expr("version == none"), g));
+  EXPECT_TRUE(eval_group(parse_expr("cipher == 0xC02F"), g));
+  EXPECT_TRUE(eval_group(parse_expr("complete == true"), g));
+  EXPECT_TRUE(eval_group(parse_expr("appdata == false"), g));
+  EXPECT_TRUE(eval_group(parse_expr("sni == true and staple == true"), g));
+  EXPECT_TRUE(eval_group(parse_expr("alert == server"), g));
+  EXPECT_FALSE(eval_group(parse_expr("alert == none"), g));
+  EXPECT_TRUE(eval_group(parse_expr("adv_version contains tls1.0"), g));
+  EXPECT_FALSE(eval_group(parse_expr("adv_version contains tls1.3"), g));
+  EXPECT_TRUE(eval_group(parse_expr("adv_suite contains 0x0005"), g));
+  EXPECT_TRUE(eval_group(parse_expr("extension contains 10"), g));
+  EXPECT_TRUE(eval_group(parse_expr("group contains 23"), g));
+  EXPECT_TRUE(eval_group(parse_expr("sigalg contains 0x0401"), g));
+  EXPECT_TRUE(eval_group(
+      parse_expr("not (vendor == Google or vendor == Samsung)"), g));
+}
+
+TEST(ExprEval, NoneSemanticsForOptionalColumns) {
+  auto g = sample_group();
+  g.record.established_version.reset();
+  g.record.established_suite.reset();
+  EXPECT_TRUE(eval_group(parse_expr("version == none"), g));
+  EXPECT_FALSE(eval_group(parse_expr("version == tls1.2"), g));
+  EXPECT_TRUE(eval_group(parse_expr("version != tls1.2"), g));
+  EXPECT_TRUE(eval_group(parse_expr("cipher != 0xC02F"), g));
+  EXPECT_FALSE(eval_group(parse_expr("version < tls1.2"), g));  // no order
+}
+
+}  // namespace

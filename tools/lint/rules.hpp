@@ -56,9 +56,10 @@ struct RuleConfig {
 
   /// Scope of the `raw-io` rule: files whose repo-relative path contains
   /// one of these fragments must route all file I/O through the capture
-  /// store's checked chokepoint (store::CheckedFile).
-  std::vector<std::string> raw_io_scope_fragments = {"src/store/",
-                                                     "tools/store/"};
+  /// store's checked chokepoint (store::CheckedFile). The query layer
+  /// reads shards, so it inherits the store's discipline.
+  std::vector<std::string> raw_io_scope_fragments = {
+      "src/store/", "tools/store/", "src/query/", "tools/query/"};
   /// The chokepoint implementation itself — the one file in scope allowed
   /// to touch raw stdio.
   std::vector<std::string> raw_io_allowed_files = {"src/store/io.cpp"};

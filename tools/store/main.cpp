@@ -4,6 +4,8 @@
 //   iotls-store inspect <store-dir>                 per-shard + total stats
 //   iotls-store validate <store-dir> [--threads N]  full integrity check
 //   iotls-store merge <out-dir> <in-dir>...         stream shards into one
+//   iotls-store compact <out-dir> <in-dir>...       coalesce small shards
+//       [--groups-per-shard N] [--threads N]
 //   iotls-store export-tsv <store-dir> <out.tsv>    bridge to the TSV format
 //
 // Exit codes: 0 success, 1 store error (the typed StoreError class name is
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "store/compact.hpp"
 #include "store/format.hpp"
 #include "store/io.hpp"
 #include "store/reader.hpp"
@@ -38,6 +41,8 @@ int usage(const std::string& error) {
                "  iotls-store inspect <store-dir>\n"
                "  iotls-store validate <store-dir> [--threads N]\n"
                "  iotls-store merge <out-dir> <in-dir>...\n"
+               "  iotls-store compact <out-dir> <in-dir>... "
+               "[--groups-per-shard N] [--threads N]\n"
                "  iotls-store export-tsv <store-dir> <out.tsv>\n";
   return 2;
 }
@@ -108,10 +113,14 @@ int cmd_merge(const std::vector<std::string>& args) {
 
   // Merged header: seed from the first input, window widened across all
   // input shards. Shards stream straight through — no full materialization.
+  // Inputs without shards are legal (an empty store merges as no groups);
+  // merging only empty inputs still writes a valid single-shard store.
   ShardHeader header;
   bool first_header = true;
+  std::vector<std::string> shard_paths;
   for (const auto& dir : inputs) {
-    for (const auto& path : iotls::store::list_shards(dir)) {
+    for (const auto& path :
+         iotls::store::list_shards(dir, /*allow_empty=*/true)) {
       const ShardHeader h = ShardReader(path).header();
       if (first_header) {
         header.seed = h.seed;
@@ -122,6 +131,7 @@ int cmd_merge(const std::vector<std::string>& args) {
         header.first = std::min(header.first, h.first);
         header.last = std::max(header.last, h.last);
       }
+      shard_paths.push_back(path);
     }
   }
   header.shard_index = 0;
@@ -135,17 +145,53 @@ int cmd_merge(const std::vector<std::string>& args) {
                                      out_path);
   }
   ShardWriter writer(out_path, header);
-  for (const auto& dir : inputs) {
-    DatasetCursor::open(dir).for_each(
-        [&](const iotls::testbed::PassiveConnectionGroup& group) {
-          writer.add(group);
-        });
-  }
+  DatasetCursor(shard_paths)
+      .for_each([&](const iotls::testbed::PassiveConnectionGroup& group) {
+        writer.add(group);
+      });
   const auto info = writer.close();
   std::printf("merged %zu stores -> %s (%llu groups, %llu blocks, "
               "%llu bytes)\n",
               inputs.size(), out_path.c_str(), ull(info.groups),
               ull(info.blocks), ull(info.bytes));
+  return 0;
+}
+
+int cmd_compact(const std::vector<std::string>& args) {
+  std::string out_dir;
+  std::vector<std::string> inputs;
+  iotls::store::CompactOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--groups-per-shard" || args[i] == "--threads") {
+      if (i + 1 == args.size()) return usage(args[i] + " needs a value");
+      const std::string flag = args[i];
+      const std::string& v = args[++i];
+      unsigned long long parsed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(v.data(), v.data() + v.size(), parsed);
+      if (ec != std::errc{} || ptr != v.data() + v.size()) {
+        return usage(flag + ": not a number: " + v);
+      }
+      if (flag == "--threads") {
+        options.threads = static_cast<std::size_t>(parsed);
+      } else {
+        options.groups_per_shard = parsed;
+      }
+    } else if (out_dir.empty()) {
+      out_dir = args[i];
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (out_dir.empty() || inputs.empty()) {
+    return usage("compact needs <out-dir> and >=1 <in-dir>");
+  }
+  const auto report = iotls::store::compact_store(inputs, out_dir, options);
+  std::printf("compacted %llu shards -> %llu (%llu groups, %llu -> %llu "
+              "bytes) in %s\n",
+              ull(report.input_shards), ull(report.output_shards),
+              ull(report.groups), ull(report.bytes_in), ull(report.bytes_out),
+              out_dir.c_str());
   return 0;
 }
 
@@ -176,6 +222,7 @@ int main(int argc, char** argv) {
     if (command == "inspect") return cmd_inspect(args);
     if (command == "validate") return cmd_validate(args);
     if (command == "merge") return cmd_merge(args);
+    if (command == "compact") return cmd_compact(args);
     if (command == "export-tsv") return cmd_export_tsv(args);
     return usage("unknown command: " + command);
   } catch (const iotls::store::StoreIoError& e) {
