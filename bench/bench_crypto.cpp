@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/study.hpp"
@@ -44,21 +45,6 @@ double time_ms(std::size_t iters, Fn&& fn) {
   const std::chrono::duration<double, std::milli> elapsed =
       std::chrono::steady_clock::now() - start;
   return elapsed.count() / static_cast<double>(iters);
-}
-
-struct Measurement {
-  std::string name;
-  double value;
-  const char* unit;
-};
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
 }
 
 /// Reduced-universe study (same shape as the determinism tests): enough
@@ -89,8 +75,10 @@ int main(int argc, char** argv) {
       iotls::common::strict_env_long("IOTLS_BENCH_ITERS", 20));
   const long min_speedup =
       iotls::common::strict_env_long("IOTLS_BENCH_MIN_SPEEDUP", 0);
+  const bool profiling = iotls::bench::profile_from_env();
+  const iotls::obs::WallTimer total;
 
-  std::vector<Measurement> results;
+  std::vector<iotls::bench::Measurement> results;
   const auto record = [&](const std::string& name, double value,
                           const char* unit) {
     results.push_back({name, value, unit});
@@ -194,24 +182,19 @@ int main(int argc, char** argv) {
   iotls::crypto::crypto_caches_clear();
   record("study_wall_cache_on", reduced_study_wall_ms(universe), "ms");
 
-  // --- Emit JSON. ---
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+  // --- Emit JSON + observability artifacts. ---
+  if (!iotls::bench::write_bench_json(out_path, "crypto", iters,
+                                      total.elapsed_ms(), results)) {
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench\": \"crypto\",\n  \"iters\": %zu,\n",
-               iters);
-  std::fprintf(out, "  \"results\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"value\": %.6f, \"unit\": \"%s\"}%s\n",
-                 json_escape(results[i].name).c_str(), results[i].value,
-                 results[i].unit, i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
+  iotls::bench::print_profile();
+  iotls::bench::maybe_write_run_report(
+      "bench_crypto",
+      {{"IOTLS_BENCH_ITERS", std::to_string(iters)},
+       {"IOTLS_BENCH_MIN_SPEEDUP", std::to_string(min_speedup)},
+       {"IOTLS_PROFILE", profiling ? "1" : "0"},
+       {"output", out_path}});
 
   if (min_speedup > 0 && crt_speedup < static_cast<double>(min_speedup)) {
     std::fprintf(stderr,

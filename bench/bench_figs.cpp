@@ -4,7 +4,8 @@
 int main() {
   using iotls::bench::reproduction_options;
   using iotls::bench::run_reproduction;
-  iotls::core::IotlsStudy study(reproduction_options());
+  const auto options = reproduction_options();
+  iotls::core::IotlsStudy study(options);
 
 #if defined(IOTLS_BENCH_FIG1)
   run_reproduction("Fig 1 (TLS versions over time)",
@@ -26,5 +27,7 @@ int main() {
 #endif
   iotls::bench::print_timings(study);
   iotls::bench::print_observability(study);
+  iotls::bench::maybe_write_run_report("bench_figs",
+                                       iotls::bench::reproduction_knobs(options));
   return 0;
 }

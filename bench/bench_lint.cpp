@@ -10,7 +10,9 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "common/env.hpp"
 #include "lint.hpp"
 
@@ -18,6 +20,8 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_lint.json";
   const auto iters = static_cast<std::size_t>(
       iotls::common::strict_env_long("IOTLS_BENCH_ITERS", 5));
+  const bool profiling = iotls::bench::profile_from_env();
+  const iotls::obs::WallTimer total;
 
   iotls::lint::LintOptions options;
   // iotls-lint: allow(determinism) — bench root override, not a study knob.
@@ -54,28 +58,22 @@ int main(int argc, char** argv) {
   std::printf("%-24s %12.3f ms\n", "lint_full_tree", lint_ms);
   std::printf("%-24s %12zu\n", "findings", findings);
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+  const std::vector<iotls::bench::Measurement> results = {
+      {"files", static_cast<double>(files.size()), "count"},
+      {"tokens", static_cast<double>(tokens), "count"},
+      {"walk", walk_ms.count(), "ms"},
+      {"lint_full_tree", lint_ms, "ms"},
+      {"findings", static_cast<double>(findings), "count"},
+  };
+  if (!iotls::bench::write_bench_json(out_path, "lint", iters,
+                                      total.elapsed_ms(), results)) {
     return 1;
   }
-  std::fprintf(out,
-               "{\n  \"bench\": \"lint\",\n  \"iters\": %zu,\n"
-               "  \"results\": [\n"
-               "    {\"name\": \"files\", \"value\": %zu, \"unit\": "
-               "\"count\"},\n"
-               "    {\"name\": \"tokens\", \"value\": %zu, \"unit\": "
-               "\"count\"},\n"
-               "    {\"name\": \"walk\", \"value\": %.6f, \"unit\": "
-               "\"ms\"},\n"
-               "    {\"name\": \"lint_full_tree\", \"value\": %.6f, "
-               "\"unit\": \"ms\"},\n"
-               "    {\"name\": \"findings\", \"value\": %zu, \"unit\": "
-               "\"count\"}\n"
-               "  ]\n}\n",
-               iters, files.size(), tokens, walk_ms.count(), lint_ms,
-               findings);
-  std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
+  iotls::bench::print_profile();
+  iotls::bench::maybe_write_run_report(
+      "bench_lint", {{"IOTLS_BENCH_ITERS", std::to_string(iters)},
+                     {"IOTLS_PROFILE", profiling ? "1" : "0"},
+                     {"output", out_path}});
   return 0;
 }

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_query.json";
   auto options = iotls::bench::reproduction_options();
   const std::size_t threads = options.threads;
+  const iotls::obs::WallTimer total;
 
   iotls::core::IotlsStudy study(options);
   const auto& dataset = study.passive_dataset();
@@ -150,40 +151,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(compact_report.output_shards));
   std::printf("%-24s %s\n", "parity", parity ? "ok" : "FAIL");
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::printf("error: cannot write %s\n", out_path.c_str());
+  const std::vector<iotls::bench::Measurement> results = {
+      {"scan_full_rows", full_tp.records_per_sec(), "rows/s"},
+      {"scan_projected_rows", projected_tp.records_per_sec(), "rows/s"},
+      {"projection_speedup",
+       projected_tp.wall_ms > 0.0 ? full_tp.wall_ms / projected_tp.wall_ms
+                                  : 0.0,
+       "x"},
+      {"pushdown_ms", push_tp.wall_ms, "ms"},
+      {"no_pushdown_ms", nopush_tp.wall_ms, "ms"},
+      {"pushdown_skip_ratio", skip_ratio, "fraction"},
+      {"compact_groups", compact_tp.records_per_sec(), "groups/s"},
+      {"compact_bytes", compact_tp.mib_per_sec(), "MiB/s"},
+      {"parity", parity ? 1.0 : 0.0, "bool"},
+  };
+  if (!iotls::bench::write_bench_json(out_path, "query", 1,
+                                      total.elapsed_ms(), results)) {
     fs::remove_all(dir);
     fs::remove_all(compact_dir);
     return 1;
   }
-  std::fprintf(
-      out,
-      "{\n  \"bench\": \"query\",\n"
-      "  \"results\": [\n"
-      "    {\"name\": \"scan_full_rows\", \"value\": %.0f, \"unit\": "
-      "\"rows/s\"},\n"
-      "    {\"name\": \"scan_projected_rows\", \"value\": %.0f, \"unit\": "
-      "\"rows/s\"},\n"
-      "    {\"name\": \"projection_speedup\", \"value\": %.3f, \"unit\": "
-      "\"x\"},\n"
-      "    {\"name\": \"pushdown_ms\", \"value\": %.3f, \"unit\": \"ms\"},\n"
-      "    {\"name\": \"no_pushdown_ms\", \"value\": %.3f, \"unit\": "
-      "\"ms\"},\n"
-      "    {\"name\": \"pushdown_skip_ratio\", \"value\": %.4f, \"unit\": "
-      "\"fraction\"},\n"
-      "    {\"name\": \"compact_groups\", \"value\": %.0f, \"unit\": "
-      "\"groups/s\"},\n"
-      "    {\"name\": \"compact_bytes\", \"value\": %.3f, \"unit\": "
-      "\"MiB/s\"},\n"
-      "    {\"name\": \"parity\", \"value\": %d, \"unit\": \"bool\"}\n"
-      "  ]\n}\n",
-      full_tp.records_per_sec(), projected_tp.records_per_sec(),
-      full_tp.wall_ms > 0.0 ? full_tp.wall_ms / projected_tp.wall_ms : 0.0,
-      push_tp.wall_ms, nopush_tp.wall_ms, skip_ratio,
-      compact_tp.records_per_sec(), compact_tp.mib_per_sec(), parity ? 1 : 0);
-  std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
+  iotls::bench::print_profile();
+  auto knobs = iotls::bench::reproduction_knobs(options);
+  knobs.emplace_back("output", out_path);
+  iotls::bench::maybe_write_run_report("bench_query", std::move(knobs));
 
   fs::remove_all(dir);
   fs::remove_all(compact_dir);

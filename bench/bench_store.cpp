@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   auto options = iotls::bench::reproduction_options();
   const bool per_device =
       iotls::common::strict_env_long("IOTLS_BENCH_LAYOUT", 0) != 0;
+  const iotls::obs::WallTimer total;
 
   iotls::core::IotlsStudy study(options);
   const auto& dataset = study.passive_dataset();
@@ -139,44 +140,30 @@ int main(int argc, char** argv) {
                 streamed.summary == in_memory.summary);
   }
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::printf("error: cannot write %s\n", out_path.c_str());
+  const std::vector<iotls::bench::Measurement> results = {
+      {"write_records", write_tp.records_per_sec(), "records/s"},
+      {"write_bytes", write_tp.mib_per_sec(), "MiB/s"},
+      {"read_records", read_tp.records_per_sec(), "records/s"},
+      {"read_bytes", read_tp.mib_per_sec(), "MiB/s"},
+      {"store_bytes", static_cast<double>(report.total_bytes()), "bytes"},
+      {"tsv_bytes", static_cast<double>(tsv_bytes), "bytes"},
+      {"compression_ratio", ratio, "x_vs_tsv"},
+      {"streamed_analysis", streamed_ms, "ms"},
+      {"in_memory_analysis", in_memory_ms, "ms"},
+      {"parity", parity ? 1.0 : 0.0, "bool"},
+  };
+  if (!iotls::bench::write_bench_json(
+          out_path, "store", 1, total.elapsed_ms(), results,
+          {{"layout", per_device ? "per-device" : "single"}})) {
     fs::remove_all(dir);
     return 1;
   }
-  std::fprintf(
-      out,
-      "{\n  \"bench\": \"store\",\n  \"layout\": \"%s\",\n"
-      "  \"results\": [\n"
-      "    {\"name\": \"write_records\", \"value\": %.0f, \"unit\": "
-      "\"records/s\"},\n"
-      "    {\"name\": \"write_bytes\", \"value\": %.3f, \"unit\": "
-      "\"MiB/s\"},\n"
-      "    {\"name\": \"read_records\", \"value\": %.0f, \"unit\": "
-      "\"records/s\"},\n"
-      "    {\"name\": \"read_bytes\", \"value\": %.3f, \"unit\": "
-      "\"MiB/s\"},\n"
-      "    {\"name\": \"store_bytes\", \"value\": %llu, \"unit\": "
-      "\"bytes\"},\n"
-      "    {\"name\": \"tsv_bytes\", \"value\": %llu, \"unit\": "
-      "\"bytes\"},\n"
-      "    {\"name\": \"compression_ratio\", \"value\": %.4f, \"unit\": "
-      "\"x_vs_tsv\"},\n"
-      "    {\"name\": \"streamed_analysis\", \"value\": %.3f, \"unit\": "
-      "\"ms\"},\n"
-      "    {\"name\": \"in_memory_analysis\", \"value\": %.3f, \"unit\": "
-      "\"ms\"},\n"
-      "    {\"name\": \"parity\", \"value\": %d, \"unit\": \"bool\"}\n"
-      "  ]\n}\n",
-      per_device ? "per-device" : "single", write_tp.records_per_sec(),
-      write_tp.mib_per_sec(), read_tp.records_per_sec(),
-      read_tp.mib_per_sec(),
-      static_cast<unsigned long long>(report.total_bytes()),
-      static_cast<unsigned long long>(tsv_bytes), ratio, streamed_ms,
-      in_memory_ms, parity ? 1 : 0);
-  std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
+  iotls::bench::print_profile();
+  auto knobs = iotls::bench::reproduction_knobs(options);
+  knobs.emplace_back("IOTLS_BENCH_LAYOUT", per_device ? "1" : "0");
+  knobs.emplace_back("output", out_path);
+  iotls::bench::maybe_write_run_report("bench_store", std::move(knobs));
 
   fs::remove_all(dir);
   return parity ? 0 : 1;

@@ -5,7 +5,8 @@
 int main() {
   using iotls::bench::reproduction_options;
   using iotls::bench::run_reproduction;
-  iotls::core::IotlsStudy study(reproduction_options());
+  const auto options = reproduction_options();
+  iotls::core::IotlsStudy study(options);
 
 #if defined(IOTLS_BENCH_TABLE1)
   run_reproduction("Table 1 (device inventory)",
@@ -42,5 +43,7 @@ int main() {
 #endif
   iotls::bench::print_timings(study);
   iotls::bench::print_observability(study);
+  iotls::bench::maybe_write_run_report("bench_tables",
+                                       iotls::bench::reproduction_knobs(options));
   return 0;
 }

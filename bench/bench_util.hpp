@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "bench_json.hpp"
 #include "common/env.hpp"
 #include "core/study.hpp"
 
@@ -25,6 +26,9 @@ using common::strict_env_long;
 ///                  2 = full wire records); summary printed after the run.
 ///   IOTLS_METRICS  non-zero enables the metrics registry; the Prometheus
 ///                  text exposition is printed after the run.
+///   IOTLS_PROFILE  non-zero enables the wall-clock profiler; the merged
+///                  call tree is printed after the run. Operator surface
+///                  only — tables and figures are byte-identical either way.
 inline core::IotlsStudy::Options reproduction_options() {
   core::IotlsStudy::Options options;
   options.seed = 42;
@@ -34,7 +38,19 @@ inline core::IotlsStudy::Options reproduction_options() {
   options.trace_level =
       obs::trace_level_from_int(strict_env_long("IOTLS_TRACE", 0));
   options.metrics_enabled = strict_env_long("IOTLS_METRICS", 0) != 0;
+  profile_from_env();
   return options;
+}
+
+/// The knobs reproduction_options() parsed, for the run report.
+inline std::vector<std::pair<std::string, std::string>>
+reproduction_knobs(const core::IotlsStudy::Options& options) {
+  return {
+      {"IOTLS_THREADS", std::to_string(options.threads)},
+      {"IOTLS_TRACE", std::to_string(static_cast<int>(options.trace_level))},
+      {"IOTLS_METRICS", options.metrics_enabled ? "1" : "0"},
+      {"IOTLS_PROFILE", obs::profile_enabled() ? "1" : "0"},
+  };
 }
 
 /// Print the per-experiment wall/CPU timing table (after the tables have
@@ -45,7 +61,8 @@ inline void print_timings(const core::IotlsStudy& study) {
 }
 
 /// Print whatever observability surfaces the run enabled: the trace
-/// summary (IOTLS_TRACE) and the Prometheus exposition (IOTLS_METRICS).
+/// summary (IOTLS_TRACE), the Prometheus exposition (IOTLS_METRICS), and
+/// the profiler call tree (IOTLS_PROFILE).
 inline void print_observability(const core::IotlsStudy& study) {
   if (study.traces().enabled()) {
     std::printf("\n==== handshake traces (IOTLS_TRACE=%s) ====\n",
@@ -56,6 +73,7 @@ inline void print_observability(const core::IotlsStudy& study) {
     std::fputs("\n==== metrics (IOTLS_METRICS) ====\n", stdout);
     std::fputs(study.metrics().render_prometheus().c_str(), stdout);
   }
+  print_profile();
 }
 
 /// One timed streaming pass, reported as derived rates. Used by the

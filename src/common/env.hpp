@@ -28,4 +28,13 @@ inline long strict_env_long(const char* name, long fallback) {
   return value;
 }
 
+/// Read a string environment knob. Unset or empty means `fallback`.
+/// Centralised here so the rest of the tree stays getenv-free (the lint
+/// determinism rule allows getenv only in this file).
+inline const char* env_string(const char* name, const char* fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
 }  // namespace iotls::common

@@ -1,0 +1,73 @@
+// Minimal JSON value model + strict recursive-descent parser.
+//
+// Consumers: iotls-bench-track (ingesting BENCH_*.json and run reports)
+// and the run-report schema tests. Writing stays with the emitters — this
+// module only reads. The parser is strict (complete document, no trailing
+// garbage) and throws JsonError with a byte offset on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace iotls::common {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+
+  /// Typed accessors throw JsonError(0) on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& as_array() const;
+  [[nodiscard]] const std::map<std::string, Json>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Object member that must exist (throws naming the key otherwise).
+  [[nodiscard]] const Json& at(const std::string& key) const;
+
+  /// Parse a complete document (whitespace-padded OK, trailing garbage is
+  /// an error).
+  static Json parse(const std::string& text);
+
+  // Construction (the parser and tests build values directly).
+  static Json make_null() { return Json(); }
+  static Json make_bool(bool v);
+  static Json make_number(double v);
+  static Json make_string(std::string v);
+  static Json make_array(std::vector<Json> v);
+  static Json make_object(std::map<std::string, Json> v);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace iotls::common

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace iotls::common {
 
@@ -112,7 +113,10 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::function<void()> task;
     if (pop_task(index, task)) {
       lock.unlock();
-      task();
+      {
+        const obs::ProfileZone zone("pool/task");
+        task();
+      }
       lock.lock();
       if (--unfinished_ == 0) idle_cv_.notify_all();
       continue;
@@ -141,6 +145,7 @@ void run_indexed(std::size_t threads, std::size_t count,
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }
+  const obs::ProfileZone zone("pool/fan_out");
   std::vector<std::exception_ptr> errors(count);
   ThreadPool pool(std::min(resolved, count));
   for (std::size_t i = 0; i < count; ++i) {

@@ -1,7 +1,6 @@
 #include "core/study.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <ctime>
 
@@ -10,23 +9,22 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "devices/catalog.hpp"
+#include "obs/profile.hpp"
 
 namespace iotls::core {
 
 template <typename Fn>
 auto IotlsStudy::timed(std::string name, std::size_t tasks, Fn&& fn) {
-  const auto wall0 = std::chrono::steady_clock::now();
+  const obs::ProfileZone zone("study/" + name);
+  const obs::WallTimer wall;
   // CPU time feeds only the timing report, never a study table.
   const std::clock_t cpu0 = std::clock();  // iotls-lint: allow(determinism)
   auto result = fn();
   const std::clock_t cpu1 = std::clock();  // iotls-lint: allow(determinism)
-  const auto wall1 = std::chrono::steady_clock::now();
 
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(wall1 - wall0).count();
   const double cpu_ms =
       1000.0 * static_cast<double>(cpu1 - cpu0) / CLOCKS_PER_SEC;
-  record_timing(name, wall_ms, cpu_ms, tasks);
+  record_timing(name, wall.elapsed_ms(), cpu_ms, tasks);
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/hex.hpp"
 #include "crypto/montgomery.hpp"
+#include "obs/profile.hpp"
 
 namespace iotls::crypto {
 
@@ -282,6 +283,7 @@ std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& divisor) const {
 }
 
 BigUint BigUint::modexp(const BigUint& exp, const BigUint& m) const {
+  const obs::ProfileZone zone("crypto/modexp");
   if (m.is_zero()) throw common::CryptoError("modexp: zero modulus");
   if (m.is_odd()) return Montgomery(m).pow(*this, exp);
   return modexp_plain(exp, m);

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "crypto/cache.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/profile.hpp"
 
 namespace iotls::crypto {
 
@@ -166,6 +167,7 @@ RsaKeyPair rsa_generate(common::Rng& rng, std::size_t bits) {
 }
 
 BigUint rsa_private_op(const RsaPrivateKey& key, const BigUint& c) {
+  const obs::ProfileZone zone("crypto/rsa_private_op");
   if (!key.has_crt()) return c.modexp(key.d, key.n);
   // Garner: m1 = c^dp mod p, m2 = c^dq mod q,
   //         m  = m2 + q * (qinv * (m1 - m2) mod p).

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/profile.hpp"
+
 namespace iotls::crypto {
 
 namespace {
@@ -146,6 +148,7 @@ Sha256Digest Sha256::finish() {
 }
 
 Sha256Digest Sha256::digest(common::BytesView data) {
+  const obs::ProfileZone zone("crypto/sha256_digest");
   Sha256 h;
   h.update(data);
   return h.finish();

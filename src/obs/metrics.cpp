@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "obs/report.hpp"
+
 namespace iotls::obs {
 
 namespace {
@@ -164,6 +166,18 @@ void Histogram::reset() {
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
+  // Every scrape and run report carries the build identity: a constant
+  // gauge labelled with version/compiler/build-type/sanitizers (see
+  // obs/report.hpp). Registered once, on first registry access.
+  static const bool build_info_registered = [] {
+    registry
+        .gauge("iotls_build_info",
+               "Build identity (constant 1; the label is the payload)",
+               "build", build_info_label())
+        .set(1.0);
+    return true;
+  }();
+  (void)build_info_registered;
   return registry;
 }
 
@@ -344,6 +358,63 @@ std::string MetricsRegistry::render_prometheus() const {
       }
     }
   }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    return out;
+  };
+  std::string out = "{\"families\": [";
+  bool first_family = true;
+  for (const auto& [name, fam] : families_) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += "\n    {\"name\": \"" + escape(name) + "\", \"type\": \"";
+    switch (fam.kind) {
+      case Kind::Counter: out += "counter"; break;
+      case Kind::Gauge: out += "gauge"; break;
+      case Kind::Histogram: out += "histogram"; break;
+    }
+    out += "\", \"help\": \"" + escape(fam.help) + "\", \"label_key\": \"" +
+           escape(fam.label_key) + "\", \"values\": [";
+    bool first_child = true;
+    for (const auto& [label_value, ch] : fam.children) {
+      if (!first_child) out += ",";
+      first_child = false;
+      out += "{\"label\": \"" + escape(label_value) + "\", ";
+      switch (fam.kind) {
+        case Kind::Counter:
+          out += "\"value\": " + std::to_string(ch.counter->value());
+          break;
+        case Kind::Gauge:
+          out += "\"value\": " + format_value(ch.gauge->value());
+          break;
+        case Kind::Histogram: {
+          out += "\"count\": " + std::to_string(ch.histogram->count()) +
+                 ", \"sum\": " + format_value(ch.histogram->sum()) +
+                 ", \"buckets\": [";
+          const auto counts = ch.histogram->bucket_counts();
+          for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (i > 0) out += ",";
+            out += std::to_string(counts[i]);
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]}";
   return out;
 }
 

@@ -156,6 +156,10 @@ class MetricsRegistry {
   /// label value, with # HELP / # TYPE headers.
   [[nodiscard]] std::string render_prometheus() const;
 
+  /// The same snapshot as a JSON object (the run report embeds this):
+  /// {"families": [{"name", "type", "help", "label_key", "values": [...]}]}.
+  [[nodiscard]] std::string render_json() const;
+
   /// Zero every value. Metrics stay registered (references remain valid).
   void reset();
 

@@ -1,0 +1,330 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace iotls::obs {
+
+namespace {
+
+std::atomic<bool> g_profile_enabled{false};
+
+/// Per-thread timeline buffers are capped so a full study with record-level
+/// zones cannot grow without bound; the merged snapshot reports the drops.
+constexpr std::size_t kMaxEventsPerThread = 1u << 18;  // 262144
+
+}  // namespace
+
+bool profile_enabled() {
+  return g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+void set_profile_enabled(bool enabled) {
+  g_profile_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t profile_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace detail {
+
+/// Mutable per-thread call tree. The owning thread mutates it on zone
+/// enter/exit; profile_snapshot() reads it from another thread. Both sides
+/// take the per-thread mutex — uncontended in steady state, so the
+/// enabled-path cost stays in the tens of nanoseconds.
+struct ThreadProfile {
+  struct Node {
+    std::string name;
+    Node* parent = nullptr;
+    std::uint64_t calls = 0;
+    std::uint64_t inclusive_ns = 0;
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+  };
+
+  std::mutex mutex;
+  Node root;
+  Node* current = &root;
+  std::uint32_t index = 0;  // registration order (Chrome export tid)
+  std::vector<ProfileEvent> events;
+  std::uint64_t events_dropped = 0;
+};
+
+namespace {
+
+/// Registry of every thread's profile state. Entries outlive their threads
+/// (pool workers are ephemeral); thread_local holds a raw pointer that is
+/// only ever valid for the thread that registered it.
+struct ProfileRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadProfile>> threads;
+
+  static ProfileRegistry& get() {
+    static ProfileRegistry* registry = new ProfileRegistry();
+    return *registry;
+  }
+};
+
+thread_local ThreadProfile* tl_profile = nullptr;
+
+}  // namespace
+
+ThreadProfile* thread_profile() {
+  if (tl_profile == nullptr) {
+    auto& registry = ProfileRegistry::get();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.threads.push_back(std::make_unique<ThreadProfile>());
+    registry.threads.back()->index =
+        static_cast<std::uint32_t>(registry.threads.size() - 1);
+    tl_profile = registry.threads.back().get();
+  }
+  return tl_profile;
+}
+
+void zone_enter(ThreadProfile* tp, std::string_view name) {
+  std::lock_guard<std::mutex> lock(tp->mutex);
+  auto it = tp->current->children.find(name);
+  if (it == tp->current->children.end()) {
+    auto node = std::make_unique<ThreadProfile::Node>();
+    node->name = std::string(name);
+    node->parent = tp->current;
+    it = tp->current->children.emplace(node->name, std::move(node)).first;
+  }
+  tp->current = it->second.get();
+}
+
+void zone_exit(ThreadProfile* tp, std::uint64_t start_ns) {
+  const std::uint64_t now = profile_now_ns();
+  const std::uint64_t duration = now > start_ns ? now - start_ns : 0;
+  std::lock_guard<std::mutex> lock(tp->mutex);
+  ThreadProfile::Node* node = tp->current;
+  node->calls += 1;
+  node->inclusive_ns += duration;
+  if (node->parent != nullptr) tp->current = node->parent;
+  if (tp->events.size() < kMaxEventsPerThread) {
+    tp->events.push_back(
+        ProfileEvent{node->name, start_ns, duration, tp->index});
+  } else {
+    tp->events_dropped += 1;
+  }
+}
+
+}  // namespace detail
+
+std::uint64_t ProfileNode::exclusive_ns() const {
+  std::uint64_t children_ns = 0;
+  for (const auto& [name, child] : children) {
+    children_ns += child.inclusive_ns;
+  }
+  return inclusive_ns > children_ns ? inclusive_ns - children_ns : 0;
+}
+
+namespace {
+
+/// True when the subtree recorded at least one completed call. Resets keep
+/// the node structure alive (owning threads may hold pointers into it), so
+/// the merge skips zeroed subtrees to keep snapshots clean after a reset.
+bool subtree_has_calls(const detail::ThreadProfile::Node& node) {
+  if (node.calls > 0) return true;
+  for (const auto& [name, child] : node.children) {
+    if (subtree_has_calls(*child)) return true;
+  }
+  return false;
+}
+
+void merge_node(const detail::ThreadProfile::Node& from, ProfileNode* into) {
+  into->calls += from.calls;
+  into->inclusive_ns += from.inclusive_ns;
+  for (const auto& [name, child] : from.children) {
+    if (!subtree_has_calls(*child)) continue;
+    ProfileNode& slot = into->children[name];
+    slot.name = name;
+    merge_node(*child, &slot);
+  }
+}
+
+}  // namespace
+
+ProfileSnapshot profile_snapshot(bool include_events) {
+  ProfileSnapshot snapshot;
+  snapshot.root.name = "<root>";
+  auto& registry = detail::ProfileRegistry::get();
+  std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  snapshot.threads = registry.threads.size();
+  for (const auto& tp : registry.threads) {
+    std::lock_guard<std::mutex> lock(tp->mutex);
+    merge_node(tp->root, &snapshot.root);
+    snapshot.events_dropped += tp->events_dropped;
+    if (include_events) {
+      snapshot.events.insert(snapshot.events.end(), tp->events.begin(),
+                             tp->events.end());
+    }
+  }
+  // The sentinel accumulates nothing itself; make its inclusive time the
+  // sum of the top-level zones so percentages have a denominator.
+  snapshot.root.calls = 1;
+  snapshot.root.inclusive_ns = 0;
+  for (const auto& [name, child] : snapshot.root.children) {
+    snapshot.root.inclusive_ns += child.inclusive_ns;
+  }
+  std::sort(snapshot.events.begin(), snapshot.events.end(),
+            [](const ProfileEvent& a, const ProfileEvent& b) {
+              return a.start_ns != b.start_ns
+                         ? a.start_ns < b.start_ns
+                         : a.thread_index < b.thread_index;
+            });
+  return snapshot;
+}
+
+std::size_t profile_thread_count() {
+  auto& registry = detail::ProfileRegistry::get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.threads.size();
+}
+
+void profile_reset() {
+  auto& registry = detail::ProfileRegistry::get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& tp : registry.threads) {
+    std::lock_guard<std::mutex> tp_lock(tp->mutex);
+    // The owning thread may still hold `current` pointers into the tree;
+    // zero the counters instead of deleting nodes (same lifetime rule as
+    // MetricsRegistry::reset()).
+    tp->events.clear();
+    tp->events_dropped = 0;
+    struct Zero {
+      static void apply(detail::ThreadProfile::Node* node) {
+        node->calls = 0;
+        node->inclusive_ns = 0;
+        for (auto& [name, child] : node->children) apply(child.get());
+      }
+    };
+    Zero::apply(&tp->root);
+  }
+}
+
+namespace {
+
+std::string format_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return std::string(buf);
+}
+
+void render_node(const ProfileNode& node, std::uint64_t total_ns, int depth,
+                 std::string* out) {
+  if (depth > 0) {
+    const double pct =
+        total_ns > 0 ? 100.0 * static_cast<double>(node.inclusive_ns) /
+                           static_cast<double>(total_ns)
+                     : 0.0;
+    const double per_call =
+        node.calls > 0 ? static_cast<double>(node.inclusive_ns) / 1e6 /
+                             static_cast<double>(node.calls)
+                       : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%*s%-*s %10s ms incl %10s ms excl %9llu calls "
+                  "%10.4f ms/call %5.1f%%\n",
+                  depth * 2, "", std::max(1, 40 - depth * 2),
+                  node.name.c_str(), format_ms(node.inclusive_ns).c_str(),
+                  format_ms(node.exclusive_ns()).c_str(),
+                  static_cast<unsigned long long>(node.calls), per_call,
+                  pct);
+    *out += line;
+  }
+  // Hot-first ordering; ties broken by name so the report is stable.
+  std::vector<const ProfileNode*> kids;
+  kids.reserve(node.children.size());
+  for (const auto& [name, child] : node.children) kids.push_back(&child);
+  std::sort(kids.begin(), kids.end(),
+            [](const ProfileNode* a, const ProfileNode* b) {
+              return a->inclusive_ns != b->inclusive_ns
+                         ? a->inclusive_ns > b->inclusive_ns
+                         : a->name < b->name;
+            });
+  for (const auto* child : kids) {
+    render_node(*child, total_ns, depth + 1, out);
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_profile(const ProfileSnapshot& snapshot) {
+  std::string out = "Profile (" + std::to_string(snapshot.threads) +
+                    " thread trees merged, total " +
+                    format_ms(snapshot.root.inclusive_ns) + " ms";
+  if (snapshot.events_dropped > 0) {
+    out += ", " + std::to_string(snapshot.events_dropped) +
+           " timeline events dropped";
+  }
+  out += ")\n";
+  if (snapshot.root.children.empty()) {
+    out += "  (no zones recorded — set IOTLS_PROFILE=1)\n";
+    return out;
+  }
+  render_node(snapshot.root, snapshot.root.inclusive_ns, 0, &out);
+  return out;
+}
+
+std::string profile_to_chrome_json(const ProfileSnapshot& snapshot) {
+  // Complete ("X") events, microsecond timestamps, one pid, tid = the
+  // profile thread index. Loads directly in chrome://tracing and Perfetto.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : snapshot.events) {
+    if (!first) out += ",";
+    first = false;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"iotls\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  json_escape(e.name).c_str(),
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3,
+                  static_cast<unsigned>(e.thread_index));
+    out += buf;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string profile_tree_to_json(const ProfileNode& node) {
+  std::string out = "{\"name\":\"" + json_escape(node.name) + "\"";
+  out += ",\"calls\":" + std::to_string(node.calls);
+  out += ",\"inclusive_ns\":" + std::to_string(node.inclusive_ns);
+  out += ",\"exclusive_ns\":" + std::to_string(node.exclusive_ns());
+  if (!node.children.empty()) {
+    out += ",\"children\":[";
+    bool first = true;
+    for (const auto& [name, child] : node.children) {
+      if (!first) out += ",";
+      first = false;
+      out += profile_tree_to_json(child);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace iotls::obs

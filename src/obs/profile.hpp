@@ -1,0 +1,138 @@
+// Hierarchical wall-clock profiler: the third observability pillar next to
+// the flight recorder (trace.hpp) and the metrics registry (metrics.hpp).
+//
+// Instrumented code opens a scoped ProfileZone; nested zones build a
+// per-thread call tree (zone name -> inclusive ns, call count, children).
+// Each thread owns its tree: zone enter/exit touch only thread-local state
+// under that thread's private mutex, so pool workers profile concurrently
+// without contending. profile_snapshot() merges every thread's tree by
+// zone-name path after a fan-out drains (worker threads are ephemeral —
+// their trees outlive them in the registry, exactly like metric cells).
+//
+// Cost model: with profiling disabled (the default) a zone is one relaxed
+// atomic load and a branch — no allocation, no thread registration, no
+// clock read. The IOTLS_PROFILE knob (strict env parsing at the CLI
+// surface) flips the global switch.
+//
+// Determinism contract: the profiler is wall-clock-dependent by nature and
+// is an OPERATOR surface only, like metrics — never an input to any table,
+// figure, or trace. Tables and figures are byte-identical whether
+// profiling is on or off (the obs determinism suites enforce this, and the
+// timing-hygiene lint rule keeps raw clock reads confined to src/obs/ and
+// bench/ so the boundary cannot erode).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotls::obs {
+
+/// Global profiler switch (IOTLS_PROFILE at the CLI surface).
+bool profile_enabled();
+void set_profile_enabled(bool enabled);
+
+/// Monotonic wall clock in nanoseconds — the sanctioned raw-clock read for
+/// operator-surface timing (everything outside bench/ routes through it;
+/// see the timing-hygiene lint rule).
+std::uint64_t profile_now_ns();
+
+/// Wall-clock stopwatch over profile_now_ns(), for operator-surface timing
+/// reports (e.g. IotlsStudy's per-experiment table).
+class WallTimer {
+ public:
+  WallTimer() : start_ns_(profile_now_ns()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(profile_now_ns() - start_ns_) / 1e6;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+namespace detail {
+struct ThreadProfile;
+/// The calling thread's profile state, registered on first use (the
+/// registry owns it; the thread holds a raw pointer for its lifetime).
+ThreadProfile* thread_profile();
+void zone_enter(ThreadProfile* tp, std::string_view name);
+void zone_exit(ThreadProfile* tp, std::uint64_t start_ns);
+}  // namespace detail
+
+/// Scoped zone timer. Construction with profiling disabled is a no-op
+/// (no allocation, no clock read). The name is copied only on the first
+/// visit of a (parent, name) tree edge per thread.
+class ProfileZone {
+ public:
+  explicit ProfileZone(std::string_view name) {
+    if (!profile_enabled()) return;
+    tp_ = detail::thread_profile();
+    detail::zone_enter(tp_, name);
+    start_ns_ = profile_now_ns();
+  }
+  ~ProfileZone() {
+    if (tp_ != nullptr) detail::zone_exit(tp_, start_ns_);
+  }
+  ProfileZone(const ProfileZone&) = delete;
+  ProfileZone& operator=(const ProfileZone&) = delete;
+
+ private:
+  detail::ThreadProfile* tp_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// One node of the merged call tree. `inclusive_ns` counts the whole zone;
+/// `exclusive_ns()` subtracts the children (clamped at zero — a child
+/// recorded on another thread can overlap its parent's frame boundary).
+struct ProfileNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::map<std::string, ProfileNode> children;
+
+  [[nodiscard]] std::uint64_t exclusive_ns() const;
+};
+
+/// One completed zone instance (for the Chrome/Perfetto timeline export).
+struct ProfileEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread_index = 0;  // registration order, stable per thread
+};
+
+struct ProfileSnapshot {
+  ProfileNode root;  // name "<root>"; top-level zones are its children
+  std::size_t threads = 0;        // thread trees merged
+  std::uint64_t events_dropped = 0;  // timeline events past the buffer cap
+  std::vector<ProfileEvent> events;  // sorted by start_ns (if requested)
+};
+
+/// Merge every registered thread tree. `include_events` copies the
+/// timeline buffers too (they can be large — the text report and the run
+/// report don't need them). Safe to call while zones are still running on
+/// other threads; in-flight zones are simply not counted yet.
+ProfileSnapshot profile_snapshot(bool include_events = false);
+
+/// Number of threads that have registered profile state (0 until the
+/// first enabled zone runs — the disabled path never registers).
+std::size_t profile_thread_count();
+
+/// Drop every thread tree and timeline buffer (bench lanes isolate runs).
+void profile_reset();
+
+/// Sorted text tree: children by descending inclusive time, one line per
+/// zone with inclusive/exclusive ms, call count, and per-call cost.
+std::string render_profile(const ProfileSnapshot& snapshot);
+
+/// Chrome trace-event JSON (chrome://tracing / Perfetto "traceEvents"
+/// array of complete "X" events). Open the file directly in a timeline
+/// viewer. Requires a snapshot taken with include_events = true.
+std::string profile_to_chrome_json(const ProfileSnapshot& snapshot);
+
+/// The merged tree as a JSON object (the run report embeds this).
+std::string profile_tree_to_json(const ProfileNode& node);
+
+}  // namespace iotls::obs

@@ -1,0 +1,64 @@
+// RunReport: one self-describing JSON artifact per CLI/bench run.
+//
+// Every operator-facing binary (iotls-store, iotls-query, the bench lanes)
+// can emit a run report — build info, the knobs the run was launched with,
+// the merged profile tree, the full metrics snapshot, and peak RSS — so a
+// BENCH_*.json number or a Prometheus scrape is always attributable to a
+// concrete build and configuration. The IOTLS_RUN_REPORT knob names the
+// output path; iotls-bench-track ingests these alongside the bench JSON.
+//
+// Like the profiler and metrics, run reports are an operator surface:
+// wall-clock- and machine-dependent, never an input to a table or figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iotls::obs {
+
+/// Compile-time build identity, filled from CMake-provided definitions.
+struct BuildInfo {
+  std::string version;     // project version (CMake)
+  std::string compiler;    // __VERSION__
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string sanitizers;  // "tsan", "asan,ubsan", or "none"
+};
+
+const BuildInfo& build_info();
+
+/// One composed label value for the iotls_build_info metrics gauge
+/// ("version=...;compiler=...;build=...;san=..." — the registry supports a
+/// single label key per family).
+std::string build_info_label();
+
+/// Peak resident set size in bytes (0 where the platform cannot say).
+std::uint64_t peak_rss_bytes();
+
+struct RunReport {
+  /// Which binary produced the report ("bench_crypto", "iotls-query", ...).
+  std::string tool;
+  /// Knobs as launched: (name, value) in insertion order. Callers record
+  /// what they parsed (IOTLS_THREADS, IOTLS_PROFILE, CLI flags, ...).
+  std::vector<std::pair<std::string, std::string>> knobs;
+  /// Embed the merged profile tree (skipped when the profiler never ran).
+  bool include_profile = true;
+  /// Embed every metric family as JSON.
+  bool include_metrics = true;
+
+  void add_knob(std::string name, std::string value) {
+    knobs.emplace_back(std::move(name), std::move(value));
+  }
+};
+
+/// The full report document (schema documented in DESIGN.md §13):
+/// { "schema": "iotls-run-report/1", "tool", "build": {...}, "knobs",
+///   "profile": {...}, "metrics": {...}, "peak_rss_bytes" }
+std::string render_run_report_json(const RunReport& report);
+
+/// Render and write to `path`. Returns false (with a message on stderr)
+/// when the file cannot be written.
+bool write_run_report(const RunReport& report, const std::string& path);
+
+}  // namespace iotls::obs

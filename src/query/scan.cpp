@@ -7,6 +7,7 @@
 #include "common/pool.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "obs/profile.hpp"
 #include "query/expr.hpp"
 #include "store/reader.hpp"
 #include "tls/ciphersuite.hpp"
@@ -164,6 +165,7 @@ struct ShardScan {
 
 ShardScan scan_shard(const std::string& path, const Compiled& query,
                      bool pushdown) {
+  const obs::ProfileZone zone("query/scan_shard");
   const store::ShardIndex index = store::read_shard_index(path);
   ShardScan out;
   out.stats.shards = 1;
@@ -217,6 +219,7 @@ ShardScan scan_shard(const std::string& path, const Compiled& query,
 // ---------------------------------------------------------------------------
 
 void aggregate_rows(QueryResult* result) {
+  const obs::ProfileZone zone("query/aggregate_rows");
   // Key rows carry their connection count as a trailing hidden cell.
   std::map<std::vector<std::string>, std::pair<std::uint64_t, std::uint64_t>>
       groups;
@@ -245,6 +248,7 @@ std::vector<std::string> default_columns() {
 }
 
 QueryResult run_query(const std::string& dir, const QueryOptions& options) {
+  const obs::ProfileZone zone("query/run_query");
   Compiled query = compile(options);
   if (query.aggregate) {
     query.output.push_back(Column::Count);  // hidden aggregation input

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profile.hpp"
 #include "tls/version.hpp"
 
 namespace iotls::store {
@@ -325,6 +326,7 @@ void decode_block(common::BytesView payload, const ShardHeader& header,
                   StringDictionary* dict,
                   std::vector<testbed::PassiveConnectionGroup>* out,
                   bool dict_preloaded) {
+  const obs::ProfileZone zone("store/decode_block");
   CodecReader reader(payload);
 
   const std::uint64_t new_entries = reader.varint();

@@ -6,6 +6,7 @@
 
 #include "common/pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace iotls::store {
 
@@ -28,6 +29,7 @@ std::uint32_t read_u32(CheckedFile* file, const std::string& context) {
 /// Read a length+CRC framed payload; validates the length cap and the CRC.
 common::Bytes read_framed_payload(CheckedFile* file,
                                   const std::string& context) {
+  const obs::ProfileZone zone("store/read_frame");
   const std::uint32_t len = read_u32(file, context + " length");
   const std::uint32_t expected_crc = read_u32(file, context + " checksum");
   if (len > kMaxBlockPayload) {

@@ -7,6 +7,7 @@
 
 #include "common/pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace iotls::store {
 
@@ -61,6 +62,7 @@ void ShardWriter::add(const testbed::PassiveConnectionGroup& group) {
 
 void ShardWriter::flush_block() {
   if (encoder_.pending_groups() == 0) return;
+  const obs::ProfileZone zone("store/flush_block");
   const common::Bytes payload = encoder_.finish(&dict_);
   write_frame(&file_, kBlockGroups, payload);
   if (block_stats_) stats_.push_back(encoder_.last_stats());

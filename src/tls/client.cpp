@@ -4,6 +4,7 @@
 
 #include "crypto/sha256.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "tls/alert.hpp"
 #include "tls/ciphersuite.hpp"
 #include "tls/version.hpp"
@@ -554,6 +555,7 @@ ClientResult TlsClient::connect(Transport& transport,
                                 const std::string& hostname,
                                 common::BytesView app_payload,
                                 const ResumptionState* resume) {
+  const obs::ProfileZone zone("tls/client_connect");
   obs::Span* span = config_.span;
   if (span != nullptr && span->enabled()) transport.set_span(span);
   ClientResult result =

@@ -5,6 +5,7 @@
 #include "crypto/kdf.hpp"
 #include "crypto/sha256.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "tls/alert.hpp"
 
 namespace iotls::tls {
@@ -61,6 +62,7 @@ std::vector<TlsRecord> TlsServer::fail(AlertDescription desc) {
 }
 
 std::vector<TlsRecord> TlsServer::on_record(const TlsRecord& record) {
+  const obs::ProfileZone zone("tls/server_on_record");
   if (record.type == ContentType::Alert) {
     obs_.alert_received = Alert::parse(record.payload);
     state_ = State::Failed;

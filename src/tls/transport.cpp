@@ -1,6 +1,7 @@
 #include "tls/transport.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "tls/messages.hpp"
 
 namespace iotls::tls {
@@ -70,6 +71,7 @@ void Transport::note_record(bool client_to_server, const TlsRecord& record) {
 }
 
 void Transport::send(const TlsRecord& record) {
+  const obs::ProfileZone zone("tls/transport_send");
   if (closed_ || session_ == nullptr) {
     throw common::ProtocolError("send on closed transport");
   }

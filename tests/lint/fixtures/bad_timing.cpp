@@ -1,0 +1,16 @@
+// Known-bad fixture for the timing-hygiene rule: raw std::chrono clock
+// reads outside src/obs/ and bench/. One finding per marked line.
+#include <chrono>
+
+auto raw_steady() { return std::chrono::steady_clock::now(); }  // FLAG
+
+auto raw_high_res() {
+  using namespace std::chrono;
+  return high_resolution_clock::now();  // FLAG
+}
+
+double elapsed_ms() {
+  const auto start = std::chrono::steady_clock::now();  // FLAG
+  const auto stop = std::chrono::steady_clock::now();   // FLAG
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}

@@ -1,0 +1,29 @@
+// Known-good fixture for the timing-hygiene rule: look-alikes it must not
+// flag, plus one real clock read waived by a suppression comment.
+#include <chrono>
+
+struct FakeClock {
+  static long now() { return 0; }
+};
+
+// A user-defined type named like a clock is fine — only the std chrono
+// clocks are banned.
+struct steady_clock_stats {
+  long now_count = 0;
+};
+
+// Member/static calls on user types do not match.
+long via_fake() { return FakeClock::now(); }
+
+// Naming the type without reading it (e.g. in a template argument) is fine;
+// only `::now()` is the violation.
+using SteadyPoint = std::chrono::steady_clock::time_point;
+
+// The banned pattern inside a comment or string must not match:
+// steady_clock::now() in prose, and "steady_clock::now()" as data.
+const char* doc = "call steady_clock::now() for a timestamp";
+
+// A real clock read, but explicitly waived for this line.
+auto waived() {
+  return std::chrono::steady_clock::now();  // iotls-lint: allow(timing-hygiene)
+}

@@ -197,6 +197,37 @@ TEST(LintRules, RawIoAllowedChokepointFileIsExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: timing-hygiene
+// ---------------------------------------------------------------------------
+
+RuleConfig timing_config() {
+  RuleConfig config = fixture_config();
+  // The fixture corpus sits outside src/obs/ and bench/, so the default
+  // allowed fragments already leave it in scope; cleared here so the tests
+  // stay valid if the defaults ever widen.
+  config.timing_allowed_fragments.clear();
+  return config;
+}
+
+TEST(LintRules, TimingHygieneFiresOnRawClockReads) {
+  const auto findings = run_fixtures({"bad_timing.cpp"}, timing_config());
+  const std::set<int> expected = {5, 9, 13, 14};
+  EXPECT_EQ(lines_for_rule(findings, "timing-hygiene"), expected);
+}
+
+TEST(LintRules, TimingHygieneIgnoresLookalikesAndHonorsAllow) {
+  EXPECT_TRUE(run_fixtures({"good_timing.cpp"}, timing_config()).empty());
+}
+
+TEST(LintRules, TimingHygieneAllowedFragmentsAreExempt) {
+  RuleConfig config = timing_config();
+  // The whole fixture tree matches this fragment, so the bad file is waived
+  // — the real-tree analogue of src/obs/ and bench/.
+  config.timing_allowed_fragments = {"bad_timing"};
+  EXPECT_TRUE(run_fixtures({"bad_timing.cpp"}, config).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Rule: alert-exhaustive
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,97 @@
+// Run-report schema round-trip: render_run_report_json must stay parseable
+// and carry the documented fields (DESIGN.md §13) — the contract
+// iotls-bench-track and CI artifact consumers rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using iotls::common::Json;
+using iotls::obs::RunReport;
+
+TEST(RunReport, SchemaRoundTripsThroughTheJsonParser) {
+  iotls::obs::set_profile_enabled(true);
+  iotls::obs::profile_reset();
+  {
+    const iotls::obs::ProfileZone zone("report_test/zone");
+  }
+
+  RunReport report;
+  report.tool = "report_test";
+  report.add_knob("IOTLS_THREADS", "4");
+  report.add_knob("quote\"me", "line\nbreak");
+  const Json doc =
+      Json::parse(iotls::obs::render_run_report_json(report));
+  iotls::obs::set_profile_enabled(false);
+  iotls::obs::profile_reset();
+
+  EXPECT_EQ(doc.at("schema").as_string(), "iotls-run-report/1");
+  EXPECT_EQ(doc.at("tool").as_string(), "report_test");
+
+  const Json& build = doc.at("build");
+  EXPECT_FALSE(build.at("version").as_string().empty());
+  EXPECT_FALSE(build.at("compiler").as_string().empty());
+  EXPECT_FALSE(build.at("build_type").as_string().empty());
+  EXPECT_FALSE(build.at("sanitizers").as_string().empty());
+
+  const Json& knobs = doc.at("knobs");
+  EXPECT_EQ(knobs.at("IOTLS_THREADS").as_string(), "4");
+  EXPECT_EQ(knobs.at("quote\"me").as_string(), "line\nbreak");
+
+  const Json& profile = doc.at("profile");
+  EXPECT_TRUE(profile.at("enabled").as_bool());
+  EXPECT_GE(profile.at("threads").as_number(), 1.0);
+  const Json& tree = profile.at("tree");
+  EXPECT_EQ(tree.at("name").as_string(), "<root>");
+  EXPECT_EQ(tree.at("children").as_array().at(0).at("name").as_string(),
+            "report_test/zone");
+
+  EXPECT_TRUE(doc.at("metrics").is_object());
+  EXPECT_GT(doc.at("peak_rss_bytes").as_number(), 0.0);
+}
+
+TEST(RunReport, SectionsCanBeOmitted) {
+  RunReport report;
+  report.tool = "lean";
+  report.include_profile = false;
+  report.include_metrics = false;
+  const Json doc =
+      Json::parse(iotls::obs::render_run_report_json(report));
+  EXPECT_EQ(doc.find("profile"), nullptr);
+  EXPECT_EQ(doc.find("metrics"), nullptr);
+  EXPECT_NE(doc.find("peak_rss_bytes"), nullptr);
+}
+
+TEST(RunReport, WriteRunReportProducesAReadableFile) {
+  const std::string path = "report_test_artifact.json";
+  RunReport report;
+  report.tool = "writer";
+  report.include_profile = false;
+  report.include_metrics = false;
+  ASSERT_TRUE(iotls::obs::write_run_report(report, path));
+
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Json doc = Json::parse(buf.str());
+  EXPECT_EQ(doc.at("tool").as_string(), "writer");
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, BuildInfoLabelNamesEveryField) {
+  const std::string label = iotls::obs::build_info_label();
+  EXPECT_NE(label.find("version="), std::string::npos);
+  EXPECT_NE(label.find("compiler="), std::string::npos);
+  EXPECT_NE(label.find("build="), std::string::npos);
+  EXPECT_NE(label.find("san="), std::string::npos);
+}
+
+}  // namespace

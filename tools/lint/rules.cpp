@@ -403,6 +403,43 @@ void rule_raw_io(const SourceFile& file, const RuleConfig& config,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: timing-hygiene
+// ---------------------------------------------------------------------------
+
+/// std::chrono clocks whose `now()` must stay behind the obs chokepoint.
+/// system_clock is already covered by the determinism rule (any mention),
+/// so only the monotonic clocks are listed here.
+const std::set<std::string>& raw_clock_types() {
+  static const std::set<std::string> kClocks = {"steady_clock",
+                                                "high_resolution_clock"};
+  return kClocks;
+}
+
+void rule_timing_hygiene(const SourceFile& file, const RuleConfig& config,
+                         std::vector<Finding>* out) {
+  const bool allowed = std::any_of(
+      config.timing_allowed_fragments.begin(),
+      config.timing_allowed_fragments.end(), [&](const std::string& fragment) {
+        return file.path.find(fragment) != std::string::npos;
+      });
+  if (allowed) return;
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident || raw_clock_types().count(t.text) == 0) {
+      continue;
+    }
+    if (is_punct(toks[i + 1], "::") && is_ident(toks[i + 2], "now") &&
+        is_punct(toks[i + 3], "(")) {
+      out->push_back({file.path, t.line, "timing-hygiene",
+                      t.text + "::now() outside src/obs/; measure through "
+                      "obs::WallTimer or obs::profile_now_ns so clock reads "
+                      "stay auditable"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: alert-exhaustive (cross-file)
 // ---------------------------------------------------------------------------
 
@@ -515,7 +552,7 @@ void rule_alert_exhaustive(const std::vector<SourceFile>& files,
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "alert-exhaustive", "banned-api", "determinism", "include-hygiene",
-      "raw-io", "secret-hygiene"};
+      "raw-io", "secret-hygiene", "timing-hygiene"};
   return kNames;
 }
 
@@ -528,6 +565,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     rule_include_hygiene(file, &findings);
     rule_raw_io(file, config, &findings);
     rule_secret_hygiene(file, &findings);
+    rule_timing_hygiene(file, config, &findings);
   }
   rule_alert_exhaustive(files, config, &findings);
 

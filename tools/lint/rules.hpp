@@ -1,6 +1,6 @@
 // iotls-lint rule engine.
 //
-// Five named rules enforce the project invariants review keeps re-checking
+// Seven named rules enforce the project invariants review keeps re-checking
 // by hand (DESIGN.md §9):
 //
 //   determinism      no wall-clock / ambient randomness / getenv / pointer
@@ -12,6 +12,9 @@
 //   include-hygiene  relative "../" includes, `using namespace` in headers
 //   raw-io           no raw fopen/fwrite/fstream file I/O in capture-store
 //                    code outside the CheckedFile chokepoint
+//   timing-hygiene   no raw std::chrono clock reads outside the obs timing
+//                    chokepoint (obs::WallTimer / obs::profile_now_ns) and
+//                    the bench harness
 //
 // Suppression: a `// iotls-lint: allow(rule-a, rule-b)` comment silences
 // those rules on its own line and on the following line.
@@ -63,6 +66,12 @@ struct RuleConfig {
   /// The chokepoint implementation itself — the one file in scope allowed
   /// to touch raw stdio.
   std::vector<std::string> raw_io_allowed_files = {"src/store/io.cpp"};
+
+  /// Scope of the `timing-hygiene` rule: files whose repo-relative path
+  /// contains one of these fragments may read std::chrono clocks directly.
+  /// Everything else measures time through obs::WallTimer /
+  /// obs::profile_now_ns so clock access stays auditable in one place.
+  std::vector<std::string> timing_allowed_fragments = {"src/obs/", "bench/"};
 };
 
 /// Names of every rule, for --list-rules and suppression validation.

@@ -21,7 +21,10 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/env.hpp"
 #include "common/strings.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "query/scan.hpp"
 #include "store/format.hpp"
 
@@ -37,6 +40,27 @@ int usage(const std::string& error) {
   return 2;
 }
 
+/// Operator telemetry after the query ran. The profile tree goes to
+/// stderr — stdout carries the query rows and stays pipeline-clean.
+void emit_telemetry(const std::vector<std::string>& args, int exit_code) {
+  if (iotls::obs::profile_enabled() &&
+      iotls::obs::profile_thread_count() > 0) {
+    std::cerr << "\n==== profile (IOTLS_PROFILE) ====\n"
+              << iotls::obs::render_profile(iotls::obs::profile_snapshot());
+  }
+  const char* path = iotls::common::env_string("IOTLS_RUN_REPORT", "");
+  if (*path == '\0') return;
+  iotls::obs::RunReport report;
+  report.tool = "iotls-query";
+  for (const auto& arg : args) report.add_knob("arg", arg);
+  report.add_knob("IOTLS_PROFILE",
+                  iotls::obs::profile_enabled() ? "1" : "0");
+  report.add_knob("exit_code", std::to_string(exit_code));
+  if (iotls::obs::write_run_report(report, path)) {
+    std::cerr << "wrote run report " << path << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,6 +69,8 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool oracle = false;
   iotls::query::QueryOptions options;
+  iotls::obs::set_profile_enabled(
+      iotls::common::strict_env_long("IOTLS_PROFILE", 0) != 0);
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -95,6 +121,7 @@ int main(int argc, char** argv) {
   try {
     if (explain) {
       std::cout << iotls::query::explain_query(dir, options);
+      emit_telemetry(args, 0);
       return 0;
     }
     const iotls::query::QueryResult result =
@@ -102,6 +129,7 @@ int main(int argc, char** argv) {
                : iotls::query::run_query(dir, options);
     std::cout << (format == "table" ? iotls::query::render_table(result)
                                     : iotls::query::render_tsv(result));
+    emit_telemetry(args, 0);
     return 0;
   } catch (const iotls::common::ParseError& e) {
     std::cerr << "iotls-query: ParseError: " << e.what() << "\n";
@@ -114,5 +142,6 @@ int main(int argc, char** argv) {
   } catch (const iotls::store::StoreError& e) {
     std::cerr << "iotls-query: StoreError: " << e.what() << "\n";
   }
+  emit_telemetry(args, 1);
   return 1;
 }

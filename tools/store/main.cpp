@@ -19,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "store/compact.hpp"
 #include "store/format.hpp"
 #include "store/io.hpp"
@@ -212,19 +215,53 @@ int cmd_export_tsv(const std::vector<std::string>& args) {
   return 0;
 }
 
+int run_command(const std::string& command,
+                const std::vector<std::string>& args) {
+  if (command == "inspect") return cmd_inspect(args);
+  if (command == "validate") return cmd_validate(args);
+  if (command == "merge") return cmd_merge(args);
+  if (command == "compact") return cmd_compact(args);
+  if (command == "export-tsv") return cmd_export_tsv(args);
+  return usage("unknown command: " + command);
+}
+
+/// Operator telemetry (IOTLS_PROFILE text tree + the IOTLS_RUN_REPORT
+/// artifact), emitted after the command so the profile tree is complete.
+void emit_telemetry(const std::string& command,
+                    const std::vector<std::string>& args, int exit_code) {
+  if (iotls::obs::profile_enabled() &&
+      iotls::obs::profile_thread_count() > 0) {
+    std::printf(
+        "\n==== profile (IOTLS_PROFILE) ====\n%s",
+        iotls::obs::render_profile(iotls::obs::profile_snapshot()).c_str());
+  }
+  const char* path = iotls::common::env_string("IOTLS_RUN_REPORT", "");
+  if (*path == '\0') return;
+  iotls::obs::RunReport report;
+  report.tool = "iotls-store";
+  report.add_knob("command", command);
+  for (const auto& arg : args) report.add_knob("arg", arg);
+  report.add_knob("IOTLS_PROFILE",
+                  iotls::obs::profile_enabled() ? "1" : "0");
+  report.add_knob("exit_code", std::to_string(exit_code));
+  if (iotls::obs::write_run_report(report, path)) {
+    std::printf("wrote run report %s\n", path);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage("missing command");
+  iotls::obs::set_profile_enabled(
+      iotls::common::strict_env_long("IOTLS_PROFILE", 0) != 0);
   const std::string command = argv[1];
   const std::vector<std::string> args(argv + 2, argv + argc);
+  int exit_code = 1;
   try {
-    if (command == "inspect") return cmd_inspect(args);
-    if (command == "validate") return cmd_validate(args);
-    if (command == "merge") return cmd_merge(args);
-    if (command == "compact") return cmd_compact(args);
-    if (command == "export-tsv") return cmd_export_tsv(args);
-    return usage("unknown command: " + command);
+    exit_code = run_command(command, args);
+    emit_telemetry(command, args, exit_code);
+    return exit_code;
   } catch (const iotls::store::StoreIoError& e) {
     std::cerr << "iotls-store: StoreIoError: " << e.what() << "\n";
   } catch (const iotls::store::StoreFormatError& e) {
@@ -234,5 +271,6 @@ int main(int argc, char** argv) {
   } catch (const iotls::store::StoreError& e) {
     std::cerr << "iotls-store: StoreError: " << e.what() << "\n";
   }
+  emit_telemetry(command, args, exit_code);
   return 1;
 }
