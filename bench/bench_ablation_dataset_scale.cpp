@@ -3,6 +3,8 @@
 // study tractable.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+
 #include "analysis/longitudinal.hpp"
 #include "analysis/summary.hpp"
 #include "testbed/testbed.hpp"
@@ -60,4 +62,6 @@ BENCHMARK(BM_FullHandshakeCost)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return iotls::bench::gbench_main(argc, argv, "ablation_dataset_scale");
+}

@@ -4,6 +4,8 @@
 // this bench quantifies why the simulation defaults to 512-bit moduli.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+
 #include "crypto/rsa.hpp"
 #include "pki/ca.hpp"
 #include "pki/spoof.hpp"
@@ -75,4 +77,6 @@ BENCHMARK(BM_SpoofedProbePayload)->Arg(448)->Arg(512)->Arg(768)->Arg(1024)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return iotls::bench::gbench_main(argc, argv, "ablation_keysize");
+}

@@ -4,6 +4,8 @@
 // transfer + validation + key exchange).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+
 #include <memory>
 
 #include "pki/ca.hpp"
@@ -79,4 +81,6 @@ BENCHMARK(BM_TicketSealUnseal)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return iotls::bench::gbench_main(argc, argv, "ablation_resumption");
+}

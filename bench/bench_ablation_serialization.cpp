@@ -2,6 +2,8 @@
 // message-level interception still pays full serialize+parse per record.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+
 #include "fingerprint/database.hpp"
 #include "tls/client.hpp"
 #include "tls/messages.hpp"
@@ -57,4 +59,6 @@ BENCHMARK(BM_FingerprintOfHello);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return iotls::bench::gbench_main(argc, argv, "ablation_serialization");
+}

@@ -1,0 +1,89 @@
+// Envelope adapter for the google-benchmark ablation lanes: runs the
+// registered benchmarks with the normal console output, captures each
+// iteration run, and emits the same BENCH_*.json document as the custom
+// lanes so iotls-bench-track can ingest ablations without per-lane
+// knowledge.
+//
+// Usage (replaces BENCHMARK_MAIN() in an ablation binary):
+//   int main(int argc, char** argv) {
+//     return iotls::bench::gbench_main(argc, argv, "ablation_resumption");
+//   }
+//
+// The binary then accepts an optional leading output path, exactly like
+// the custom lanes: `bench_ablation_resumption out.json [--benchmark_*]`
+// (default ./BENCH_<lane>.json).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace iotls::bench {
+
+inline const char* gbench_time_unit(benchmark::TimeUnit unit) {
+  switch (unit) {
+    case benchmark::kNanosecond:
+      return "ns/op";
+    case benchmark::kMicrosecond:
+      return "us/op";
+    case benchmark::kMillisecond:
+      return "ms/op";
+    case benchmark::kSecond:
+      return "s/op";
+  }
+  return "?/op";
+}
+
+/// Console output as usual, plus a Measurement per successful iteration
+/// run (aggregates like mean/median are skipped — the envelope wants the
+/// per-benchmark number, and single-repetition runs have no aggregates).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Measurement> results;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      results.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                         gbench_time_unit(run.time_unit)});
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+inline int gbench_main(int argc, char** argv, const std::string& lane) {
+  const obs::WallTimer total;
+  std::string out_path = "BENCH_" + lane + ".json";
+  if (argc > 1 && argv[1][0] != '-') {
+    out_path = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];
+    --argc;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  JsonCaptureReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (ran == 0) {
+    std::fprintf(stderr, "error: no benchmarks matched\n");
+    return 1;
+  }
+  if (reporter.results.empty()) {
+    std::fprintf(stderr, "error: every benchmark errored\n");
+    return 1;
+  }
+  if (!write_bench_json(out_path, lane, ran, total.elapsed_ms(),
+                        reporter.results)) {
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  maybe_write_run_report("bench_" + lane, {{"output", out_path}});
+  return 0;
+}
+
+}  // namespace iotls::bench

@@ -1,0 +1,220 @@
+// Minimal lazy coroutine task for the session engine (src/engine/).
+//
+// `Task<T>` is the resumable unit the engine multiplexes: a TLS connection
+// attempt (tls/client.hpp connect_task) or a whole per-device chain of
+// connections. Tasks are lazy (nothing runs until started or awaited),
+// single-consumer, and complete via symmetric transfer to their awaiting
+// continuation — so a chain of `co_await`s costs no stack growth and no
+// scheduler round-trips.
+//
+// The synchronous drivers run the same coroutines to completion in place
+// via `run_sync` (tls/record_io.hpp's SyncRecordIo never suspends), which
+// is what keeps the engine and synchronous paths byte-identical: one body,
+// two schedulers.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace iotls::common {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Hand control straight back to the awaiter, if any; otherwise park
+      // at final-suspend so the owner can observe done() and destroy.
+      auto& promise = h.promise();
+      if (promise.continuation) return promise.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazily-started coroutine returning T. Move-only; owns the frame.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return handle_ == nullptr || handle_.done(); }
+
+  /// Begin (or resume) execution until the first suspension point.
+  void start() {
+    if (handle_ != nullptr && !handle_.done()) handle_.resume();
+  }
+
+  /// Result extraction after completion; rethrows the task's exception.
+  T take_result() {
+    auto& promise = handle_.promise();
+    if (promise.error) std::rethrow_exception(promise.error);
+    return std::move(*promise.value);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer into the child task
+      }
+      T await_resume() {
+        auto& promise = handle.promise();
+        if (promise.error) std::rethrow_exception(promise.error);
+        return std::move(*promise.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_ != nullptr) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return handle_ == nullptr || handle_.done(); }
+
+  void start() {
+    if (handle_ != nullptr && !handle_.done()) handle_.resume();
+  }
+
+  void take_result() {
+    auto& promise = handle_.promise();
+    if (promise.error) std::rethrow_exception(promise.error);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        auto& promise = handle.promise();
+        if (promise.error) std::rethrow_exception(promise.error);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_ != nullptr) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Drive a task to completion on the calling thread. The task must not
+/// suspend on an unready awaiter (the synchronous RecordIo never does);
+/// a task that parks anyway is a scheduling bug, reported loudly.
+template <typename T>
+T run_sync(Task<T> task) {
+  task.start();
+  if (!task.done()) {
+    throw std::logic_error(
+        "run_sync: task suspended in a synchronous context");
+  }
+  return task.take_result();
+}
+
+inline void run_sync(Task<void> task) {
+  task.start();
+  if (!task.done()) {
+    throw std::logic_error(
+        "run_sync: task suspended in a synchronous context");
+  }
+  task.take_result();
+}
+
+}  // namespace iotls::common

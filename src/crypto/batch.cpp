@@ -1,0 +1,58 @@
+#include "crypto/batch.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "crypto/cache.hpp"
+#include "crypto/mont64.hpp"
+
+namespace iotls::crypto {
+
+namespace {
+
+thread_local int batch_depth = 0;
+
+// Per-thread warm contexts, most-recently-used first. The working set of
+// a tick is tiny — the server key's two CRT primes plus the fixed DH
+// group primes — so a linear scan with move-to-front beats any map.
+constexpr std::size_t kMaxContexts = 32;
+
+std::vector<std::unique_ptr<Mont64>>& contexts() {
+  thread_local std::vector<std::unique_ptr<Mont64>> cache;
+  return cache;
+}
+
+}  // namespace
+
+CryptoBatchScope::CryptoBatchScope() { ++batch_depth; }
+
+CryptoBatchScope::~CryptoBatchScope() { --batch_depth; }
+
+bool crypto_batch_active() { return batch_depth > 0; }
+
+BigUint batch_modexp(const BigUint& base, const BigUint& exp,
+                     const BigUint& m) {
+  auto& cache = contexts();
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i]->modulus() == m) {
+      const auto it = cache.begin() + static_cast<std::ptrdiff_t>(i);
+      if (i != 0) std::rotate(cache.begin(), it, it + 1);
+      count_cache_hit("batch_mont64");
+      return cache.front()->pow(base, exp);
+    }
+  }
+  count_cache_miss("batch_mont64");
+  auto context = std::make_unique<Mont64>(m);
+  BigUint result = context->pow(base, exp);
+  cache.insert(cache.begin(), std::move(context));
+  if (cache.size() > kMaxContexts) cache.pop_back();
+  return result;
+}
+
+std::size_t batch_context_count() { return contexts().size(); }
+
+void batch_contexts_clear() { contexts().clear(); }
+
+}  // namespace iotls::crypto

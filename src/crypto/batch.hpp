@@ -1,0 +1,53 @@
+// Batched crypto dispatch for the session engine (DESIGN.md §14).
+//
+// An engine tick retires one protocol flight for every in-flight
+// connection, so the RSA private ops and DH exponentiations of thousands
+// of handshakes arrive back-to-back against a handful of distinct moduli.
+// While a `CryptoBatchScope` is active on the calling thread,
+// `BigUint::modexp` routes odd-modulus exponentiations through a
+// thread-local cache of warm `Mont64` contexts instead of rebuilding a
+// 32-bit Montgomery context per call — the "batched crypto dispatch" of
+// the engine tick.
+//
+// Determinism: Mont64 computes exactly base^exp mod m, so a batch-scoped
+// exponentiation returns bit-identical values to the unscoped path. The
+// scope changes *when* setup work happens (once per modulus per thread
+// instead of once per call), never *what* is computed.
+//
+// The scope nests (the engine tick owns one; drivers may hold an outer
+// one) and is strictly thread-local: it never leaks acceleration into
+// other threads, and the cache is bounded (kMaxContexts, move-to-front)
+// so adversarial modulus churn cannot grow it without bound.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/bignum.hpp"
+
+namespace iotls::crypto {
+
+/// RAII marker: while alive on this thread, odd-modulus modexp dispatches
+/// to the cached Mont64 kernel.
+class CryptoBatchScope {
+ public:
+  CryptoBatchScope();
+  ~CryptoBatchScope();
+  CryptoBatchScope(const CryptoBatchScope&) = delete;
+  CryptoBatchScope& operator=(const CryptoBatchScope&) = delete;
+};
+
+/// True while at least one CryptoBatchScope is alive on this thread.
+[[nodiscard]] bool crypto_batch_active();
+
+/// base^exp mod m via the thread-local Mont64 context cache. Requires an
+/// odd modulus; bit-identical to BigUint::modexp's Montgomery path.
+[[nodiscard]] BigUint batch_modexp(const BigUint& base, const BigUint& exp,
+                                   const BigUint& m);
+
+/// Number of contexts currently cached on this thread (tests).
+[[nodiscard]] std::size_t batch_context_count();
+
+/// Drop this thread's cached contexts (tests; values re-derive identically).
+void batch_contexts_clear();
+
+}  // namespace iotls::crypto

@@ -90,6 +90,7 @@ class BigUint {
 
  private:
   friend class Montgomery;  // limb-level access for the reduction kernel
+  friend class Mont64;      // 64-bit-limb kernel (batched engine dispatch)
 
   void trim();
 

@@ -1,0 +1,80 @@
+// 64-bit-limb Montgomery kernel for the engine's batched crypto dispatch.
+//
+// The 32-bit `Montgomery` context (montgomery.hpp) rebuilds its reduction
+// constants — a Newton inverse plus an Algorithm-D division for R^2 — on
+// every `BigUint::modexp` call, and allocates a fresh accumulator per
+// multiply. That is fine when handshakes run one at a time, but the session
+// engine (src/engine/) retires thousands of private ops per tick against a
+// handful of distinct moduli (the server key's two CRT primes and the fixed
+// DH group primes). `Mont64` is the warm-path kernel those ticks dispatch
+// to (crypto/batch.hpp):
+//
+//   - 64-bit limbs with an `unsigned __int128` accumulator: half the limb
+//     count, a quarter of the multiply-accumulate steps per CIOS pass;
+//   - construction once per modulus, cached per thread for the lifetime of
+//     the batch scope, so the Newton/R^2 setup amortises to zero;
+//   - member-owned scratch (accumulator, window table) sized at
+//     construction — steady-state exponentiation performs no allocation.
+//
+// The kernel computes exactly base^exp mod m — bit-identical to both the
+// 32-bit Montgomery path and the schoolbook oracle — so dispatching to it
+// never changes a table, trace, or store byte (the determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+
+namespace iotls::crypto {
+
+/// Reusable reduction context for one odd modulus, 64-bit limbs.
+/// Scratch buffers are member-owned, so a context is single-thread-use;
+/// the batch dispatcher caches contexts thread-locally.
+class Mont64 {
+ public:
+  /// Throws CryptoError unless `modulus` is odd (and therefore nonzero).
+  explicit Mont64(const BigUint& modulus);
+
+  [[nodiscard]] const BigUint& modulus() const { return m_; }
+
+  /// base^exp mod m (plain-domain in and out), fixed 4-bit windows.
+  [[nodiscard]] BigUint pow(const BigUint& base, const BigUint& exp) const;
+
+ private:
+  using Limbs = std::vector<std::uint64_t>;
+
+  /// CIOS multiply-reduce: out = a*b*R^-1 mod m over padded limb vectors.
+  /// `out` may alias `a` or `b`.
+  void mont_mul(const Limbs& a, const Limbs& b, Limbs& out) const;
+
+  /// Squaring-specialised multiply-reduce: out = a*a*R^-1 mod m. A square
+  /// needs only half the off-diagonal products (doubled), so the window
+  /// ladder's square steps — ~80% of its multiplies — run ~25% cheaper.
+  /// `out` may alias `a`.
+  void mont_sqr(const Limbs& a, Limbs& out) const;
+
+  /// In-place modular doubling in the Montgomery domain: x = 2x mod m.
+  void mont_dbl(Limbs& x) const;
+
+  /// 2^exp mod m via square-and-double: every ladder step is a mont_sqr
+  /// plus (on set bits) a near-free mont_dbl — no window table, no
+  /// to_mont. Serves the fixed DH generator g = 2 (crypto/dh.cpp).
+  [[nodiscard]] BigUint pow2(const BigUint& exp) const;
+
+  [[nodiscard]] Limbs pad(const BigUint& a) const;
+  [[nodiscard]] BigUint unpad(const Limbs& limbs) const;
+
+  BigUint m_;
+  Limbs mlimbs_;           // modulus, 64-bit limbs, padded width n
+  std::uint64_t n0_ = 0;   // -m^-1 mod 2^64
+  Limbs r2_;               // R^2 mod m (R = 2^(64n)), padded
+  Limbs one_;              // R mod m (Montgomery form of 1), padded
+  mutable Limbs t_;        // CIOS accumulator, n+2 limbs
+  mutable Limbs sq_;       // mont_sqr double-width accumulator, 2n+2 limbs
+  mutable Limbs table_[16];  // window table scratch
+  mutable Limbs result_;     // accumulator scratch for pow
+  Limbs one_plain_;          // the plain value 1, padded (from_mont factor)
+};
+
+}  // namespace iotls::crypto

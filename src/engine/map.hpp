@@ -1,0 +1,75 @@
+// engine::map — the drop-in fan-out that puts a session engine under an
+// existing `threads` knob.
+//
+// `factory(item, Engine*)` builds the item's chain task. With the engine
+// off, each task runs synchronously (run_sync; the factory sees a null
+// engine and uses plain transports) under common::parallel_map — the
+// historical path, byte-for-byte. With the engine on, items are split
+// into contiguous per-worker chunks; each worker drives ONE engine that
+// multiplexes its whole chunk, so `threads = 1` means one thread
+// interleaving every item. Results land in input order either way, and
+// the lowest-index failure is rethrown — the same determinism contract as
+// parallel_map (src/common/pool.hpp).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/pool.hpp"
+#include "common/task.hpp"
+#include "engine/engine.hpp"
+
+namespace iotls::engine {
+
+namespace detail {
+
+template <typename R>
+common::Task<void> fill_slot(common::Task<R> task, std::optional<R>& slot) {
+  slot.emplace(co_await std::move(task));
+}
+
+}  // namespace detail
+
+/// Map `factory(item, engine)` over items. `use_engine` selects the
+/// scheduler; `threads` keeps its parallel_map semantics (0 = hardware).
+template <typename Item, typename Factory>
+auto map(std::size_t threads, bool use_engine,
+         const std::vector<Item>& items, Factory&& factory) {
+  using R = decltype(factory(items[0], static_cast<Engine*>(nullptr))
+                         .take_result());
+  if (!use_engine) {
+    return common::parallel_map(
+        threads, items, [&factory](const Item& item) {
+          return common::run_sync(factory(item, static_cast<Engine*>(nullptr)));
+        });
+  }
+
+  std::vector<std::optional<R>> slots(items.size());
+  const std::size_t workers =
+      std::min(common::resolve_threads(threads),
+               items.empty() ? std::size_t{1} : items.size());
+  // Contiguous chunks: worker w owns [w*per + min(w, extra) ...), so the
+  // lowest-index failure lives in the lowest failing worker — preserving
+  // parallel_map's deterministic rethrow.
+  const std::size_t per = items.empty() ? 0 : items.size() / workers;
+  const std::size_t extra = items.empty() ? 0 : items.size() % workers;
+  common::parallel_for(threads, workers, [&](std::size_t w) {
+    const std::size_t begin = w * per + std::min(w, extra);
+    const std::size_t end = begin + per + (w < extra ? 1 : 0);
+    Engine engine;
+    for (std::size_t i = begin; i < end; ++i) {
+      engine.add_chain(detail::fill_slot(factory(items[i], &engine),
+                                         slots[i]));
+    }
+    engine.run();
+  });
+
+  std::vector<R> out;
+  out.reserve(items.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace iotls::engine

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/pool.hpp"
+#include "common/task.hpp"
+#include "engine/map.hpp"
 
 namespace iotls::mitm {
 
@@ -96,13 +98,17 @@ bool is_downgraded_hello(const tls::ClientHello& original,
 
 InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
                                                 int boots_per_attack,
-                                                std::size_t threads) {
+                                                std::size_t threads,
+                                                bool use_engine) {
   testbed.set_date(kExperimentDate);
   const auto profiles = devices::active_devices();
 
-  auto rows = common::parallel_map(
-      threads, profiles, [&](const devices::DeviceProfile* profile) {
+  auto rows = engine::map(
+      threads, use_engine, profiles,
+      [&](const devices::DeviceProfile* profile, engine::Engine* eng)
+          -> common::Task<std::pair<InterceptionRow, obs::TraceLog>> {
         DeviceLab lab(testbed, *profile);
+        if (eng != nullptr) lab.bed.set_engine(eng);
         auto& runtime = lab.runtime(*profile);
         InterceptionRow row;
         row.device = profile->name;
@@ -116,8 +122,8 @@ InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
           lab.interceptor.install(lab.bed.network());
 
           for (int boot = 0; boot < boots_per_attack; ++boot) {
-            (void)runtime.boot(kExperimentDate,
-                               /*include_intermittent=*/true);
+            (void)co_await runtime.boot_task(kExperimentDate,
+                                             /*include_intermittent=*/true);
           }
           const auto interceptions = lab.interceptor.drain();
           lab.interceptor.uninstall(lab.bed.network());
@@ -154,7 +160,7 @@ InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
 
         row.vulnerable_destinations =
             static_cast<int>(vulnerable_hosts.size());
-        return std::make_pair(std::move(row), std::move(lab.trace));
+        co_return std::make_pair(std::move(row), std::move(lab.trace));
       });
 
   // Deterministic merge in catalog order.
@@ -183,13 +189,17 @@ InterceptionReport run_interception_experiments(testbed::Testbed& testbed,
 }
 
 DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed,
-                                          std::size_t threads) {
+                                          std::size_t threads,
+                                          bool use_engine) {
   testbed.set_date(kExperimentDate);
   const auto profiles = devices::active_devices();
 
-  auto rows = common::parallel_map(
-      threads, profiles, [&](const devices::DeviceProfile* profile) {
+  auto rows = engine::map(
+      threads, use_engine, profiles,
+      [&](const devices::DeviceProfile* profile, engine::Engine* eng)
+          -> common::Task<std::pair<DowngradeRow, obs::TraceLog>> {
         DeviceLab lab(testbed, *profile);
+        if (eng != nullptr) lab.bed.set_engine(eng);
         auto& runtime = lab.runtime(*profile);
         DowngradeRow row;
         row.device = profile->name;
@@ -203,7 +213,7 @@ DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed,
           runtime.reset_failure_state();
           lab.interceptor.set_mode(InterceptMode::make_failure(failure));
           lab.interceptor.install(lab.bed.network());
-          const auto boot = runtime.boot(kExperimentDate);
+          const auto boot = co_await runtime.boot_task(kExperimentDate);
           lab.interceptor.uninstall(lab.bed.network());
           runtime.reset_failure_state();
 
@@ -227,7 +237,7 @@ DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed,
         row.downgraded_destinations =
             static_cast<int>(downgraded_hosts.size());
         row.total_destinations = static_cast<int>(contacted_hosts.size());
-        return std::make_pair(std::move(row), std::move(lab.trace));
+        co_return std::make_pair(std::move(row), std::move(lab.trace));
       });
 
   merge_lab_traces(testbed, rows);
@@ -246,13 +256,17 @@ DowngradeReport run_downgrade_experiments(testbed::Testbed& testbed,
 }
 
 OldVersionReport run_old_version_experiments(testbed::Testbed& testbed,
-                                             std::size_t threads) {
+                                             std::size_t threads,
+                                             bool use_engine) {
   testbed.set_date(kExperimentDate);
   const auto profiles = devices::active_devices();
 
-  auto rows = common::parallel_map(
-      threads, profiles, [&](const devices::DeviceProfile* profile) {
+  auto rows = engine::map(
+      threads, use_engine, profiles,
+      [&](const devices::DeviceProfile* profile, engine::Engine* eng)
+          -> common::Task<std::pair<OldVersionRow, obs::TraceLog>> {
         DeviceLab lab(testbed, *profile);
+        if (eng != nullptr) lab.bed.set_engine(eng);
         auto& runtime = lab.runtime(*profile);
         OldVersionRow row;
         row.device = profile->name;
@@ -262,7 +276,7 @@ OldVersionReport run_old_version_experiments(testbed::Testbed& testbed,
           lab.interceptor.set_mode(InterceptMode::make_old_version(version));
           lab.interceptor.install(lab.bed.network());
           runtime.reset_failure_state();
-          const auto boot = runtime.boot(kExperimentDate);
+          const auto boot = co_await runtime.boot_task(kExperimentDate);
           lab.interceptor.uninstall(lab.bed.network());
           runtime.reset_failure_state();
 
@@ -280,7 +294,7 @@ OldVersionReport run_old_version_experiments(testbed::Testbed& testbed,
             row.tls11 = accepted;
           }
         }
-        return std::make_pair(std::move(row), std::move(lab.trace));
+        co_return std::make_pair(std::move(row), std::move(lab.trace));
       });
 
   merge_lab_traces(testbed, rows);
@@ -298,7 +312,8 @@ OldVersionReport run_old_version_experiments(testbed::Testbed& testbed,
 }
 
 PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
-                                              std::size_t threads) {
+                                              std::size_t threads,
+                                              bool use_engine) {
   testbed.set_date(kExperimentDate);
   const auto profiles = devices::active_devices();
 
@@ -308,9 +323,12 @@ PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
     bool new_failures = false;
   };
 
-  auto tallies = common::parallel_map(
-      threads, profiles, [&](const devices::DeviceProfile* profile) {
+  auto tallies = engine::map(
+      threads, use_engine, profiles,
+      [&](const devices::DeviceProfile* profile, engine::Engine* eng)
+          -> common::Task<std::pair<DeviceTally, obs::TraceLog>> {
         DeviceLab lab(testbed, *profile);
+        if (eng != nullptr) lab.bed.set_engine(eng);
         auto& runtime = lab.runtime(*profile);
         lab.interceptor.set_mode(
             InterceptMode::make_attack(AttackKind::NoValidation));
@@ -320,7 +338,7 @@ PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
         // which were compromised.
         runtime.reset_failure_state();
         lab.interceptor.install(lab.bed.network());
-        const auto attacked = runtime.boot(kExperimentDate);
+        const auto attacked = co_await runtime.boot_task(kExperimentDate);
         const auto pass1 = lab.interceptor.drain();
         lab.interceptor.uninstall(lab.bed.network());
         runtime.reset_failure_state();
@@ -343,8 +361,8 @@ PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
         // destinations.
         lab.interceptor.set_passthrough(failed_hosts);
         lab.interceptor.install(lab.bed.network());
-        const auto repeated =
-            runtime.boot(kExperimentDate, /*include_intermittent=*/true);
+        const auto repeated = co_await runtime.boot_task(
+            kExperimentDate, /*include_intermittent=*/true);
         const auto interceptions = lab.interceptor.drain();
         lab.interceptor.uninstall(lab.bed.network());
         lab.interceptor.clear_passthrough();
@@ -367,7 +385,7 @@ PassthroughReport run_passthrough_experiments(testbed::Testbed& testbed,
         for (const auto& host : pass2_hosts) {
           if (!seen_hosts.count(host)) ++tally.extra_hosts;
         }
-        return std::make_pair(std::move(tally), std::move(lab.trace));
+        co_return std::make_pair(std::move(tally), std::move(lab.trace));
       });
 
   merge_lab_traces(testbed, tallies);

@@ -17,9 +17,8 @@ void Network::set_interceptor(Interceptor interceptor) {
 
 void Network::clear_interceptor() { interceptor_ = nullptr; }
 
-Network::Connection Network::connect(const std::string& hostname,
-                                     const std::string& device,
-                                     common::Month month) {
+std::shared_ptr<tls::ServerSession> Network::resolve_session(
+    const std::string& hostname) {
   const auto it = servers_.find(hostname);
   SessionFactory real_factory;
   if (it != servers_.end()) {
@@ -40,29 +39,56 @@ Network::Connection Network::connect(const std::string& hostname,
   if (session == nullptr) {
     throw common::ProtocolError("no session for " + hostname);
   }
+  return session;
+}
 
+std::unique_ptr<obs::Span> Network::make_span(const std::string& hostname,
+                                              const std::string& device,
+                                              common::Month month) {
+  if (trace_ == nullptr || !trace_->enabled()) return nullptr;
+  auto span = std::make_unique<obs::Span>(
+      trace_->start_span("conn:" + device + ":" + hostname));
+  span->set_attr("device", device);
+  span->set_attr("destination", hostname);
+  span->set_attr("month", month.str());
+  if (interceptor_) span->set_attr("intercepted", "true");
+  return span;
+}
+
+Network::Connection Network::connect(const std::string& hostname,
+                                     const std::string& device,
+                                     common::Month month) {
   Connection conn;
-  conn.session = session;
+  conn.session = resolve_session(hostname);
   conn.observer = std::make_shared<ConnectionObserver>(device, hostname,
                                                        month);
-  conn.transport = std::make_unique<tls::Transport>(session);
+  conn.transport = std::make_unique<tls::Transport>(conn.session);
   conn.transport->add_tap(conn.observer->tap());
-  if (trace_ != nullptr && trace_->enabled()) {
-    conn.span = std::make_unique<obs::Span>(
-        trace_->start_span("conn:" + device + ":" + hostname));
-    conn.span->set_attr("device", device);
-    conn.span->set_attr("destination", hostname);
-    conn.span->set_attr("month", month.str());
-    if (interceptor_) conn.span->set_attr("intercepted", "true");
-    conn.transport->set_span(conn.span.get());
-  }
+  conn.span = make_span(hostname, device, month);
+  if (conn.span != nullptr) conn.transport->set_span(conn.span.get());
   return conn;
 }
 
-void Network::finish(Connection& connection) {
-  const HandshakeRecord& record = connection.observer->record();
+Network::PendingConnection Network::open(engine::Engine& engine,
+                                         const std::string& hostname,
+                                         const std::string& device,
+                                         common::Month month) {
+  PendingConnection conn;
+  conn.session = resolve_session(hostname);
+  conn.observer = std::make_shared<ConnectionObserver>(device, hostname,
+                                                       month);
+  conn.conduit = &engine.open_conduit(conn.session);
+  conn.conduit->add_tap(conn.observer->tap());
+  conn.span = make_span(hostname, device, month);
+  if (conn.span != nullptr) conn.conduit->attach_span(conn.span.get());
+  return conn;
+}
+
+void Network::commit(ConnectionObserver& observer,
+                     std::unique_ptr<obs::Span>& span) {
+  const HandshakeRecord& record = observer.record();
   capture_.add(record);
-  if (connection.span != nullptr && connection.span->enabled()) {
+  if (span != nullptr && span->enabled()) {
     std::vector<obs::Attr> attrs{
         {"handshake_complete", record.handshake_complete ? "true" : "false"},
         {"app_data", record.application_data_seen ? "true" : "false"},
@@ -74,10 +100,18 @@ void Network::finish(Connection& connection) {
       attrs.emplace_back("first_fatal_alert_ordinal",
                          std::to_string(record.first_fatal_alert_ordinal));
     }
-    connection.span->event("capture", std::move(attrs));
-    if (trace_ != nullptr) trace_->add(std::move(*connection.span));
-    connection.span.reset();
+    span->event("capture", std::move(attrs));
+    if (trace_ != nullptr) trace_->add(std::move(*span));
+    span.reset();
   }
+}
+
+void Network::finish(Connection& connection) {
+  commit(*connection.observer, connection.span);
+}
+
+void Network::finish(PendingConnection& connection) {
+  commit(*connection.observer, connection.span);
 }
 
 }  // namespace iotls::net

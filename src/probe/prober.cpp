@@ -77,32 +77,33 @@ std::vector<std::string> RootStoreProber::eligible_devices() const {
   return out;
 }
 
-std::optional<tls::Alert> RootStoreProber::run_probe(
-    const std::string& device_name, const mitm::InterceptMode& mode) {
+common::Task<std::optional<tls::Alert>> RootStoreProber::run_probe_task(
+    const std::string& device_name, mitm::InterceptMode mode) {
   auto& runtime = testbed_->runtime(device_name);
   const auto& dest = probe_destination(runtime.profile());
 
-  interceptor_.set_mode(mode);
+  interceptor_.set_mode(std::move(mode));
   interceptor_.install(testbed_->network());
-  (void)runtime.connect_to(dest, kProbeDate);
+  (void)co_await runtime.connect_to_task(dest, kProbeDate);
   const auto interceptions = interceptor_.drain();
   interceptor_.uninstall(testbed_->network());
   runtime.reset_failure_state();
 
-  if (interceptions.empty()) return std::nullopt;
-  return interceptions.front().alert_received;
+  if (interceptions.empty()) co_return std::nullopt;
+  co_return interceptions.front().alert_received;
 }
 
-bool RootStoreProber::device_amenable(const std::string& device_name) {
+common::Task<bool> RootStoreProber::device_amenable_task(
+    const std::string& device_name) {
   auto& runtime = testbed_->runtime(device_name);
-  if (runtime.root_store().empty()) return false;
+  if (runtime.root_store().empty()) co_return false;
   // Calibrate with a certificate we know the device trusts.
   const x509::Certificate known_root = runtime.root_store().roots().front();
 
   const auto alert_unknown =
-      run_probe(device_name, mitm::InterceptMode::unknown_ca());
-  const auto alert_spoofed =
-      run_probe(device_name, mitm::InterceptMode::spoofed_ca(known_root));
+      co_await run_probe_task(device_name, mitm::InterceptMode::unknown_ca());
+  const auto alert_spoofed = co_await run_probe_task(
+      device_name, mitm::InterceptMode::spoofed_ca(known_root));
   const bool amenable = alert_unknown.has_value() &&
                         alert_spoofed.has_value() &&
                         *alert_unknown != *alert_spoofed;
@@ -117,7 +118,11 @@ bool RootStoreProber::device_amenable(const std::string& device_name) {
     span.event("verdict", {{"amenable", amenable ? "true" : "false"}});
     trace->add(std::move(span));
   }
-  return amenable;
+  co_return amenable;
+}
+
+bool RootStoreProber::device_amenable(const std::string& device_name) {
+  return common::run_sync(device_amenable_task(device_name));
 }
 
 std::vector<std::string> RootStoreProber::amenable_devices() {
@@ -128,16 +133,16 @@ std::vector<std::string> RootStoreProber::amenable_devices() {
   return out;
 }
 
-ProbeOutcome RootStoreProber::probe_certificate(
+common::Task<ProbeOutcome> RootStoreProber::probe_certificate_task(
     const std::string& device_name, const std::string& ca_name) {
   const auto& universe = testbed_->universe();
   const x509::Certificate& candidate = universe.authority(ca_name).root();
 
   ProbeOutcome outcome;
   outcome.alert_unknown =
-      run_probe(device_name, mitm::InterceptMode::unknown_ca());
-  outcome.alert_spoofed =
-      run_probe(device_name, mitm::InterceptMode::spoofed_ca(candidate));
+      co_await run_probe_task(device_name, mitm::InterceptMode::unknown_ca());
+  outcome.alert_spoofed = co_await run_probe_task(
+      device_name, mitm::InterceptMode::spoofed_ca(candidate));
 
   if (!outcome.alert_unknown.has_value() ||
       !outcome.alert_spoofed.has_value()) {
@@ -177,7 +182,12 @@ ProbeOutcome RootStoreProber::probe_certificate(
                            {"signal", signal}});
     trace->add(std::move(span));
   }
-  return outcome;
+  co_return outcome;
+}
+
+ProbeOutcome RootStoreProber::probe_certificate(
+    const std::string& device_name, const std::string& ca_name) {
+  return common::run_sync(probe_certificate_task(device_name, ca_name));
 }
 
 ExplorationResult RootStoreProber::explore(
@@ -193,7 +203,7 @@ ExplorationResult RootStoreProber::explore(
   return explore(device_name, ca_names, mask);
 }
 
-ExplorationResult RootStoreProber::explore(
+common::Task<ExplorationResult> RootStoreProber::explore_task(
     const std::string& device_name, const std::vector<std::string>& ca_names,
     const std::vector<bool>& inconclusive_mask) {
   ExplorationResult result;
@@ -206,7 +216,8 @@ ExplorationResult RootStoreProber::explore(
       result.verdicts[ca_name] = Verdict::Inconclusive;
       continue;
     }
-    const ProbeOutcome outcome = probe_certificate(device_name, ca_name);
+    const ProbeOutcome outcome =
+        co_await probe_certificate_task(device_name, ca_name);
     result.verdicts[ca_name] = outcome.verdict;
     if (outcome.verdict == Verdict::Inconclusive) {
       ++result.inconclusive;
@@ -215,7 +226,14 @@ ExplorationResult RootStoreProber::explore(
     ++result.checked;
     if (outcome.verdict == Verdict::Present) ++result.present;
   }
-  return result;
+  co_return result;
+}
+
+ExplorationResult RootStoreProber::explore(
+    const std::string& device_name, const std::vector<std::string>& ca_names,
+    const std::vector<bool>& inconclusive_mask) {
+  return common::run_sync(explore_task(device_name, ca_names,
+                                       inconclusive_mask));
 }
 
 }  // namespace iotls::probe

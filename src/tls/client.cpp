@@ -88,10 +88,9 @@ ClientHello TlsClient::build_hello(const std::string& hostname) {
   return build_client_hello(config_, hostname, rng_);
 }
 
-ClientResult TlsClient::connect_impl(Transport& transport,
-                                     const std::string& hostname,
-                                     common::BytesView app_payload,
-                                     const ResumptionState* resume) {
+common::Task<ClientResult> TlsClient::connect_body(
+    RecordIo& io, const std::string& hostname,
+    const common::Bytes& app_payload, const ResumptionState* resume) {
   ClientResult result;
   result.hello = build_client_hello(
       config_, hostname, rng_,
@@ -106,18 +105,18 @@ ClientResult TlsClient::connect_impl(Transport& transport,
   const auto hello_msg =
       HandshakeMessage::wrap(HandshakeType::ClientHello, result.hello);
   track(hello_msg);
-  transport.send(TlsRecord{ContentType::Handshake,
-                           result.hello.legacy_version,
-                           hello_msg.serialize()});
+  io.emit(TlsRecord{ContentType::Handshake,
+                    result.hello.legacy_version,
+                    hello_msg.serialize()});
 
   auto abort_with_alert = [&](AlertDescription desc,
                               HandshakeOutcome outcome) {
     const Alert alert{AlertLevel::Fatal, desc};
     result.alert_sent = alert;
-    transport.send(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
-                             alert.serialize()});
+    io.emit(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
+                      alert.serialize()});
     result.outcome = outcome;
-    transport.close();
+    io.finish();
     return result;
   };
 
@@ -127,30 +126,37 @@ ClientResult TlsClient::connect_impl(Transport& transport,
   std::optional<CertificateMsg> cert_msg;
   std::optional<ServerKeyExchange> ske;
   std::optional<Finished> resumed_server_fin;
+  std::optional<NewSessionTicket> fresh_nst;
   bool hello_done = false;
 
   while (!hello_done) {
-    const auto record = transport.receive();
+    const auto record = co_await next_record(io);
     if (!record) {
       result.outcome = server_hello.has_value()
                            ? HandshakeOutcome::ProtocolViolation
                            : HandshakeOutcome::NoServerResponse;
-      transport.close();
-      return result;
+      io.finish();
+      co_return result;
     }
     if (record->type == ContentType::Alert) {
       result.alert_received = Alert::parse(record->payload);
       result.outcome = HandshakeOutcome::ServerAlert;
-      transport.close();
-      return result;
+      io.finish();
+      co_return result;
     }
     if (record->type != ContentType::Handshake) {
-      return abort_with_alert(AlertDescription::UnexpectedMessage,
-                              HandshakeOutcome::ProtocolViolation);
+      co_return abort_with_alert(AlertDescription::UnexpectedMessage,
+                                 HandshakeOutcome::ProtocolViolation);
     }
     HandshakeMessage msg;
     try {
       msg = HandshakeMessage::parse(record->payload);
+    } catch (const common::ParseError&) {
+      co_return abort_with_alert(AlertDescription::DecodeError,
+                                 HandshakeOutcome::ProtocolViolation);
+    }
+    bool bad_message = false;
+    try {
       switch (msg.type) {
         case HandshakeType::ServerHello:
           server_hello = ServerHello::parse(msg.body);
@@ -168,27 +174,46 @@ ClientResult TlsClient::connect_impl(Transport& transport,
         case HandshakeType::ServerHelloDone:
           hello_done = true;
           break;
+        case HandshakeType::NewSessionTicket:
+          // Only legal here as the RFC 5077 §3.3 re-issue inside the
+          // server's abbreviated flight (full handshakes deliver theirs
+          // after the client Finished).
+          if (resume == nullptr || !server_hello.has_value() ||
+              cert_msg.has_value()) {
+            bad_message = true;
+            break;
+          }
+          fresh_nst = NewSessionTicket::parse(msg.body);
+          break;
         case HandshakeType::Finished:
           // Only legal here as the server's abbreviated-handshake reply.
           if (resume == nullptr || !server_hello.has_value() ||
               cert_msg.has_value()) {
-            return abort_with_alert(AlertDescription::UnexpectedMessage,
-                                    HandshakeOutcome::ProtocolViolation);
+            bad_message = true;
+            break;
           }
           resumed_server_fin = Finished::parse(msg.body);
           hello_done = true;
           break;
         default:
-          return abort_with_alert(AlertDescription::UnexpectedMessage,
-                                  HandshakeOutcome::ProtocolViolation);
+          bad_message = true;
+          break;
       }
     } catch (const common::ParseError&) {
-      return abort_with_alert(AlertDescription::DecodeError,
-                              HandshakeOutcome::ProtocolViolation);
+      co_return abort_with_alert(AlertDescription::DecodeError,
+                                 HandshakeOutcome::ProtocolViolation);
     }
-    // The server Finished is verified over the CH+SH transcript and is
-    // therefore excluded from it.
-    if (!resumed_server_fin.has_value()) track(msg);
+    if (bad_message) {
+      co_return abort_with_alert(AlertDescription::UnexpectedMessage,
+                                 HandshakeOutcome::ProtocolViolation);
+    }
+    // The abbreviated flight's Finished is verified over the CH+SH
+    // transcript, so both it and the re-issued ticket riding with it are
+    // excluded (the server snapshots the same prefix).
+    if (!resumed_server_fin.has_value() &&
+        msg.type != HandshakeType::NewSessionTicket) {
+      track(msg);
+    }
   }
 
   // --- Abbreviated (resumed) handshake ---
@@ -199,8 +224,8 @@ ClientResult TlsClient::connect_impl(Transport& transport,
     const std::uint16_t resumed_suite = server_hello->cipher_suite;
     if (!config_.supports(resumed_version) ||
         resumed_suite != resume->cipher_suite) {
-      return abort_with_alert(AlertDescription::IllegalParameter,
-                              HandshakeOutcome::NegotiationRejected);
+      co_return abort_with_alert(AlertDescription::IllegalParameter,
+                                 HandshakeOutcome::NegotiationRejected);
     }
     result.negotiated_version = resumed_version;
     result.negotiated_suite = resumed_suite;
@@ -210,25 +235,34 @@ ClientResult TlsClient::connect_impl(Transport& transport,
         resume->master_secret, /*from_client=*/false, resumed_hash);
     if (!common::constant_time_equal(resumed_server_fin->verify_data,
                                      expected)) {
-      return abort_with_alert(AlertDescription::DecryptError,
-                              HandshakeOutcome::ProtocolViolation);
+      co_return abort_with_alert(AlertDescription::DecryptError,
+                                 HandshakeOutcome::ProtocolViolation);
     }
 
     Finished client_fin;
     client_fin.verify_data = compute_verify_data(
         resume->master_secret, /*from_client=*/true, resumed_hash);
-    transport.send(TlsRecord{ContentType::Handshake,
-                             ProtocolVersion::Tls1_2,
-                             HandshakeMessage::wrap(HandshakeType::Finished,
-                                                    client_fin)
-                                 .serialize()});
+    io.emit(TlsRecord{ContentType::Handshake,
+                      ProtocolVersion::Tls1_2,
+                      HandshakeMessage::wrap(HandshakeType::Finished,
+                                             client_fin)
+                          .serialize()});
 
     const SessionKeys keys = derive_resumed_keys(
         resume->master_secret, result.hello.random, server_hello->random,
         resumed_suite);
     result.outcome = HandshakeOutcome::Success;
     result.resumed = true;
-    result.resumption = *resume;  // tickets remain reusable
+    if (fresh_nst.has_value()) {
+      // Adopt the re-issued ticket: same master secret, fresh lifetime.
+      ResumptionState state;
+      state.ticket = fresh_nst->ticket;
+      state.master_secret = resume->master_secret;
+      state.cipher_suite = resumed_suite;
+      result.resumption = std::move(state);
+    } else {
+      result.resumption = *resume;  // tickets remain reusable
+    }
 
     if (!app_payload.empty()) {
       RecordProtection send_protection(resumed_suite, keys.client_key,
@@ -237,11 +271,11 @@ ClientResult TlsClient::connect_impl(Transport& transport,
       RecordProtection recv_protection(resumed_suite, keys.server_key,
                                        keys.server_mac_key,
                                        keys.server_nonce);
-      transport.send(TlsRecord{
+      io.emit(TlsRecord{
           ContentType::ApplicationData,
           std::min(resumed_version, ProtocolVersion::Tls1_2),
           send_protection.protect(app_payload)});
-      const auto response = transport.receive();
+      const auto response = co_await next_record(io);
       if (response && response->type == ContentType::ApplicationData) {
         try {
           result.app_response_plaintext =
@@ -251,13 +285,13 @@ ClientResult TlsClient::connect_impl(Transport& transport,
         }
       }
     }
-    transport.close();
-    return result;
+    io.finish();
+    co_return result;
   }
 
   if (!server_hello || !cert_msg) {
-    return abort_with_alert(AlertDescription::UnexpectedMessage,
-                            HandshakeOutcome::ProtocolViolation);
+    co_return abort_with_alert(AlertDescription::UnexpectedMessage,
+                               HandshakeOutcome::ProtocolViolation);
   }
   result.server_hello = server_hello;
   result.server_chain = cert_msg->chain;
@@ -265,14 +299,14 @@ ClientResult TlsClient::connect_impl(Transport& transport,
   // --- Negotiation checks ---
   const ProtocolVersion version = server_hello->negotiated_version();
   if (!config_.supports(version)) {
-    return abort_with_alert(AlertDescription::ProtocolVersion,
-                            HandshakeOutcome::NegotiationRejected);
+    co_return abort_with_alert(AlertDescription::ProtocolVersion,
+                               HandshakeOutcome::NegotiationRejected);
   }
   const std::uint16_t suite = server_hello->cipher_suite;
   if (std::find(config_.cipher_suites.begin(), config_.cipher_suites.end(),
                 suite) == config_.cipher_suites.end()) {
-    return abort_with_alert(AlertDescription::HandshakeFailure,
-                            HandshakeOutcome::NegotiationRejected);
+    co_return abort_with_alert(AlertDescription::HandshakeFailure,
+                               HandshakeOutcome::NegotiationRejected);
   }
   result.negotiated_version = version;
   result.negotiated_suite = suite;
@@ -287,10 +321,10 @@ ClientResult TlsClient::connect_impl(Transport& transport,
     const auto alert = alert_for_verify_error(config_.library, error);
     if (alert.has_value() && !suppressed) {
       result.alert_sent = alert;
-      transport.send(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
-                               alert->serialize()});
+      io.emit(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
+                        alert->serialize()});
     }
-    transport.close();
+    io.finish();
     return result;
   };
 
@@ -302,7 +336,7 @@ ClientResult TlsClient::connect_impl(Transport& transport,
         result.server_chain[0].fingerprint() !=
             *config_.pinned_leaf_fingerprint) {
       result.verify_failed_depth = 0;  // the pin is a leaf check
-      return fail_validation(x509::VerifyError::PinMismatch);
+      co_return fail_validation(x509::VerifyError::PinMismatch);
     }
   }
 
@@ -314,7 +348,7 @@ ClientResult TlsClient::connect_impl(Transport& transport,
       store.roots(), now_, config_.verify_policy, config_.span);
   if (!verify.ok()) {
     result.verify_failed_depth = verify.failed_depth;
-    return fail_validation(verify.error);
+    co_return fail_validation(verify.error);
   }
 
   // --- Revocation (§6 extension; Table 8 CRL/OCSP clients) ---
@@ -327,10 +361,10 @@ ClientResult TlsClient::connect_impl(Transport& transport,
     result.verify_failed_depth = 0;  // revocation is checked on the leaf
     result.outcome = HandshakeOutcome::ValidationFailed;
     result.alert_sent = alert;
-    transport.send(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
-                             alert.serialize()});
-    transport.close();
-    return result;
+    io.emit(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
+                      alert.serialize()});
+    io.finish();
+    co_return result;
   }
 
   const CipherSuiteInfo* info = suite_info(suite);
@@ -343,8 +377,8 @@ ClientResult TlsClient::connect_impl(Transport& transport,
   // --- ServerKeyExchange signature check (the server proves possession of
   // the certified key) ---
   if (ephemeral && !ske.has_value()) {
-    return abort_with_alert(AlertDescription::UnexpectedMessage,
-                            HandshakeOutcome::ProtocolViolation);
+    co_return abort_with_alert(AlertDescription::UnexpectedMessage,
+                               HandshakeOutcome::ProtocolViolation);
   }
   if (ephemeral && !anonymous && config_.verify_policy.validate &&
       config_.verify_policy.check_signature && !result.server_chain.empty()) {
@@ -360,11 +394,11 @@ ClientResult TlsClient::connect_impl(Transport& transport,
           config_.library, x509::VerifyError::BadSignature);
       if (alert.has_value()) {
         result.alert_sent = alert;
-        transport.send(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
-                                 alert->serialize()});
+        io.emit(TlsRecord{ContentType::Alert, ProtocolVersion::Tls1_2,
+                          alert->serialize()});
       }
-      transport.close();
-      return result;
+      io.finish();
+      co_return result;
     }
   }
 
@@ -378,8 +412,8 @@ ClientResult TlsClient::connect_impl(Transport& transport,
     cke.exchange_data = dh_keys.pub;
   } else {
     if (result.server_chain.empty()) {
-      return abort_with_alert(AlertDescription::HandshakeFailure,
-                              HandshakeOutcome::ProtocolViolation);
+      co_return abort_with_alert(AlertDescription::HandshakeFailure,
+                                 HandshakeOutcome::ProtocolViolation);
     }
     premaster = rng_.bytes(48);
     cke.exchange_data =
@@ -389,8 +423,8 @@ ClientResult TlsClient::connect_impl(Transport& transport,
   const auto cke_msg =
       HandshakeMessage::wrap(HandshakeType::ClientKeyExchange, cke);
   track(cke_msg);
-  transport.send(TlsRecord{ContentType::Handshake, ProtocolVersion::Tls1_2,
-                           cke_msg.serialize()});
+  io.emit(TlsRecord{ContentType::Handshake, ProtocolVersion::Tls1_2,
+                    cke_msg.serialize()});
 
   const SessionKeys keys = derive_session_keys(
       premaster, result.hello.random, server_hello->random, suite);
@@ -402,17 +436,18 @@ ClientResult TlsClient::connect_impl(Transport& transport,
       compute_verify_data(keys.master_secret, /*from_client=*/true,
                           transcript_hash);
   const auto fin_msg = HandshakeMessage::wrap(HandshakeType::Finished, fin);
-  transport.send(TlsRecord{ContentType::Handshake, ProtocolVersion::Tls1_2,
-                           fin_msg.serialize()});
+  io.emit(TlsRecord{ContentType::Handshake, ProtocolVersion::Tls1_2,
+                    fin_msg.serialize()});
 
   bool server_finished = false;
   while (!server_finished) {
-    const auto server_record = transport.receive();
+    const auto server_record = co_await next_record(io);
     if (!server_record || server_record->type != ContentType::Handshake) {
       result.outcome = HandshakeOutcome::ProtocolViolation;
-      transport.close();
-      return result;
+      io.finish();
+      co_return result;
     }
+    bool bad_message = false;
     try {
       const auto msg = HandshakeMessage::parse(server_record->payload);
       if (msg.type == HandshakeType::NewSessionTicket) {
@@ -425,20 +460,24 @@ ClientResult TlsClient::connect_impl(Transport& transport,
         continue;
       }
       if (msg.type != HandshakeType::Finished) {
-        return abort_with_alert(AlertDescription::UnexpectedMessage,
-                                HandshakeOutcome::ProtocolViolation);
+        bad_message = true;
+      } else {
+        const Finished server_fin = Finished::parse(msg.body);
+        const auto expected = compute_verify_data(
+            keys.master_secret, /*from_client=*/false, transcript_hash);
+        if (!common::constant_time_equal(server_fin.verify_data, expected)) {
+          co_return abort_with_alert(AlertDescription::DecryptError,
+                                     HandshakeOutcome::ProtocolViolation);
+        }
+        server_finished = true;
       }
-      const Finished server_fin = Finished::parse(msg.body);
-      const auto expected = compute_verify_data(
-          keys.master_secret, /*from_client=*/false, transcript_hash);
-      if (!common::constant_time_equal(server_fin.verify_data, expected)) {
-        return abort_with_alert(AlertDescription::DecryptError,
-                                HandshakeOutcome::ProtocolViolation);
-      }
-      server_finished = true;
     } catch (const common::ParseError&) {
-      return abort_with_alert(AlertDescription::DecodeError,
-                              HandshakeOutcome::ProtocolViolation);
+      co_return abort_with_alert(AlertDescription::DecodeError,
+                                 HandshakeOutcome::ProtocolViolation);
+    }
+    if (bad_message) {
+      co_return abort_with_alert(AlertDescription::UnexpectedMessage,
+                                 HandshakeOutcome::ProtocolViolation);
     }
   }
 
@@ -450,11 +489,11 @@ ClientResult TlsClient::connect_impl(Transport& transport,
                                      keys.client_mac_key, keys.client_nonce);
     RecordProtection recv_protection(suite, keys.server_key,
                                      keys.server_mac_key, keys.server_nonce);
-    transport.send(TlsRecord{
+    io.emit(TlsRecord{
         ContentType::ApplicationData,
         std::min(version, ProtocolVersion::Tls1_2),
         send_protection.protect(app_payload)});
-    const auto response = transport.receive();
+    const auto response = co_await next_record(io);
     if (response && response->type == ContentType::ApplicationData) {
       try {
         result.app_response_plaintext =
@@ -466,8 +505,8 @@ ClientResult TlsClient::connect_impl(Transport& transport,
     }
   }
 
-  transport.close();
-  return result;
+  io.finish();
+  co_return result;
 }
 
 namespace {
@@ -551,15 +590,13 @@ void trace_result(obs::Span& span, const ClientResult& result,
 
 }  // namespace
 
-ClientResult TlsClient::connect(Transport& transport,
-                                const std::string& hostname,
-                                common::BytesView app_payload,
-                                const ResumptionState* resume) {
-  const obs::ProfileZone zone("tls/client_connect");
+common::Task<ClientResult> TlsClient::connect_task(
+    RecordIo& io, std::string hostname, common::Bytes app_payload,
+    const ResumptionState* resume) {
   obs::Span* span = config_.span;
-  if (span != nullptr && span->enabled()) transport.set_span(span);
+  if (span != nullptr && span->enabled()) io.attach_span(span);
   ClientResult result =
-      connect_impl(transport, hostname, app_payload, resume);
+      co_await connect_body(io, hostname, app_payload, resume);
   if (span != nullptr && span->enabled()) {
     trace_result(*span, result, config_.verify_policy, resume != nullptr);
   }
@@ -581,7 +618,18 @@ ClientResult TlsClient::connect(Transport& transport,
           .inc();
     }
   }
-  return result;
+  co_return result;
+}
+
+ClientResult TlsClient::connect(Transport& transport,
+                                const std::string& hostname,
+                                common::BytesView app_payload,
+                                const ResumptionState* resume) {
+  const obs::ProfileZone zone("tls/client_connect");
+  SyncRecordIo io(transport);
+  return common::run_sync(connect_task(
+      io, hostname, common::Bytes(app_payload.begin(), app_payload.end()),
+      resume));
 }
 
 }  // namespace iotls::tls

@@ -1,0 +1,96 @@
+// Record-level I/O seam between the TLS client state machine and its
+// scheduler.
+//
+// `TlsClient::connect_task` is written once, as a coroutine against this
+// interface. Two implementations exist:
+//
+//   - `SyncRecordIo` (here) wraps a `Transport`: emit() delivers the record
+//     to the server session immediately and record_ready() is always true,
+//     so the coroutine never suspends — `common::run_sync` drives it to
+//     completion in place. This is the historical one-connection-at-a-time
+//     path, byte-identical by construction.
+//   - `engine::Conduit` (src/engine/engine.hpp) queues emitted records in
+//     the engine's record arena; `next_record` parks the coroutine until a
+//     tick delivers the flight, letting one thread interleave thousands of
+//     handshakes and batch their private-key operations.
+//
+// The awaiter contract: a coroutine may only suspend when the transport
+// genuinely owes it a wire round-trip (record_ready() false). That keeps
+// the synchronous path suspension-free and makes engine ticks deadlock-free
+// (a parked connection always has an undelivered flight).
+#pragma once
+
+#include <coroutine>
+#include <optional>
+
+#include "obs/trace.hpp"
+#include "tls/record.hpp"
+#include "tls/transport.hpp"
+
+namespace iotls::tls {
+
+/// Scheduler-neutral record stream for one TLS connection.
+class RecordIo {
+ public:
+  virtual ~RecordIo() = default;
+
+  /// Queue one client->server record (observation taps fire immediately;
+  /// delivery timing is the scheduler's).
+  virtual void emit(const TlsRecord& record) = 0;
+
+  /// True when take_record() can answer now: a server record is readable,
+  /// or every emitted record has been delivered and the reply stream is
+  /// known to be drained (take_record will report end-of-stream).
+  [[nodiscard]] virtual bool record_ready() const = 0;
+
+  /// Next server->client record; nullopt = stream drained. Only valid when
+  /// record_ready() is true.
+  virtual std::optional<TlsRecord> take_record() = 0;
+
+  /// Park the awaiting coroutine until record_ready() flips true. The
+  /// synchronous implementation must never be asked to park.
+  virtual void park(std::coroutine_handle<> handle) = 0;
+
+  /// Close the connection: flush undelivered records, emit the ledger's
+  /// close event, and notify the server session.
+  virtual void finish() = 0;
+
+  /// Attach the connection's trace span (non-owning; may be null).
+  virtual void attach_span(obs::Span* span) = 0;
+};
+
+/// Awaitable for the next server record; see RecordIo::park.
+struct NextRecord {
+  RecordIo& io;
+
+  [[nodiscard]] bool await_ready() const { return io.record_ready(); }
+  void await_suspend(std::coroutine_handle<> handle) { io.park(handle); }
+  std::optional<TlsRecord> await_resume() { return io.take_record(); }
+};
+
+inline NextRecord next_record(RecordIo& io) { return NextRecord{io}; }
+
+/// Synchronous RecordIo over a Transport: every emit is an immediate
+/// delivery, so record_ready() is constantly true and connect_task runs
+/// straight through without suspending.
+class SyncRecordIo final : public RecordIo {
+ public:
+  explicit SyncRecordIo(Transport& transport) : transport_(transport) {}
+
+  void emit(const TlsRecord& record) override { transport_.send(record); }
+  [[nodiscard]] bool record_ready() const override { return true; }
+  std::optional<TlsRecord> take_record() override {
+    return transport_.receive();
+  }
+  void park(std::coroutine_handle<> /*handle*/) override {
+    throw common::ProtocolError(
+        "SyncRecordIo: synchronous connection tried to park");
+  }
+  void finish() override { transport_.close(); }
+  void attach_span(obs::Span* span) override { transport_.set_span(span); }
+
+ private:
+  Transport& transport_;
+};
+
+}  // namespace iotls::tls

@@ -62,10 +62,12 @@ SessionKeys derive_resumed_keys(common::BytesView master_secret,
 
 common::Bytes seal_ticket(common::BytesView ticket_key,
                           std::uint16_t cipher_suite,
-                          common::BytesView master_secret) {
+                          common::BytesView master_secret,
+                          std::uint32_t issued_epoch) {
   common::ByteWriter pt;
   pt.u16(cipher_suite);
   pt.vec(master_secret, 2);
+  pt.u32(issued_epoch);
 
   const common::Bytes enc_key = crypto::hkdf({}, ticket_key, "ticket enc", 32);
   const common::Bytes mac_key = crypto::hkdf({}, ticket_key, "ticket mac", 32);
@@ -108,6 +110,7 @@ std::optional<TicketContents> unseal_ticket(common::BytesView ticket_key,
     TicketContents contents;
     contents.cipher_suite = pr.u16();
     contents.master_secret = pr.vec(2);
+    contents.issued_epoch = pr.u32();
     pr.expect_end("ticket contents");
     return contents;
   } catch (const common::ParseError&) {

@@ -42,16 +42,21 @@ SessionKeys derive_resumed_keys(common::BytesView master_secret,
                                 const Random32& server_random,
                                 std::uint16_t cipher_suite);
 
-/// Stateless session tickets: the server seals {suite, master secret}
-/// under its ticket key; only the holder of the ticket key can recover or
-/// forge ticket contents (authenticated encryption).
+/// Stateless session tickets: the server seals {suite, master secret,
+/// issue epoch} under its ticket key; only the holder of the ticket key
+/// can recover or forge ticket contents (authenticated encryption).
+/// `issued_epoch` is the server's coarse ticket clock at issue time — the
+/// lifetime policy (RFC 5077 §4's ticket_lifetime_hint, modeled as whole
+/// epochs) compares it against the clock at resumption time.
 common::Bytes seal_ticket(common::BytesView ticket_key,
                           std::uint16_t cipher_suite,
-                          common::BytesView master_secret);
+                          common::BytesView master_secret,
+                          std::uint32_t issued_epoch = 0);
 
 struct TicketContents {
   std::uint16_t cipher_suite = 0;
   common::Bytes master_secret;
+  std::uint32_t issued_epoch = 0;
 };
 
 /// nullopt on MAC failure or malformed ticket.

@@ -270,6 +270,15 @@ std::optional<std::vector<TlsRecord>> TlsServer::try_resume(
 
   const auto contents = unseal_ticket(ticket_key_, ext->payload);
   if (!contents.has_value()) return std::nullopt;  // forged/stale → full HS
+  // Lifetime policy: an expired (or future-stamped) ticket is declined the
+  // same silent way as a forged one — the handshake proceeds in full and
+  // the client never sees an alert for offering it.
+  if (config_.ticket_lifetime_epochs != 0 &&
+      (contents->issued_epoch > config_.ticket_epoch ||
+       config_.ticket_epoch - contents->issued_epoch >
+           config_.ticket_lifetime_epochs)) {
+    return std::nullopt;
+  }
   // The resumed suite must still be on offer, and pre-1.3 only (TLS 1.3
   // resumption is a different mechanism).
   if (std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
@@ -297,7 +306,21 @@ std::optional<std::vector<TlsRecord>> TlsServer::try_resume(
   std::vector<TlsRecord> out;
   out.push_back(handshake_record(
       HandshakeMessage::wrap(HandshakeType::ServerHello, sh)));
+  // The abbreviated flight's Finished covers the CH+SH transcript only;
+  // snapshot it before the re-issued ticket below, which both sides keep
+  // out of the transcript.
   resumed_transcript_hash_ = crypto::Sha256::digest_bytes(transcript_);
+
+  // RFC 5077 §3.3: re-issue a fresh ticket on every accepted resumption so
+  // the session's lifetime slides with use — the new stamp is the current
+  // epoch, while the offered ticket keeps its original (possibly nearly
+  // expired) one.
+  NewSessionTicket nst;
+  nst.ticket = seal_ticket(ticket_key_, contents->cipher_suite,
+                           contents->master_secret, config_.ticket_epoch);
+  out.push_back(handshake_record(
+      HandshakeMessage::wrap(HandshakeType::NewSessionTicket, nst)));
+  obs_.ticket_issued = true;
 
   keys_ = derive_resumed_keys(contents->master_secret, client_random_,
                               server_random_, negotiated_suite_);
@@ -386,8 +409,8 @@ std::vector<TlsRecord> TlsServer::handle_finished(
       find_extension(obs_.client_hello->extensions,
                      ExtensionType::SessionTicket) != nullptr) {
     NewSessionTicket nst;
-    nst.ticket =
-        seal_ticket(ticket_key_, negotiated_suite_, keys_->master_secret);
+    nst.ticket = seal_ticket(ticket_key_, negotiated_suite_,
+                             keys_->master_secret, config_.ticket_epoch);
     out.push_back(handshake_record(
         HandshakeMessage::wrap(HandshakeType::NewSessionTicket, nst)));
     obs_.ticket_issued = true;

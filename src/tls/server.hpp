@@ -31,6 +31,15 @@ struct ServerConfig {
   /// Issue RFC 5077 session tickets to clients that advertise the
   /// session_ticket extension, and accept them for abbreviated handshakes.
   bool session_tickets = true;
+  /// Coarse ticket clock: tickets are stamped with this epoch at issue
+  /// time and, when `ticket_lifetime_epochs` is non-zero, decline
+  /// resumption once more than that many epochs have elapsed (or the
+  /// stamp is from the future — a rolled-back clock). Expired tickets
+  /// fall back silently to a full handshake, never an alert (RFC 5077
+  /// §3.3); accepted resumptions re-issue a fresh ticket so an active
+  /// session's lifetime slides.
+  std::uint32_t ticket_epoch = 0;
+  std::uint32_t ticket_lifetime_epochs = 0;  // 0 = tickets never expire
 
   // ---- misbehaviour knobs (used by the interceptor / probes) ----
   /// Respond with exactly this version regardless of negotiation

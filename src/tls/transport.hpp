@@ -5,6 +5,10 @@
 // client to read. The gateway capture and the interceptor both slot in as
 // taps/wrappers around this interface — equivalent to the paper's on-path
 // vantage point, with no threads and perfect reproducibility.
+//
+// The session engine (src/engine/) replaces this class with an arena-backed
+// Conduit for interleaved connections; both report through the shared
+// RecordLedger so observability output is identical across schedulers.
 #pragma once
 
 #include <functional>
@@ -14,6 +18,7 @@
 
 #include "obs/trace.hpp"
 #include "tls/record.hpp"
+#include "tls/record_ledger.hpp"
 
 namespace iotls::tls {
 
@@ -44,31 +49,32 @@ class Transport {
   /// TraceLevel::Full every record in both directions becomes a `record`
   /// event; at any enabled level close() emits a `close` event with the
   /// record/byte totals.
-  void set_span(obs::Span* span) { span_ = span; }
+  void set_span(obs::Span* span) { ledger_.set_span(span); }
 
   /// Send a record; the session's replies become readable via receive().
   void send(const TlsRecord& record);
 
-  /// Next queued record from the server, if any.
+  /// Next queued record from the server, if any. Consumed records are
+  /// compacted away, so a long-lived connection retains only its unread
+  /// backlog, not every record it ever exchanged.
   std::optional<TlsRecord> receive();
 
-  [[nodiscard]] bool has_pending() const { return !inbox_.empty(); }
+  [[nodiscard]] bool has_pending() const { return inbox_pos_ < inbox_.size(); }
+
+  /// Internal storage length of the inbox (read + unread records still
+  /// resident). Exposed for the bounded-memory regression test; stays at
+  /// most `unread + compaction threshold`.
+  [[nodiscard]] std::size_t inbox_retained() const { return inbox_.size(); }
 
   void close();
 
  private:
-  void note_record(bool client_to_server, const TlsRecord& record);
-
   std::shared_ptr<ServerSession> session_;
   std::vector<TlsRecord> inbox_;
   std::size_t inbox_pos_ = 0;
   std::vector<Tap> taps_;
   bool closed_ = false;
-  obs::Span* span_ = nullptr;
-  std::size_t records_to_server_ = 0;
-  std::size_t records_to_client_ = 0;
-  std::size_t bytes_to_server_ = 0;
-  std::size_t bytes_to_client_ = 0;
+  RecordLedger ledger_;
 };
 
 }  // namespace iotls::tls

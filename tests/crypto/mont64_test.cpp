@@ -1,0 +1,175 @@
+// Differential coverage for the 64-bit batched kernel (crypto/mont64.hpp,
+// crypto/batch.hpp): Mont64 must agree bit-for-bit with the 32-bit
+// Montgomery context and the schoolbook oracle, and the batch scope must
+// change dispatch without changing values.
+#include "crypto/mont64.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/batch.hpp"
+#include "crypto/montgomery.hpp"
+
+namespace {
+
+using iotls::common::Rng;
+using iotls::crypto::batch_context_count;
+using iotls::crypto::batch_contexts_clear;
+using iotls::crypto::batch_modexp;
+using iotls::crypto::BigUint;
+using iotls::crypto::crypto_batch_active;
+using iotls::crypto::CryptoBatchScope;
+using iotls::crypto::Mont64;
+using iotls::crypto::Montgomery;
+
+BigUint random_odd(Rng& rng, std::size_t bits) {
+  BigUint m = BigUint::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(BigUint(1));
+  return m;
+}
+
+TEST(Mont64Test, MatchesSchoolbookOracleAcrossSizes) {
+  Rng rng(0x6464);
+  for (std::size_t bits : {64, 96, 256, 512, 521, 1024}) {
+    const BigUint m = random_odd(rng, bits);
+    const Mont64 mont(m);
+    for (int i = 0; i < 4; ++i) {
+      const BigUint base = BigUint::random_bits(rng, bits + 17);
+      const BigUint exp = BigUint::random_bits(rng, bits / 2 + 1);
+      EXPECT_EQ(mont.pow(base, exp), base.modexp_plain(exp, m))
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(Mont64Test, MatchesMontgomery32OnRsaShapedInputs) {
+  Rng rng(0xC1A0);
+  const BigUint p = BigUint::generate_prime(rng, 256);
+  const BigUint q = BigUint::generate_prime(rng, 256);
+  const BigUint n = p.mul(q);
+  const Mont64 mont64(n);
+  const Montgomery mont32(n);
+  for (int i = 0; i < 8; ++i) {
+    const BigUint base = BigUint::random_below(rng, n);
+    const BigUint exp = BigUint::random_bits(rng, 512);
+    EXPECT_EQ(mont64.pow(base, exp), mont32.pow(base, exp)) << "i=" << i;
+  }
+}
+
+TEST(Mont64Test, EdgeExponents) {
+  Rng rng(0xED6E);
+  const BigUint m = random_odd(rng, 192);
+  const Mont64 mont(m);
+  const BigUint base = BigUint::random_bits(rng, 200);
+  EXPECT_EQ(mont.pow(base, BigUint()), BigUint(1));       // base^0 = 1
+  EXPECT_EQ(mont.pow(base, BigUint(1)), base.mod(m));     // base^1
+  EXPECT_EQ(mont.pow(BigUint(), BigUint(5)), BigUint());  // 0^5 = 0
+  EXPECT_EQ(mont.pow(m, BigUint(3)), BigUint());          // (m mod m)^3
+}
+
+TEST(Mont64Test, PowTwoFastPathMatchesOracle) {
+  // The DH generator is the fixed base 2 (crypto/dh.cpp); pow dispatches
+  // it to the square-and-double ladder, which must stay bit-identical.
+  Rng rng(0x2222);
+  for (std::size_t bits : {64, 255, 256, 512}) {
+    const BigUint m = random_odd(rng, bits);
+    const Mont64 mont(m);
+    for (int i = 0; i < 3; ++i) {
+      const BigUint exp = BigUint::random_bits(rng, bits - 3);
+      EXPECT_EQ(mont.pow(BigUint(2), exp),
+                BigUint(2).modexp_plain(exp, m))
+          << "bits=" << bits << " i=" << i;
+    }
+    EXPECT_EQ(mont.pow(BigUint(2), BigUint()), BigUint(1).mod(m));
+    EXPECT_EQ(mont.pow(BigUint(2), BigUint(1)), BigUint(2).mod(m));
+  }
+  // Tiny odd moduli exercise the reduction edge of the doubling step.
+  for (std::uint64_t small : {3u, 5u, 7u, 9u}) {
+    const Mont64 mont((BigUint(small)));
+    for (std::uint64_t e = 0; e < 12; ++e) {
+      EXPECT_EQ(mont.pow(BigUint(2), BigUint(e)),
+                BigUint(2).modexp_plain(BigUint(e), BigUint(small)))
+          << "m=" << small << " e=" << e;
+    }
+  }
+}
+
+TEST(Mont64Test, RejectsEvenModulus) {
+  EXPECT_THROW(Mont64 m(BigUint(42)), iotls::common::CryptoError);
+  EXPECT_THROW(Mont64 z((BigUint())), iotls::common::CryptoError);
+}
+
+TEST(Mont64Test, ContextIsReusableAcrossCalls) {
+  // Member-owned scratch must not carry state between exponentiations.
+  Rng rng(0x5C8A);
+  const BigUint m = random_odd(rng, 320);
+  const Mont64 mont(m);
+  const BigUint base = BigUint::random_bits(rng, 300);
+  const BigUint exp = BigUint::random_bits(rng, 160);
+  const BigUint first = mont.pow(base, exp);
+  (void)mont.pow(BigUint::random_bits(rng, 500), BigUint::random_bits(rng, 64));
+  EXPECT_EQ(mont.pow(base, exp), first);
+}
+
+TEST(BatchDispatchTest, ScopeTogglesDispatch) {
+  EXPECT_FALSE(crypto_batch_active());
+  {
+    CryptoBatchScope outer;
+    EXPECT_TRUE(crypto_batch_active());
+    {
+      CryptoBatchScope inner;
+      EXPECT_TRUE(crypto_batch_active());
+    }
+    EXPECT_TRUE(crypto_batch_active());
+  }
+  EXPECT_FALSE(crypto_batch_active());
+}
+
+TEST(BatchDispatchTest, ScopedModexpIsBitIdentical) {
+  Rng rng(0xBA7C);
+  const BigUint m = random_odd(rng, 512);
+  const BigUint base = BigUint::random_bits(rng, 512);
+  const BigUint exp = BigUint::random_bits(rng, 512);
+  const BigUint unscoped = base.modexp(exp, m);
+  batch_contexts_clear();
+  {
+    CryptoBatchScope scope;
+    EXPECT_EQ(base.modexp(exp, m), unscoped);  // cold context
+    EXPECT_EQ(base.modexp(exp, m), unscoped);  // warm context
+  }
+  EXPECT_EQ(base.modexp(exp, m), unscoped);  // back on the unscoped path
+}
+
+TEST(BatchDispatchTest, ContextCacheIsBoundedAndWarm) {
+  batch_contexts_clear();
+  Rng rng(0xCAFE);
+  CryptoBatchScope scope;
+  const BigUint base(7);
+  const BigUint exp(65537);
+  // Hammer with more distinct moduli than the cache holds.
+  for (int i = 0; i < 48; ++i) {
+    const BigUint m = random_odd(rng, 96);
+    EXPECT_EQ(batch_modexp(base, exp, m), base.modexp_plain(exp, m));
+  }
+  EXPECT_LE(batch_context_count(), 32u);
+  // A repeated modulus is served from the warm cache with the same value.
+  const BigUint m = random_odd(rng, 128);
+  const BigUint expected = base.modexp_plain(exp, m);
+  EXPECT_EQ(batch_modexp(base, exp, m), expected);
+  const std::size_t count = batch_context_count();
+  EXPECT_EQ(batch_modexp(base, exp, m), expected);
+  EXPECT_EQ(batch_context_count(), count);
+  batch_contexts_clear();
+  EXPECT_EQ(batch_context_count(), 0u);
+}
+
+TEST(BatchDispatchTest, EvenModulusStaysOnSchoolbookPath) {
+  // modexp must keep its even-modulus fallback inside a batch scope.
+  CryptoBatchScope scope;
+  const BigUint m(1u << 20);
+  const BigUint base(12345);
+  const BigUint exp(677);
+  EXPECT_EQ(base.modexp(exp, m), base.modexp_plain(exp, m));
+}
+
+}  // namespace

@@ -1,0 +1,362 @@
+// Session-engine core: the event loop must retire interleaved handshakes
+// with byte-identical wire traffic, results, and span-visible accounting
+// versus the synchronous one-at-a-time path, while batching each tick's
+// crypto and recycling arena slots.
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/task.hpp"
+#include "engine/map.hpp"
+#include "pki/ca.hpp"
+#include "probe/prober.hpp"
+#include "testbed/longitudinal.hpp"
+#include "testbed/testbed.hpp"
+#include "tls/client.hpp"
+#include "tls/server.hpp"
+#include "tls/transport.hpp"
+
+namespace {
+
+using iotls::common::Rng;
+using iotls::common::Task;
+using iotls::engine::Engine;
+using iotls::tls::ClientConfig;
+using iotls::tls::ClientResult;
+using iotls::tls::ResumptionState;
+using iotls::tls::ServerConfig;
+using iotls::tls::TlsClient;
+using iotls::tls::TlsRecord;
+using iotls::tls::TlsServer;
+using iotls::tls::Transport;
+
+// One record observed on the wire, normalized for comparison.
+using WireRecord = std::tuple<bool, std::uint8_t, iotls::common::Bytes>;
+using WireLog = std::vector<WireRecord>;
+
+struct Fixture {
+  Rng rng{12};
+  iotls::pki::CertificateAuthority ca{
+      iotls::x509::DistinguishedName::cn("Engine Test Root"), rng};
+  iotls::crypto::RsaKeyPair keys = iotls::crypto::rsa_generate(rng, 512);
+  iotls::pki::RootStore roots;
+  ServerConfig server_cfg;
+  ClientConfig client_cfg;
+
+  Fixture() {
+    roots.add(ca.root());
+    server_cfg.chain = {ca.issue_server_cert("engine.example.com", keys.pub)};
+    server_cfg.keys = keys;
+    server_cfg.seed = 3;
+    client_cfg.session_ticket = true;
+  }
+
+  [[nodiscard]] std::shared_ptr<TlsServer> make_server() const {
+    return std::make_shared<TlsServer>(server_cfg);
+  }
+
+  [[nodiscard]] TlsClient make_client(std::uint64_t seed) const {
+    return TlsClient(client_cfg, &roots, Rng(seed),
+                     iotls::common::SimDate{2021, 3, 1});
+  }
+
+  static iotls::tls::Transport::Tap tap_into(WireLog& log) {
+    return [&log](bool c2s, const TlsRecord& record) {
+      log.emplace_back(c2s, static_cast<std::uint8_t>(record.type),
+                       record.payload);
+    };
+  }
+};
+
+// A chain that runs `count` sequential connections (one device's schedule)
+// and records each connection's wire log and result.
+Task<std::vector<ClientResult>> connection_chain(
+    const Fixture& fx, Engine* engine, std::size_t seed_base,
+    std::size_t count, std::vector<WireLog>& logs,
+    const ResumptionState* resume) {
+  std::vector<ClientResult> results;
+  for (std::size_t c = 0; c < count; ++c) {
+    auto server = fx.make_server();
+    TlsClient client = fx.make_client(seed_base + c);
+    logs.emplace_back();
+    WireLog& log = logs.back();
+    const auto payload = iotls::common::to_bytes("GET / HTTP/1.1\r\n\r\n");
+    if (engine == nullptr) {
+      Transport transport(server);
+      transport.add_tap(Fixture::tap_into(log));
+      results.push_back(
+          client.connect(transport, "engine.example.com", payload, resume));
+    } else {
+      auto& conduit = engine->open_conduit(server);
+      conduit.add_tap(Fixture::tap_into(log));
+      results.push_back(co_await client.connect_task(
+          conduit, "engine.example.com", payload, resume));
+    }
+  }
+  co_return results;
+}
+
+void expect_same_result(const ClientResult& sync_result,
+                        const ClientResult& engine_result) {
+  EXPECT_EQ(sync_result.outcome, engine_result.outcome);
+  EXPECT_EQ(sync_result.hello.serialize(), engine_result.hello.serialize());
+  EXPECT_EQ(sync_result.negotiated_suite, engine_result.negotiated_suite);
+  EXPECT_EQ(sync_result.resumed, engine_result.resumed);
+  EXPECT_EQ(sync_result.resumption.has_value(),
+            engine_result.resumption.has_value());
+  if (sync_result.resumption && engine_result.resumption) {
+    EXPECT_EQ(sync_result.resumption->ticket,
+              engine_result.resumption->ticket);
+  }
+  EXPECT_EQ(sync_result.app_response_plaintext,
+            engine_result.app_response_plaintext);
+}
+
+TEST(EngineTest, InterleavedConnectionsMatchSyncByteForByte) {
+  const Fixture fx;
+  constexpr std::size_t kConns = 24;
+
+  std::vector<WireLog> sync_logs;
+  const std::vector<ClientResult> sync_results = iotls::common::run_sync(
+      connection_chain(fx, nullptr, 100, kConns, sync_logs, nullptr));
+
+  // Engine: every connection is its own chain — all 24 interleave on one
+  // thread, sharing the tick's batch scope.
+  std::vector<std::vector<WireLog>> engine_logs(kConns);
+  Engine engine;
+  std::vector<std::vector<ClientResult>> slots(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    engine.add_chain([](const Fixture& f, Engine* e, std::size_t seed,
+                        std::vector<WireLog>& logs,
+                        std::vector<ClientResult>& out) -> Task<void> {
+      out = co_await connection_chain(f, e, seed, 1, logs, nullptr);
+    }(fx, &engine, 100 + i, engine_logs[i], slots[i]));
+  }
+  engine.run();
+  ASSERT_EQ(engine.in_flight(), 0u);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    ASSERT_EQ(slots[i].size(), 1u);
+    ASSERT_EQ(engine_logs[i].size(), 1u);
+    expect_same_result(sync_results[i], slots[i][0]);
+    EXPECT_EQ(sync_logs[i], engine_logs[i][0]) << "wire mismatch conn " << i;
+  }
+
+  // Interleaving advances all handshakes in lockstep: the tick count
+  // tracks the handshake's round-trips, not the connection count.
+  EXPECT_LE(engine.ticks(), 8u);
+}
+
+TEST(EngineTest, SequentialChainMatchesSync) {
+  const Fixture fx;
+  constexpr std::size_t kConns = 6;
+
+  std::vector<WireLog> sync_logs;
+  const auto sync_results = iotls::common::run_sync(
+      connection_chain(fx, nullptr, 500, kConns, sync_logs, nullptr));
+
+  std::vector<WireLog> engine_logs;
+  std::vector<ClientResult> engine_results;
+  Engine engine;
+  engine.add_chain([](const Fixture& f, Engine* e,
+                      std::vector<WireLog>& logs,
+                      std::vector<ClientResult>& out) -> Task<void> {
+    out = co_await connection_chain(f, e, 500, kConns, logs, nullptr);
+  }(fx, &engine, engine_logs, engine_results));
+  engine.run();
+
+  ASSERT_EQ(engine_results.size(), kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    expect_same_result(sync_results[i], engine_results[i]);
+    EXPECT_EQ(sync_logs[i], engine_logs[i]);
+  }
+}
+
+TEST(EngineTest, ResumedHandshakesMatchSync) {
+  const Fixture fx;
+
+  // Obtain a ticket synchronously, then resume through both schedulers.
+  std::vector<WireLog> seed_logs;
+  const auto first = iotls::common::run_sync(
+      connection_chain(fx, nullptr, 900, 1, seed_logs, nullptr));
+  ASSERT_TRUE(first[0].resumption.has_value());
+  const ResumptionState resume = *first[0].resumption;
+
+  std::vector<WireLog> sync_logs;
+  const auto sync_results = iotls::common::run_sync(
+      connection_chain(fx, nullptr, 901, 4, sync_logs, &resume));
+  for (const auto& r : sync_results) EXPECT_TRUE(r.resumed);
+
+  std::vector<WireLog> engine_logs;
+  std::vector<ClientResult> engine_results;
+  Engine engine;
+  engine.add_chain([](const Fixture& f, Engine* e, const ResumptionState& rs,
+                      std::vector<WireLog>& logs,
+                      std::vector<ClientResult>& out) -> Task<void> {
+    out = co_await connection_chain(f, e, 901, 4, logs, &rs);
+  }(fx, &engine, resume, engine_logs, engine_results));
+  engine.run();
+
+  ASSERT_EQ(engine_results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(engine_results[i].resumed);
+    expect_same_result(sync_results[i], engine_results[i]);
+    EXPECT_EQ(sync_logs[i], engine_logs[i]);
+  }
+}
+
+TEST(EngineTest, ArenaRecyclesSlotsAcrossSequentialConnections) {
+  const Fixture fx;
+  // 12 sequential connections in one chain: at most one connection's
+  // flights are resident at a time, so the arena's high-water mark must
+  // track the per-connection record volume, not the 12x total.
+  std::vector<WireLog> logs;
+  std::vector<ClientResult> results;
+  Engine engine;
+  engine.add_chain([](const Fixture& f, Engine* e,
+                      std::vector<WireLog>& lg,
+                      std::vector<ClientResult>& out) -> Task<void> {
+    out = co_await connection_chain(f, e, 40, 12, lg, nullptr);
+  }(fx, &engine, logs, results));
+  engine.run();
+  ASSERT_EQ(results.size(), 12u);
+  std::size_t total_records = 0;
+  for (const auto& log : logs) total_records += log.size();
+  EXPECT_GT(total_records, 5 * engine.arena_peak());
+  EXPECT_LE(engine.arena_peak(), 12u);
+}
+
+TEST(EngineTest, MapOffPathEqualsMapEnginePath) {
+  const Fixture fx;
+  const std::vector<std::size_t> seeds{700, 701, 702, 703, 704};
+
+  auto factory = [&fx](const std::size_t& seed,
+                       Engine* engine) -> Task<ClientResult> {
+    auto server = fx.make_server();
+    TlsClient client = fx.make_client(seed);
+    if (engine == nullptr) {
+      Transport transport(server);
+      co_return client.connect(transport, "engine.example.com");
+    }
+    auto& conduit = engine->open_conduit(server);
+    co_return co_await client.connect_task(conduit, "engine.example.com");
+  };
+
+  const auto sync_out = iotls::engine::map(1, false, seeds, factory);
+  const auto engine_out = iotls::engine::map(1, true, seeds, factory);
+  const auto threaded_out = iotls::engine::map(2, true, seeds, factory);
+  ASSERT_EQ(sync_out.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_same_result(sync_out[i], engine_out[i]);
+    expect_same_result(sync_out[i], threaded_out[i]);
+  }
+}
+
+TEST(EngineTest, MapRethrowsLowestIndexFailure) {
+  const Fixture fx;
+  const std::vector<std::size_t> seeds{0, 1, 2, 3};
+  auto factory = [&fx](const std::size_t& seed,
+                       Engine* engine) -> Task<ClientResult> {
+    if (seed >= 1) {
+      throw iotls::common::ProtocolError("boom " + std::to_string(seed));
+    }
+    auto server = fx.make_server();
+    TlsClient client = fx.make_client(seed);
+    auto& conduit = engine->open_conduit(server);
+    co_return co_await client.connect_task(conduit, "engine.example.com");
+  };
+  try {
+    (void)iotls::engine::map(1, true, seeds, factory);
+    FAIL() << "expected ProtocolError";
+  } catch (const iotls::common::ProtocolError& e) {
+    EXPECT_STREQ(e.what(), "boom 1");
+  }
+}
+
+TEST(EngineTest, StalledChainIsAnError) {
+  struct Never {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) noexcept {}
+    void await_resume() noexcept {}
+  };
+  Engine engine;
+  engine.add_chain([]() -> Task<void> { co_await Never{}; }());
+  EXPECT_THROW(engine.run(), iotls::common::ProtocolError);
+}
+
+TEST(EngineTest, PassiveGeneratorEngineParity) {
+  // The longitudinal generator is the highest-volume driver: its TSV
+  // release must be byte-identical whether connections run on dedicated
+  // transports or interleave through per-worker session engines.
+  iotls::testbed::GeneratorOptions gen;
+  gen.seed = 31337;
+  gen.count_scale = 0.01;
+  gen.first = iotls::common::Month{2019, 1};
+  gen.last = iotls::common::Month{2019, 3};
+  gen.devices = {"Wemo Plug", "Nest Thermostat", "Yi Camera"};
+  gen.threads = 1;
+
+  const std::string sync_tsv = iotls::testbed::dataset_to_tsv(
+      iotls::testbed::generate_passive_dataset(gen));
+  gen.engine = true;
+  const std::string engine_tsv = iotls::testbed::dataset_to_tsv(
+      iotls::testbed::generate_passive_dataset(gen));
+  gen.threads = 2;
+  const std::string threaded_tsv = iotls::testbed::dataset_to_tsv(
+      iotls::testbed::generate_passive_dataset(gen));
+
+  EXPECT_EQ(sync_tsv, engine_tsv);
+  EXPECT_EQ(sync_tsv, threaded_tsv);
+}
+
+TEST(EngineTest, ProberEngineParity) {
+  // The alert side channel (§4.2) must read identically through the
+  // engine: same amenability verdict, same per-certificate alerts.
+  const auto run = [](bool use_engine) {
+    iotls::testbed::Testbed::Options options;
+    options.devices = {"LG TV"};
+    iotls::testbed::Testbed bed(options);
+    iotls::probe::RootStoreProber prober(bed);
+    bool amenable = false;
+    iotls::probe::ProbeOutcome outcome;
+    if (use_engine) {
+      Engine engine;
+      bed.set_engine(&engine);
+      engine.add_chain([](iotls::probe::RootStoreProber& p, bool& am,
+                          iotls::probe::ProbeOutcome& out) -> Task<void> {
+        am = co_await p.device_amenable_task("LG TV");
+        out = co_await p.probe_certificate_task("LG TV",
+                                                "WoSign CA Free SSL");
+      }(prober, amenable, outcome));
+      engine.run();
+    } else {
+      amenable = prober.device_amenable("LG TV");
+      outcome = prober.probe_certificate("LG TV", "WoSign CA Free SSL");
+    }
+    return std::make_tuple(amenable, outcome.verdict, outcome.alert_unknown,
+                           outcome.alert_spoofed);
+  };
+  const auto sync_result = run(false);
+  const auto engine_result = run(true);
+  EXPECT_TRUE(std::get<0>(sync_result));
+  EXPECT_EQ(sync_result, engine_result);
+}
+
+TEST(EngineTest, RunIsNotReentrantAndAddChainGuarded) {
+  const Fixture fx;
+  Engine engine;
+  engine.add_chain([](const Fixture& f, Engine* e) -> Task<void> {
+    std::vector<WireLog> logs;
+    (void)co_await connection_chain(f, e, 33, 1, logs, nullptr);
+    EXPECT_THROW(e->add_chain([]() -> Task<void> { co_return; }()),
+                 iotls::common::ProtocolError);
+  }(fx, &engine));
+  engine.run();
+}
+
+}  // namespace

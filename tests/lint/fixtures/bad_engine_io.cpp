@@ -1,0 +1,10 @@
+// Known-bad fixture for the engine-blocking-io rule (the test config
+// scopes it in).
+void handshake(TlsServer* server, Record flight) {
+  Transport transport(server);       // fires (line 4)
+  transport.send(flight);            // fires (line 5)
+  auto reply = transport.receive();  // fires (line 6)
+  TransportPtr link = make_link(server);
+  link->send(flight);                // fires (line 8)
+  (void)reply;
+}

@@ -1,0 +1,17 @@
+// Known-good fixture for the engine-blocking-io rule.
+void handshake(Engine& engine, TlsServer* server, Record flight) {
+  Conduit& conduit = engine.open_conduit(server);
+  conduit.emit(flight);                // queued for the next tick
+  auto reply = conduit.take_record();  // non-blocking arena read
+  (void)reply;
+}
+
+// `send` outside a member call is not a Transport round-trip.
+void send(Record flight);
+void relay(Record flight) { send(flight); }
+
+// Waived for a legacy bridge that owns its blocking transport.
+void legacy(TlsServer* server) {
+  Transport bridge(server);  // iotls-lint: allow(engine-blocking-io)
+  bridge.send({});           // iotls-lint: allow(engine-blocking-io)
+}

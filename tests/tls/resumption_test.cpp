@@ -157,6 +157,109 @@ TEST_F(ResumptionTest, ResumedTicketRemainsReusable) {
   EXPECT_TRUE(third.resumed);
 }
 
+TEST_F(ResumptionTest, ExpiredTicketFallsBackToFullHandshakeWithoutAlert) {
+  ServerConfig issuing = server_config();
+  issuing.ticket_epoch = 10;
+  issuing.ticket_lifetime_epochs = 2;
+  const auto first = run(ticketing_client(), issuing);
+  ASSERT_TRUE(first.resumption.has_value());
+
+  // Within lifetime (epochs 11 and 12): abbreviated handshake.
+  for (const std::uint32_t epoch : {11u, 12u}) {
+    ServerConfig later = issuing;
+    later.ticket_epoch = epoch;
+    const auto again = run(ticketing_client(), later, &*first.resumption);
+    ASSERT_TRUE(again.success()) << "epoch " << epoch;
+    EXPECT_TRUE(again.resumed) << "epoch " << epoch;
+  }
+
+  // Past lifetime (epoch 13): silent fallback to the full exchange — the
+  // device never sees an alert for offering a stale ticket.
+  ServerConfig expired = issuing;
+  expired.ticket_epoch = 13;
+  const auto fallback = run(ticketing_client(), expired, &*first.resumption);
+  ASSERT_TRUE(fallback.success());
+  EXPECT_FALSE(fallback.resumed);
+  EXPECT_FALSE(fallback.server_chain.empty());  // full handshake ran
+  EXPECT_FALSE(fallback.alert_received.has_value());
+  EXPECT_FALSE(fallback.alert_sent.has_value());
+  // The full handshake ends with a usable replacement ticket.
+  ASSERT_TRUE(fallback.resumption.has_value());
+  const auto recovered =
+      run(ticketing_client(), expired, &*fallback.resumption);
+  EXPECT_TRUE(recovered.resumed);
+}
+
+TEST_F(ResumptionTest, FutureStampedTicketIsDeclined) {
+  // A ticket stamped ahead of the server's clock (rollback, forgery
+  // attempt) is declined the same silent way as an expired one.
+  ServerConfig ahead = server_config();
+  ahead.ticket_epoch = 20;
+  ahead.ticket_lifetime_epochs = 5;
+  const auto first = run(ticketing_client(), ahead);
+  ASSERT_TRUE(first.resumption.has_value());
+
+  ServerConfig rolled_back = ahead;
+  rolled_back.ticket_epoch = 19;
+  const auto second =
+      run(ticketing_client(), rolled_back, &*first.resumption);
+  ASSERT_TRUE(second.success());
+  EXPECT_FALSE(second.resumed);
+  EXPECT_FALSE(second.alert_received.has_value());
+}
+
+TEST_F(ResumptionTest, GarbledAndForeignTicketsNeverAlert) {
+  const auto first = run(ticketing_client(), server_config());
+  ASSERT_TRUE(first.resumption.has_value());
+
+  ResumptionState garbled = *first.resumption;
+  for (auto& byte : garbled.ticket) byte ^= 0x5A;
+  const auto after_garbled =
+      run(ticketing_client(), server_config(), &garbled);
+  ASSERT_TRUE(after_garbled.success());
+  EXPECT_FALSE(after_garbled.resumed);
+  EXPECT_FALSE(after_garbled.alert_received.has_value());
+  EXPECT_FALSE(after_garbled.alert_sent.has_value());
+
+  const auto foreign = run(ticketing_client(), server_config(/*seed=*/123),
+                           &*first.resumption);
+  ASSERT_TRUE(foreign.success());
+  EXPECT_FALSE(foreign.resumed);
+  EXPECT_FALSE(foreign.alert_received.has_value());
+  EXPECT_FALSE(foreign.alert_sent.has_value());
+}
+
+TEST_F(ResumptionTest, ResumptionReissuesFreshTicketThatSlidesLifetime) {
+  ServerConfig issuing = server_config();
+  issuing.ticket_epoch = 5;
+  issuing.ticket_lifetime_epochs = 3;
+  const auto first = run(ticketing_client(), issuing);
+  ASSERT_TRUE(first.resumption.has_value());
+  EXPECT_TRUE(last_server_->observation().ticket_issued);
+
+  // Resume at epoch 7: still valid, and the abbreviated flight re-issues
+  // a ticket stamped with the *current* epoch.
+  ServerConfig later = issuing;
+  later.ticket_epoch = 7;
+  const auto second = run(ticketing_client(), later, &*first.resumption);
+  ASSERT_TRUE(second.resumed);
+  EXPECT_TRUE(last_server_->observation().ticket_issued);
+  ASSERT_TRUE(second.resumption.has_value());
+  EXPECT_NE(second.resumption->ticket, first.resumption->ticket);
+  EXPECT_EQ(second.resumption->master_secret,
+            first.resumption->master_secret);
+
+  // At epoch 10 the original ticket (stamped 5) is expired, but the
+  // refreshed one (stamped 7) still resumes: active sessions slide.
+  ServerConfig at_ten = issuing;
+  at_ten.ticket_epoch = 10;
+  const auto with_old = run(ticketing_client(), at_ten, &*first.resumption);
+  EXPECT_FALSE(with_old.resumed);
+  const auto with_fresh =
+      run(ticketing_client(), at_ten, &*second.resumption);
+  EXPECT_TRUE(with_fresh.resumed);
+}
+
 TEST_F(ResumptionTest, ServerWithTicketsDisabledIgnoresTickets) {
   ServerConfig no_tickets = server_config();
   no_tickets.session_tickets = false;
@@ -168,12 +271,16 @@ TEST_F(ResumptionTest, ServerWithTicketsDisabledIgnoresTickets) {
 TEST(TicketSealing, RoundTripAndForgeryResistance) {
   const auto key = common::to_bytes("ticket-key-ticket-key-ticket-key");
   const auto master = common::to_bytes("master-secret-48-bytes-aaaaaaaaaaaa");
-  const auto ticket = seal_ticket(key, 0xC02F, master);
+  const auto ticket = seal_ticket(key, 0xC02F, master, 41);
 
   const auto contents = unseal_ticket(key, ticket);
   ASSERT_TRUE(contents.has_value());
   EXPECT_EQ(contents->cipher_suite, 0xC02F);
   EXPECT_EQ(contents->master_secret, master);
+  EXPECT_EQ(contents->issued_epoch, 41u);
+  // The epoch is sealed, not advisory: a different stamp is a different
+  // ticket.
+  EXPECT_NE(seal_ticket(key, 0xC02F, master, 42), ticket);
 
   // Wrong key → reject.
   EXPECT_FALSE(

@@ -440,6 +440,50 @@ void rule_timing_hygiene(const SourceFile& file, const RuleConfig& config,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: engine-blocking-io
+// ---------------------------------------------------------------------------
+
+/// Member calls that complete a full request/response round-trip on the
+/// calling thread (tls::Transport's API). Inside the session engine one
+/// such call serializes the whole batch: every queued connection waits
+/// while a single handshake flight blocks.
+const std::set<std::string>& blocking_transport_calls() {
+  static const std::set<std::string> kCalls = {"send", "receive"};
+  return kCalls;
+}
+
+void rule_engine_blocking_io(const SourceFile& file, const RuleConfig& config,
+                             std::vector<Finding>* out) {
+  const bool in_scope = std::any_of(
+      config.engine_scope_fragments.begin(),
+      config.engine_scope_fragments.end(), [&](const std::string& fragment) {
+        return file.path.find(fragment) != std::string::npos;
+      });
+  if (!in_scope) return;
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident) continue;
+    if (blocking_transport_calls().count(t.text) != 0 && i > 0 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        next_is_call(toks, i)) {
+      out->push_back({file.path, t.line, "engine-blocking-io",
+                      "." + t.text + "() is a blocking Transport round-trip; "
+                      "engine code queues flights through Conduit::emit and "
+                      "resumes on the next tick"});
+    } else if (is_ident(t, "Transport") && i + 1 < toks.size() &&
+               toks[i + 1].kind == TokenKind::Ident) {
+      // `Transport conn(...)` declares a synchronous per-connection
+      // transport; engine code multiplexes through Engine::open_conduit.
+      out->push_back({file.path, t.line, "engine-blocking-io",
+                      "Transport object in engine code; open a Conduit via "
+                      "Engine::open_conduit so the connection joins the "
+                      "batched tick loop"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: alert-exhaustive (cross-file)
 // ---------------------------------------------------------------------------
 
@@ -551,8 +595,9 @@ void rule_alert_exhaustive(const std::vector<SourceFile>& files,
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "alert-exhaustive", "banned-api", "determinism", "include-hygiene",
-      "raw-io", "secret-hygiene", "timing-hygiene"};
+      "alert-exhaustive", "banned-api",     "determinism",
+      "engine-blocking-io", "include-hygiene", "raw-io",
+      "secret-hygiene",   "timing-hygiene"};
   return kNames;
 }
 
@@ -566,6 +611,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     rule_raw_io(file, config, &findings);
     rule_secret_hygiene(file, &findings);
     rule_timing_hygiene(file, config, &findings);
+    rule_engine_blocking_io(file, config, &findings);
   }
   rule_alert_exhaustive(files, config, &findings);
 

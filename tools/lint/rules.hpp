@@ -1,6 +1,6 @@
 // iotls-lint rule engine.
 //
-// Seven named rules enforce the project invariants review keeps re-checking
+// Eight named rules enforce the project invariants review keeps re-checking
 // by hand (DESIGN.md §9):
 //
 //   determinism      no wall-clock / ambient randomness / getenv / pointer
@@ -15,6 +15,12 @@
 //   timing-hygiene   no raw std::chrono clock reads outside the obs timing
 //                    chokepoint (obs::WallTimer / obs::profile_now_ns) and
 //                    the bench harness
+//   engine-blocking-io
+//                    no blocking Transport::send/receive round-trips in
+//                    session-engine code — connections multiplexed by an
+//                    Engine must queue flights through Conduit::emit and
+//                    the tick loop, or one slow connection stalls the
+//                    whole engine
 //
 // Suppression: a `// iotls-lint: allow(rule-a, rule-b)` comment silences
 // those rules on its own line and on the following line.
@@ -62,7 +68,8 @@ struct RuleConfig {
   /// store's checked chokepoint (store::CheckedFile). The query layer
   /// reads shards, so it inherits the store's discipline.
   std::vector<std::string> raw_io_scope_fragments = {
-      "src/store/", "tools/store/", "src/query/", "tools/query/"};
+      "src/store/", "tools/store/", "src/query/", "tools/query/",
+      "src/engine/"};
   /// The chokepoint implementation itself — the one file in scope allowed
   /// to touch raw stdio.
   std::vector<std::string> raw_io_allowed_files = {"src/store/io.cpp"};
@@ -72,6 +79,13 @@ struct RuleConfig {
   /// Everything else measures time through obs::WallTimer /
   /// obs::profile_now_ns so clock access stays auditable in one place.
   std::vector<std::string> timing_allowed_fragments = {"src/obs/", "bench/"};
+
+  /// Scope of the `engine-blocking-io` rule: files whose repo-relative
+  /// path contains one of these fragments must not make blocking
+  /// Transport-style send/receive round-trips — engine code queues
+  /// through Conduit::emit / take_record so thousands of connections can
+  /// interleave per tick.
+  std::vector<std::string> engine_scope_fragments = {"src/engine/"};
 };
 
 /// Names of every rule, for --list-rules and suppression validation.
