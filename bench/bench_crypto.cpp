@@ -134,8 +134,6 @@ int main(int argc, char** argv) {
 
   record("sign_512", time_ms(iters * 4, [&](std::size_t) {
            volatile std::size_t sink =
-               // Exercised inside the timed lambda, never logged.
-               // iotls-lint: allow(secret-hygiene)
                iotls::crypto::rsa_sign(key512.priv, message).size();
            (void)sink;
          }),

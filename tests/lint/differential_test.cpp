@@ -1,0 +1,126 @@
+// Differential suite: the frozen v1 token-stream engine (rules_v1) versus
+// the v2 parser/CFG/dataflow engine, over the v1-era fixture corpus. The
+// ported rules must agree finding-for-finding; the one sanctioned rename
+// is v1 `secret-hygiene` -> v2 `secret-taint`.
+//
+// Files added by PR 9 for the new CFG/dataflow rules are deliberately
+// absent from the corpus below: the v1 engine has no notion of those
+// rules, so there is nothing to compare. `good_secret.cpp` is also
+// excluded — its waiver now names the v2 rule, which the v1 engine cannot
+// honor — and keeps its own positive test in lint_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint.hpp"
+#include "rules_v1.hpp"
+
+namespace {
+
+using iotls::lint::Finding;
+using iotls::lint::RuleConfig;
+using iotls::lint::SourceFile;
+
+std::filesystem::path fixtures_root() { return IOTLS_LINT_FIXTURES; }
+
+/// The fixture files that existed before the v2 rewrite.
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> kCorpus = {
+      "alert/alert.hpp",        "alert/bad_switch.cpp",
+      "alert/good_switch.cpp",  "bad_banned_api.cpp",
+      "bad_determinism.cpp",    "bad_engine_io.cpp",
+      "bad_include.hpp",        "bad_raw_io.cpp",
+      "bad_secret.cpp",         "bad_timing.cpp",
+      "good_banned_api.cpp",    "good_determinism.cpp",
+      "good_engine_io.cpp",     "good_include.cpp",
+      "good_raw_io.cpp",        "good_timing.cpp",
+      "suppressed_wrong_rule.cpp",
+  };
+  return kCorpus;
+}
+
+/// One config that puts the whole corpus in scope for every ported rule,
+/// mirroring the per-rule configs in lint_test.cpp.
+RuleConfig corpus_config() {
+  RuleConfig config;
+  config.alert_enum_file = "alert/alert.hpp";
+  config.required_alert_markers = {"classify", "render"};
+  config.raw_io_scope_fragments = {"raw_io"};
+  config.timing_allowed_fragments.clear();
+  config.engine_scope_fragments = {"engine_io"};
+  return config;
+}
+
+std::vector<SourceFile> load_corpus() {
+  std::vector<SourceFile> sources;
+  for (const auto& rel : corpus()) {
+    sources.push_back(
+        iotls::lint::load_file(fixtures_root(), fixtures_root() / rel));
+  }
+  return sources;
+}
+
+using Key = std::tuple<std::string, int, std::string>;
+
+std::string describe(const std::set<Key>& keys) {
+  std::string out;
+  for (const auto& [file, line, rule] : keys) {
+    out += "  " + file + ":" + std::to_string(line) + " [" + rule + "]\n";
+  }
+  return out.empty() ? "  (none)\n" : out;
+}
+
+TEST(LintDifferential, PortedRulesMatchTheFrozenV1Engine) {
+  const auto sources = load_corpus();
+  const RuleConfig config = corpus_config();
+
+  std::set<Key> v1_keys;
+  for (const auto& f : iotls::lint::v1::run_rules_v1(sources, config)) {
+    const std::string rule =
+        f.rule == "secret-hygiene" ? "secret-taint" : f.rule;
+    v1_keys.insert({f.file, f.line, rule});
+  }
+
+  // Restrict v2 to the ported catalogue: the four CFG/dataflow-only rules
+  // have no v1 counterpart to differ from.
+  const std::set<std::string> ported = {
+      "alert-exhaustive", "banned-api",     "determinism",
+      "engine-blocking-io", "include-hygiene", "raw-io",
+      "secret-taint",     "timing-hygiene",
+  };
+  std::set<Key> v2_keys;
+  for (const auto& f : iotls::lint::run_rules(sources, config)) {
+    if (ported.count(f.rule) != 0) v2_keys.insert({f.file, f.line, f.rule});
+  }
+
+  EXPECT_EQ(v1_keys, v2_keys)
+      << "v1 engine reported:\n"
+      << describe(v1_keys) << "v2 engine reported (ported rules only):\n"
+      << describe(v2_keys);
+  // The corpus is not vacuous: both engines found real violations.
+  EXPECT_GE(v1_keys.size(), 25u);
+}
+
+TEST(LintDifferential, V1CatalogueIsTheExpectedFreeze) {
+  // Guard the oracle itself: if someone "fixes" rules_v1 to track the live
+  // engine, the rename below stops holding and this test names the drift.
+  const auto& v1 = iotls::lint::v1::rule_names_v1();
+  EXPECT_NE(std::find(v1.begin(), v1.end(), "secret-hygiene"), v1.end());
+  EXPECT_EQ(std::find(v1.begin(), v1.end(), "secret-taint"), v1.end());
+  const auto& v2 = iotls::lint::rule_names();
+  EXPECT_NE(std::find(v2.begin(), v2.end(), "secret-taint"), v2.end());
+  EXPECT_EQ(std::find(v2.begin(), v2.end(), "secret-hygiene"), v2.end());
+  // Every v1 rule survives into v2 (modulo the rename).
+  for (const auto& name : v1) {
+    const std::string mapped =
+        name == "secret-hygiene" ? "secret-taint" : name;
+    EXPECT_NE(std::find(v2.begin(), v2.end(), mapped), v2.end())
+        << "v1 rule dropped from v2: " << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+// Known-bad fixture for the lock-across-suspension rule: every case holds
+// a mutex region over a co_await edge.
+#include <mutex>
+
+struct Task {
+  int x;
+};
+Task next_record();
+
+Task guard_across_await(std::mutex& m) {
+  std::lock_guard<std::mutex> guard(m);
+  co_await next_record();  // fires (line 12): guard still held
+  co_return;
+}
+
+Task manual_lock_across_await(std::mutex& m) {
+  m.lock();
+  co_await next_record();  // fires (line 18): m locked across the edge
+  m.unlock();
+  co_return;
+}
+
+Task lock_in_loop(std::mutex& m) {
+  for (int i = 0; i < 3; ++i) {
+    std::unique_lock<std::mutex> lk(m);
+    co_await next_record();  // fires (line 26): lk held at the suspension
+  }
+  co_return;
+}

@@ -1,0 +1,32 @@
+// Known-bad fixture for the thread-local-across-suspension rule: RAII
+// zones over thread_local cursors, and direct thread_local reads on both
+// sides of a co_await.
+struct ProfileZone {
+  explicit ProfileZone(const char*);
+};
+struct Task {
+  int x;
+};
+Task next_record();
+
+thread_local int tl_depth = 0;
+
+Task zone_across_await() {
+  ProfileZone zone("handshake");
+  co_await next_record();  // fires (line 16): zone's dtor runs post-resume
+  co_return;
+}
+
+Task counter_across_await() {
+  tl_depth += 1;
+  co_await next_record();
+  tl_depth -= 1;  // fires (line 23): resumed thread's tl_depth differs
+  co_return;
+}
+
+Task read_in_loop() {
+  while (tl_depth < 4) {  // fires (line 28): re-read after suspension
+    co_await next_record();
+  }
+  co_return;
+}

@@ -1,0 +1,36 @@
+// Known-bad fixture for the secret-taint rule's dataflow powers: taint
+// reaching sinks through local variables and through function returns
+// (v1's token rule could only see direct member/type mentions).
+#include <cstdio>
+
+struct Span {
+  template <typename... A>
+  void event(A...) {}
+};
+struct Bytes {
+  int x;
+};
+
+Bytes expand_label(Bytes premaster_secret) {
+  Bytes out = premaster_secret;  // tainted: seeded by the parameter name
+  return out;                    // expand_label() now returns taint
+}
+
+void leak_via_local(Span& span) {
+  Bytes block = expand_label({});
+  span.event("keys", block);  // fires (line 21): taint through the call
+}
+
+void leak_via_chain(Span& span, Bytes ticket_key) {
+  Bytes copy = ticket_key;
+  Bytes again = copy;
+  std::printf("%d\n", again.x);  // fires (line 27): two-hop local chain
+}
+
+void leak_after_branch(Span& span, Bytes shared_secret, bool fast) {
+  Bytes buf{};
+  if (fast) {
+    buf = shared_secret;
+  }
+  span.event("buf", buf);  // fires (line 35): tainted on the fast path
+}

@@ -1,0 +1,20 @@
+// Known-bad fixture for the unchecked-result rule: status-typed returns
+// silently discarded at the call site.
+#include <optional>
+
+struct StoreIoError {
+  int code;
+};
+
+StoreIoError write_frame(int);
+std::optional<int> next_frame();
+
+struct Writer {
+  StoreIoError flush_block(int);
+};
+
+void sloppy(Writer& w) {
+  write_frame(1);     // fires (line 17)
+  next_frame();       // fires (line 18)
+  w.flush_block(2);   // fires (line 19): member call, same contract
+}

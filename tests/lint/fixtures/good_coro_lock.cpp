@@ -1,0 +1,41 @@
+// Known-good fixture for the lock-across-suspension rule: locks scoped or
+// released before the suspension, sync functions, one waived diagnostic.
+#include <mutex>
+
+struct Task {
+  int x;
+};
+Task next_record();
+
+Task scoped_before_await(std::mutex& m) {
+  {
+    std::lock_guard<std::mutex> guard(m);
+  }
+  co_await next_record();  // guard died at the brace above
+  co_return;
+}
+
+Task unlock_before_await(std::mutex& m) {
+  std::unique_lock<std::mutex> lk(m);
+  lk.unlock();
+  co_await next_record();  // released before the edge
+  co_return;
+}
+
+Task manual_unlock_before_await(std::mutex& m) {
+  m.lock();
+  m.unlock();
+  co_await next_record();
+  co_return;
+}
+
+void sync_holder(std::mutex& m) {
+  std::lock_guard<std::mutex> guard(m);  // no suspensions anywhere
+}
+
+Task waived_hold(std::mutex& m) {
+  std::lock_guard<std::mutex> guard(m);
+  // iotls-lint: allow(lock-across-suspension)
+  co_await next_record();
+  co_return;
+}

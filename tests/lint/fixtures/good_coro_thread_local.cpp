@@ -1,0 +1,40 @@
+// Known-good fixture for the thread-local-across-suspension rule: zones
+// scoped between suspensions, one-sided thread_local access, sync
+// functions, one waived diagnostic.
+struct ProfileZone {
+  explicit ProfileZone(const char*);
+};
+struct Task {
+  int x;
+};
+Task next_record();
+
+thread_local int tl_depth = 0;
+
+Task scoped_zone() {
+  {
+    ProfileZone zone("parse");
+  }
+  co_await next_record();  // zone died before the edge
+  co_return;
+}
+
+Task one_sided_access() {
+  tl_depth += 1;
+  tl_depth -= 1;
+  co_await next_record();  // all accesses on one side
+  co_return;
+}
+
+void sync_zone() {
+  ProfileZone zone("tick");  // no suspensions anywhere
+  tl_depth += 1;
+  tl_depth -= 1;
+}
+
+Task waived_zone() {
+  ProfileZone zone("handshake");
+  // iotls-lint: allow(thread-local-across-suspension)
+  co_await next_record();
+  co_return;
+}

@@ -1,0 +1,34 @@
+// Known-good fixture for the secret-taint rule: allowlisted digest
+// wrappers, rebinding back to clean values, taint that never reaches a
+// sink, and one waived diagnostic.
+#include <cstdio>
+
+struct Span {
+  template <typename... A>
+  void event(A...) {}
+};
+struct Bytes {
+  int x;
+};
+int digest_hex(Bytes);
+Bytes encrypt(Bytes, Bytes);
+
+void log_digest(Span& span, Bytes premaster_secret) {
+  span.event("premaster", digest_hex(premaster_secret));  // sanitized
+}
+
+void rebind_clears(Span& span, Bytes ticket_key) {
+  Bytes buf = ticket_key;
+  buf = Bytes{};
+  span.event("buf", buf);  // rebound to a clean value before the sink
+}
+
+Bytes use_without_logging(Bytes master_secret, Bytes payload) {
+  Bytes sealed = encrypt(master_secret, payload);
+  return sealed;  // using the secret is not logging it
+}
+
+void waived_debug(Span& span, Bytes ticket_key) {
+  // iotls-lint: allow(secret-taint)
+  span.event("debug", ticket_key);
+}

@@ -1,0 +1,27 @@
+// Known-good fixture for the unchecked-result rule: bound, tested, or
+// explicitly (void)-discarded results; void-returning calls; one waived
+// diagnostic.
+#include <optional>
+
+struct StoreIoError {
+  int code;
+};
+
+StoreIoError write_frame(int);
+std::optional<int> next_frame();
+void log_line(int);
+
+void careful() {
+  const StoreIoError err = write_frame(1);
+  (void)err;
+  if (auto frame = next_frame()) {
+    log_line(*frame);
+  }
+  (void)write_frame(2);  // deliberate discard, spelled out
+  log_line(3);           // void return: nothing to check
+}
+
+void waived() {
+  // iotls-lint: allow(unchecked-result)
+  next_frame();
+}

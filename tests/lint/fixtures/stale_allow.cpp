@@ -1,0 +1,22 @@
+// Fixture for --stale-allows: one allow that suppresses a real finding
+// (used), one that suppresses nothing (stale), one naming a rule that
+// does not exist (stale + unknown).
+#include <cstdlib>
+
+void nondeterministic() {
+  // iotls-lint: allow(determinism)
+  const int r = rand();
+  (void)r;
+}
+
+void clean() {
+  // iotls-lint: allow(banned-api)
+  const int x = 4;
+  (void)x;
+}
+
+void misspelled() {
+  // iotls-lint: allow(secret-hygiene)
+  const int y = 5;
+  (void)y;
+}

@@ -149,16 +149,16 @@ TEST(LintRules, IncludeHygieneAllowsUsingNamespaceInCpp) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule: secret-hygiene
+// Rule: secret-taint (v1 called it secret-hygiene; same fixture lines)
 // ---------------------------------------------------------------------------
 
-TEST(LintRules, SecretHygieneFiresOnEveryLeakPath) {
+TEST(LintRules, SecretTaintFiresOnEveryLeakPath) {
   const auto findings = run_fixtures({"bad_secret.cpp"}, fixture_config());
   const std::set<int> expected = {15, 19, 23, 26, 31};
-  EXPECT_EQ(lines_for_rule(findings, "secret-hygiene"), expected);
+  EXPECT_EQ(lines_for_rule(findings, "secret-taint"), expected);
 }
 
-TEST(LintRules, SecretHygieneAllowsPublicMaterialAndMetadata) {
+TEST(LintRules, SecretTaintAllowsPublicMaterialAndMetadata) {
   EXPECT_TRUE(run_fixtures({"good_secret.cpp"}, fixture_config()).empty());
 }
 

@@ -1,0 +1,41 @@
+// Control-flow graph over a parsed function (parse.hpp), with coroutine
+// suspension points as first-class nodes.
+//
+// Each statement becomes a node; `co_await` / `co_yield` statements get a
+// dedicated Suspend node INSERTED BEFORE the statement node (facts live at
+// the suspension are exactly those established by earlier statements).
+// Leaving a lexical scope — by falling off a compound, or jumping out via
+// break / continue / return — inserts a ScopeExit node naming the locals
+// whose lifetime ends, so RAII facts (locks, profile zones) can be killed
+// precisely on every path. `co_return` routes to the exit node directly:
+// locals are destroyed before the coroutine's final suspend, so it is not
+// a hazardous suspension.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parse.hpp"
+
+namespace iotls::lint {
+
+struct CfgNode {
+  enum class Kind { Entry, Exit, Stmt, Suspend, ScopeExit };
+  Kind kind = Kind::Stmt;
+  const Stmt* stmt = nullptr;          // Stmt / Suspend
+  int line = 0;
+  std::vector<std::string> dying;      // ScopeExit: names leaving scope
+  std::vector<int> succ;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = 0;
+  int exit = 1;
+};
+
+/// Build the CFG for one function. The Stmt pointers alias fn.body — the
+/// Function must outlive the Cfg.
+Cfg build_cfg(const Function& fn);
+
+}  // namespace iotls::lint

@@ -1,0 +1,43 @@
+#include "dataflow.hpp"
+
+#include <deque>
+
+namespace iotls::lint {
+
+FlowResult solve_forward(const Cfg& cfg, const FlowProblem& problem) {
+  const std::size_t n = cfg.nodes.size();
+  FlowResult result;
+  result.in.assign(n, BitSet(problem.nfacts));
+  result.out.assign(n, BitSet(problem.nfacts));
+
+  std::deque<int> worklist;
+  std::vector<bool> queued(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    worklist.push_back(static_cast<int>(i));
+    queued[i] = true;
+  }
+
+  while (!worklist.empty()) {
+    const int node = worklist.front();
+    worklist.pop_front();
+    queued[node] = false;
+
+    BitSet out = result.in[node];
+    const bool overridden =
+        problem.transfer != nullptr && problem.transfer(node, out);
+    if (!overridden && !problem.gen.empty()) {
+      out.apply(problem.gen[node], problem.kill[node]);
+    }
+    if (out == result.out[node]) continue;
+    result.out[node] = out;
+    for (const int succ : cfg.nodes[node].succ) {
+      if (result.in[succ].merge(result.out[node]) && !queued[succ]) {
+        worklist.push_back(succ);
+        queued[succ] = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace iotls::lint

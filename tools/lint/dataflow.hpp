@@ -1,0 +1,86 @@
+// Forward dataflow over a Cfg (cfg.hpp): may-union lattice of bit facts,
+// solved to fixpoint with a worklist.
+//
+// The common case is a gen/kill problem (out = (in - kill) | gen). Rules
+// that need flow-dependent transfer — taint, whose gen set depends on
+// which operands are already tainted — supply a custom transfer callback
+// instead; it must be monotone in `in` for termination.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cfg.hpp"
+
+namespace iotls::lint {
+
+/// Fixed-width bitset sized at construction.
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(std::size_t nbits)
+      : bits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  [[nodiscard]] bool any() const {
+    for (const auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  /// this |= other; returns true when any bit changed.
+  bool merge(const BitSet& other) {
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t merged = words_[i] | other.words_[i];
+      if (merged != words_[i]) {
+        words_[i] = merged;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  /// this = (this & ~kill) | gen.
+  void apply(const BitSet& gen, const BitSet& kill) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] = (words_[i] & ~kill.words_[i]) | gen.words_[i];
+    }
+  }
+  bool operator==(const BitSet& other) const {
+    return words_ == other.words_;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct FlowProblem {
+  std::size_t nfacts = 0;
+  /// Per-node gen/kill (sized nodes × nfacts). Ignored for nodes where
+  /// `transfer` is provided and returns true.
+  std::vector<BitSet> gen, kill;
+  /// Optional flow-dependent transfer: out starts as a copy of in; the
+  /// callback mutates it and returns true to OVERRIDE gen/kill for that
+  /// node (returning false falls back to gen/kill).
+  std::function<bool(int node, BitSet& out)> transfer;
+};
+
+struct FlowResult {
+  std::vector<BitSet> in;   // facts on entry to each node
+  std::vector<BitSet> out;  // facts on exit from each node
+};
+
+/// Solve to fixpoint. Entry starts empty; joins are set union.
+FlowResult solve_forward(const Cfg& cfg, const FlowProblem& problem);
+
+}  // namespace iotls::lint

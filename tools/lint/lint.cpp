@@ -1,9 +1,11 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 namespace iotls::lint {
 
@@ -62,21 +64,96 @@ std::vector<fs::path> collect_tree(const LintOptions& options) {
 
 std::vector<Finding> lint_files(const LintOptions& options,
                                 const std::vector<fs::path>& files) {
-  std::vector<SourceFile> sources;
-  sources.reserve(files.size());
-  for (const auto& file : files) {
-    sources.push_back(load_file(options.root, file));
-  }
-  return run_rules(sources, options.rules);
+  return lint_files_full(options, files).findings;
 }
 
 std::vector<Finding> lint_tree(const LintOptions& options) {
   return lint_files(options, collect_tree(options));
 }
 
+RunResult lint_files_full(const LintOptions& options,
+                          const std::vector<fs::path>& files) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const auto& file : files) {
+    sources.push_back(load_file(options.root, file));
+  }
+  return run_rules_full(sources, options.rules);
+}
+
 std::string format_finding(const Finding& finding) {
   return finding.file + ":" + std::to_string(finding.line) + ": [" +
          finding.rule + "] " + finding.message;
+}
+
+namespace {
+
+/// Minimal JSON string escaping. The lint tool does not link the src/
+/// libraries, so it carries its own copy rather than reaching into
+/// obs/ or store/ serialization helpers.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"severity\": \"" +
+           json_escape(f.severity) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::vector<Finding> stale_allow_findings(
+    const std::vector<AllowSite>& allows) {
+  std::vector<Finding> out;
+  for (const AllowSite& a : allows) {
+    if (a.used) continue;
+    Finding f;
+    f.file = a.file;
+    f.line = a.line;
+    f.rule = "stale-allow";
+    f.severity = "warning";
+    f.message =
+        a.known_rule
+            ? "allow(" + a.rule + ") suppresses nothing; delete it so a "
+              "future regression cannot hide behind it"
+            : "allow(" + a.rule + ") names a rule that does not exist; "
+              "delete it or fix the rule name";
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.message) <
+           std::tie(b.file, b.line, b.message);
+  });
+  return out;
 }
 
 }  // namespace iotls::lint

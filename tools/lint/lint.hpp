@@ -37,7 +37,23 @@ std::vector<Finding> lint_files(
 /// Lint the whole tree under options.root.
 std::vector<Finding> lint_tree(const LintOptions& options);
 
+/// Like lint_files, but also returns every allow() site with its usage bit
+/// so callers can report stale suppressions (--stale-allows).
+RunResult lint_files_full(const LintOptions& options,
+                          const std::vector<std::filesystem::path>& files);
+
 /// "path:line: [rule] message" — one line per finding.
 std::string format_finding(const Finding& finding);
+
+/// Machine-readable findings: a JSON array of
+/// {"file":..., "line":..., "rule":..., "severity":..., "message":...}
+/// objects, sorted like the text output. Stable field order, trailing
+/// newline; `[]` when clean.
+std::string findings_to_json(const std::vector<Finding>& findings);
+
+/// Allow() sites that suppressed nothing in this run, as reportable
+/// findings (rule "stale-allow", severity "warning"): stale suppressions
+/// hide nothing today but would silently swallow a future regression.
+std::vector<Finding> stale_allow_findings(const std::vector<AllowSite>& allows);
 
 }  // namespace iotls::lint

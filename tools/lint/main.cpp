@@ -4,9 +4,13 @@
 //   iotls-lint --check [--root <dir>]      lint src/ tests/ bench/ examples/
 //                                          tools/ under the repo root
 //   iotls-lint [--root <dir>] <files...>   lint explicit files
+//   iotls-lint --stale-allows [...]        report allow() comments that no
+//                                          longer suppress anything
+//   iotls-lint --format=json [...]         machine-readable findings
 //   iotls-lint --list-rules                print the rule catalogue
 //
-// Exit status: 0 clean, 1 findings, 2 usage / IO error.
+// Exit status: 0 clean, 1 findings (or stale allows), 2 usage / IO error.
+// --format only changes the report encoding, never the exit code.
 #include <algorithm>
 #include <cstdio>
 #include <exception>
@@ -19,8 +23,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--check] [--root <dir>] [--list-rules] "
-               "[files...]\n",
+               "usage: %s [--check] [--root <dir>] [--format=text|json] "
+               "[--stale-allows] [--list-rules] [files...]\n",
                argv0);
   return 2;
 }
@@ -32,6 +36,8 @@ int main(int argc, char** argv) {
   options.root = std::filesystem::current_path();
   std::vector<std::filesystem::path> files;
   bool list_rules = false;
+  bool stale_allows = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,6 +49,12 @@ int main(int argc, char** argv) {
       options.root = argv[i];
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--stale-allows") {
+      stale_allows = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -70,26 +82,36 @@ int main(int argc, char** argv) {
     if (!has_enum_file) options.rules.alert_enum_file.clear();
   }
 
-  std::vector<iotls::lint::Finding> findings;
+  iotls::lint::RunResult result;
   std::size_t scanned = 0;
   try {
     if (files.empty()) {
       const auto tree = iotls::lint::collect_tree(options);
       scanned = tree.size();
-      findings = iotls::lint::lint_files(options, tree);
+      result = iotls::lint::lint_files_full(options, tree);
     } else {
       scanned = files.size();
-      findings = iotls::lint::lint_files(options, files);
+      result = iotls::lint::lint_files_full(options, files);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iotls-lint: %s\n", e.what());
     return 2;
   }
 
-  for (const auto& finding : findings) {
-    std::printf("%s\n", iotls::lint::format_finding(finding).c_str());
+  // --stale-allows reports suppressions instead of findings: an allow()
+  // that silences nothing today would silently swallow a regression later.
+  const std::vector<iotls::lint::Finding> report =
+      stale_allows ? iotls::lint::stale_allow_findings(result.allows)
+                   : std::move(result.findings);
+
+  if (json) {
+    std::fputs(iotls::lint::findings_to_json(report).c_str(), stdout);
+  } else {
+    for (const auto& finding : report) {
+      std::printf("%s\n", iotls::lint::format_finding(finding).c_str());
+    }
   }
-  std::fprintf(stderr, "iotls-lint: %zu file(s), %zu finding(s)\n", scanned,
-               findings.size());
-  return findings.empty() ? 0 : 1;
+  std::fprintf(stderr, "iotls-lint: %zu file(s), %zu %s\n", scanned,
+               report.size(), stale_allows ? "stale allow(s)" : "finding(s)");
+  return report.empty() ? 0 : 1;
 }

@@ -1,0 +1,638 @@
+#include "rules_v1.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
+#include <tuple>
+
+namespace iotls::lint::v1 {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::Ident && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::Punct && t.text == text;
+}
+
+bool next_is_call(const Tokens& toks, std::size_t i) {
+  return i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+}
+
+/// True when toks[i] names a global (or std::) entity rather than a member,
+/// a user-defined qualified name, or a declaration: `x.time(`, `Foo::rand(`
+/// and `SimClock clock(...)` are fine, `time(` and `std::time(` are not.
+bool global_or_std(const Tokens& toks, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokenKind::Ident) {
+    // `return time(...)` is a call; `SimClock clock(...)` declares a
+    // variable that happens to share a libc name.
+    static const std::set<std::string> kStmtKeywords = {
+        "return", "co_return", "co_yield", "case",  "else",
+        "do",     "throw",     "new",      "delete"};
+    return kStmtKeywords.count(prev.text) != 0;
+  }
+  if (prev.kind != TokenKind::Punct) return true;
+  if (prev.text == "." || prev.text == "->") return false;
+  if (prev.text == "::") {
+    return i >= 2 && is_ident(toks[i - 2], "std");
+  }
+  return true;
+}
+
+/// Index just past the bracketed region opened at toks[open] (which must be
+/// "(", "{", or "<"). For "<" the scan is heuristic: it gives up at ";" or
+/// "{" so comparison operators cannot send it scanning the rest of the file.
+std::size_t skip_balanced(const Tokens& toks, std::size_t open,
+                          std::string_view open_text,
+                          std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open_text)) {
+      ++depth;
+    } else if (is_punct(toks[i], close_text)) {
+      if (--depth == 0) return i + 1;
+    } else if (open_text == "<" &&
+               (is_punct(toks[i], ";") || is_punct(toks[i], "{"))) {
+      return i;  // was a comparison, not a template argument list
+    }
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions and markers
+// ---------------------------------------------------------------------------
+
+/// Extract `name(args)` from a directive comment: for directive "allow",
+/// a comment tagged iotls-lint with "determinism, banned-api" in the
+/// parens yields that list. Returns false for any other comment.
+bool parse_directive(const std::string& comment, std::string_view directive,
+                     std::string* args) {
+  const auto tag = comment.find("iotls-lint:");
+  if (tag == std::string::npos) return false;
+  auto pos = comment.find(directive, tag);
+  if (pos == std::string::npos) return false;
+  pos = comment.find('(', pos);
+  const auto end = comment.find(')', pos);
+  if (pos == std::string::npos || end == std::string::npos) return false;
+  *args = comment.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+std::vector<std::string> split_list(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : args) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// (rule, line) pairs silenced in one file. An allow() comment covers its
+/// own line and the next, so both trailing and preceding-line styles work.
+std::set<std::pair<std::string, int>> suppressions(const SourceFile& file) {
+  std::set<std::pair<std::string, int>> out;
+  for (const auto& comment : file.lex.comments) {
+    std::string args;
+    if (!parse_directive(comment.text, "allow", &args)) continue;
+    for (const auto& rule : split_list(args)) {
+      out.emplace(rule, comment.line);
+      out.emplace(rule, comment.line + 1);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& wall_clock_calls() {
+  static const std::set<std::string> kCalls = {
+      "time",   "clock",     "rand",   "srand",    "gettimeofday",
+      "random", "localtime", "gmtime", "mktime",   "drand48",
+  };
+  return kCalls;
+}
+
+void rule_determinism(const SourceFile& file, const RuleConfig& config,
+                      std::vector<Finding>* out) {
+  const Tokens& toks = file.lex.tokens;
+  const bool getenv_ok =
+      std::find(config.getenv_allowed_files.begin(),
+                config.getenv_allowed_files.end(),
+                file.path) != config.getenv_allowed_files.end();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident) continue;
+    if (wall_clock_calls().count(t.text) != 0 && next_is_call(toks, i) &&
+        global_or_std(toks, i)) {
+      out->push_back({file.path, t.line, "determinism",
+                      t.text + "() is nondeterministic; draw through "
+                      "common::Rng / common::SimClock instead"});
+    } else if (t.text == "random_device" || t.text == "system_clock") {
+      out->push_back({file.path, t.line, "determinism",
+                      "std::" + t.text + " breaks byte-identical outputs; "
+                      "use common::Rng (seeded) or steady_clock (timing)"});
+    } else if (t.text == "getenv" && !getenv_ok) {
+      out->push_back({file.path, t.line, "determinism",
+                      "getenv outside common/env.hpp; route knobs through "
+                      "common::strict_env_long"});
+    } else if (t.text == "hash" && i + 1 < toks.size() &&
+               is_punct(toks[i + 1], "<")) {
+      const std::size_t end = skip_balanced(toks, i + 1, "<", ">");
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (is_punct(toks[j], "*")) {
+          out->push_back({file.path, t.line, "determinism",
+                          "hashing a pointer value makes iteration order "
+                          "depend on the allocator; hash stable contents "
+                          "or an explicit id"});
+          break;
+        }
+      }
+    } else if (t.text == "reinterpret_cast" && i + 1 < toks.size() &&
+               is_punct(toks[i + 1], "<")) {
+      const std::size_t end = skip_balanced(toks, i + 1, "<", ">");
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (toks[j].kind == TokenKind::Ident &&
+            (toks[j].text == "uintptr_t" || toks[j].text == "intptr_t")) {
+          out->push_back({file.path, t.line, "determinism",
+                          "casting a pointer to an integer launders address "
+                          "nondeterminism into data; use a stable id"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-api
+// ---------------------------------------------------------------------------
+
+void rule_banned_api(const SourceFile& file, std::vector<Finding>* out) {
+  static const std::map<std::string, std::string> kBanned = {
+      {"strcpy", "unbounded copy; use std::string or std::copy_n"},
+      {"strcat", "unbounded append; use std::string"},
+      {"sprintf", "unbounded format; use std::snprintf"},
+      {"vsprintf", "unbounded format; use std::vsnprintf"},
+      {"gets", "unbounded read; use std::getline"},
+      {"atoi", "silent-zero parsing; use std::from_chars or strict_env_long"},
+      {"atol", "silent-zero parsing; use std::from_chars or strict_env_long"},
+      {"atoll", "silent-zero parsing; use std::from_chars or strict_env_long"},
+      {"atof", "silent-zero parsing; use std::from_chars"},
+  };
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::Ident) continue;
+    const auto it = kBanned.find(toks[i].text);
+    if (it == kBanned.end()) continue;
+    if (!next_is_call(toks, i) || !global_or_std(toks, i)) continue;
+    out->push_back({file.path, toks[i].line, "banned-api",
+                    it->first + "(): " + it->second});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-hygiene
+// ---------------------------------------------------------------------------
+
+void rule_include_hygiene(const SourceFile& file, std::vector<Finding>* out) {
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::PPLine) {
+      const auto head = t.text.find_first_not_of(" \t");
+      if (head == std::string::npos ||
+          t.text.compare(head, 7, "include") != 0) {
+        continue;
+      }
+      const auto open = t.text.find('"', head);
+      const auto close =
+          open == std::string::npos ? open : t.text.find('"', open + 1);
+      if (open == std::string::npos || close == std::string::npos) continue;
+      const std::string path = t.text.substr(open + 1, close - open - 1);
+      if (path.rfind("../", 0) == 0 ||
+          path.find("/../") != std::string::npos) {
+        out->push_back({file.path, t.line, "include-hygiene",
+                        "relative include \"" + path + "\"; include "
+                        "src-root-relative (\"tls/alert.hpp\") instead"});
+      }
+    } else if (file.is_header() && is_ident(t, "using") &&
+               i + 1 < toks.size() && is_ident(toks[i + 1], "namespace")) {
+      out->push_back({file.path, t.line, "include-hygiene",
+                      "`using namespace` in a header leaks into every "
+                      "includer; qualify or alias instead"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: secret-hygiene
+// ---------------------------------------------------------------------------
+
+/// Types that hold private-key material or Rng state (crypto/rsa.hpp,
+/// common/rng.hpp). Naming one in a logging/trace/metrics argument list is
+/// a leak even if only a summary is printed today.
+const std::set<std::string>& secret_types() {
+  static const std::set<std::string> kTypes = {"RsaPrivateKey", "RsaKeyPair"};
+  return kTypes;
+}
+
+/// Data members of RsaPrivateKey / Rng whose values are the secret: the CRT
+/// params, the private exponent, the generator state.
+const std::set<std::string>& secret_members() {
+  static const std::set<std::string> kMembers = {"d",  "p",    "q",   "dp",
+                                                 "dq", "qinv", "priv"};
+  return kMembers;
+}
+
+/// Call-argument sinks: anything written here ends up in a trace span, a
+/// metrics label, or a terminal.
+const std::set<std::string>& sink_calls() {
+  static const std::set<std::string> kSinks = {
+      "event", "set_attr", "log",   "printf", "fprintf",
+      "snprintf", "counter", "gauge", "record",
+  };
+  return kSinks;
+}
+
+bool mentions_secret(const Tokens& toks, std::size_t begin, std::size_t end,
+                     int* line) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokenKind::Ident) continue;
+    if (secret_types().count(toks[i].text) != 0) {
+      *line = toks[i].line;
+      return true;
+    }
+    if (i > 0 && secret_members().count(toks[i].text) != 0 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        !next_is_call(toks, i)) {
+      *line = toks[i].line;
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_secret_hygiene(const SourceFile& file, std::vector<Finding>* out) {
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident) continue;
+    // operator<< over a secret type: a printable private key is a leak
+    // waiting for a call site.
+    if (t.text == "operator" && i + 2 < toks.size() &&
+        is_punct(toks[i + 1], "<<") && is_punct(toks[i + 2], "(")) {
+      const std::size_t end = skip_balanced(toks, i + 2, "(", ")");
+      for (std::size_t j = i + 3; j + 1 < end; ++j) {
+        if (toks[j].kind == TokenKind::Ident &&
+            (secret_types().count(toks[j].text) != 0 ||
+             toks[j].text == "Rng")) {
+          out->push_back({file.path, t.line, "secret-hygiene",
+                          "operator<< over key-material type " +
+                              toks[j].text + "; keys must not be printable"});
+          break;
+        }
+      }
+      continue;
+    }
+    // Secret material inside a logging/trace/metrics argument list.
+    if (sink_calls().count(t.text) != 0 && next_is_call(toks, i)) {
+      const std::size_t end = skip_balanced(toks, i + 1, "(", ")");
+      int line = t.line;
+      if (mentions_secret(toks, i + 2, end, &line)) {
+        out->push_back({file.path, line, "secret-hygiene",
+                        "key material in " + t.text + "() arguments; log a "
+                        "fingerprint or modulus size, never the secret"});
+      }
+      i = end > i ? end - 1 : i;
+    }
+  }
+  // Secret material streamed with operator<<: flag lines that mix a stream
+  // object, a "<<", and a secret.
+  static const std::set<std::string> kStreams = {
+      "cout", "cerr", "clog", "ostream",      "ofstream",
+      "oss",  "ss",   "stringstream", "ostringstream",
+  };
+  std::map<int, std::vector<std::size_t>> by_line;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    by_line[toks[i].line].push_back(i);
+  }
+  for (const auto& [line, idxs] : by_line) {
+    bool has_shift = false, has_stream = false;
+    for (const std::size_t i : idxs) {
+      if (is_punct(toks[i], "<<")) has_shift = true;
+      if (toks[i].kind == TokenKind::Ident && kStreams.count(toks[i].text)) {
+        has_stream = true;
+      }
+    }
+    if (!has_shift || !has_stream) continue;
+    int found_line = line;
+    if (mentions_secret(toks, idxs.front(), idxs.back() + 1, &found_line)) {
+      out->push_back({file.path, line, "secret-hygiene",
+                      "key material streamed to an ostream; log a "
+                      "fingerprint or modulus size, never the secret"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-io
+// ---------------------------------------------------------------------------
+
+/// Raw stdio entry points. Every one of these bypasses the capture store's
+/// CheckedFile chokepoint (src/store/io.hpp), which is where short writes,
+/// errno, and the byte-count metrics are handled exactly once.
+const std::set<std::string>& raw_io_calls() {
+  static const std::set<std::string> kCalls = {
+      "fopen",  "freopen", "fdopen", "fread", "fwrite", "fclose",
+      "fflush", "fgets",   "fputs",  "fgetc", "fputc",  "fprintf",
+      "fscanf", "fseek",   "ftell",  "rewind",
+  };
+  return kCalls;
+}
+
+void rule_raw_io(const SourceFile& file, const RuleConfig& config,
+                 std::vector<Finding>* out) {
+  const bool in_scope = std::any_of(
+      config.raw_io_scope_fragments.begin(),
+      config.raw_io_scope_fragments.end(), [&](const std::string& fragment) {
+        return file.path.find(fragment) != std::string::npos;
+      });
+  if (!in_scope) return;
+  const bool allowed =
+      std::find(config.raw_io_allowed_files.begin(),
+                config.raw_io_allowed_files.end(),
+                file.path) != config.raw_io_allowed_files.end();
+  if (allowed) return;
+  static const std::set<std::string> kStreamTypes = {"ifstream", "ofstream",
+                                                     "fstream"};
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident) continue;
+    if (raw_io_calls().count(t.text) != 0 && next_is_call(toks, i) &&
+        global_or_std(toks, i)) {
+      out->push_back({file.path, t.line, "raw-io",
+                      t.text + "() in capture-store code; route file I/O "
+                      "through store::CheckedFile (src/store/io.hpp)"});
+    } else if (kStreamTypes.count(t.text) != 0) {
+      out->push_back({file.path, t.line, "raw-io",
+                      "std::" + t.text + " in capture-store code; route file "
+                      "I/O through store::CheckedFile (src/store/io.hpp)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: timing-hygiene
+// ---------------------------------------------------------------------------
+
+/// std::chrono clocks whose `now()` must stay behind the obs chokepoint.
+/// system_clock is already covered by the determinism rule (any mention),
+/// so only the monotonic clocks are listed here.
+const std::set<std::string>& raw_clock_types() {
+  static const std::set<std::string> kClocks = {"steady_clock",
+                                                "high_resolution_clock"};
+  return kClocks;
+}
+
+void rule_timing_hygiene(const SourceFile& file, const RuleConfig& config,
+                         std::vector<Finding>* out) {
+  const bool allowed = std::any_of(
+      config.timing_allowed_fragments.begin(),
+      config.timing_allowed_fragments.end(), [&](const std::string& fragment) {
+        return file.path.find(fragment) != std::string::npos;
+      });
+  if (allowed) return;
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident || raw_clock_types().count(t.text) == 0) {
+      continue;
+    }
+    if (is_punct(toks[i + 1], "::") && is_ident(toks[i + 2], "now") &&
+        is_punct(toks[i + 3], "(")) {
+      out->push_back({file.path, t.line, "timing-hygiene",
+                      t.text + "::now() outside src/obs/; measure through "
+                      "obs::WallTimer or obs::profile_now_ns so clock reads "
+                      "stay auditable"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: engine-blocking-io
+// ---------------------------------------------------------------------------
+
+/// Member calls that complete a full request/response round-trip on the
+/// calling thread (tls::Transport's API). Inside the session engine one
+/// such call serializes the whole batch: every queued connection waits
+/// while a single handshake flight blocks.
+const std::set<std::string>& blocking_transport_calls() {
+  static const std::set<std::string> kCalls = {"send", "receive"};
+  return kCalls;
+}
+
+void rule_engine_blocking_io(const SourceFile& file, const RuleConfig& config,
+                             std::vector<Finding>* out) {
+  const bool in_scope = std::any_of(
+      config.engine_scope_fragments.begin(),
+      config.engine_scope_fragments.end(), [&](const std::string& fragment) {
+        return file.path.find(fragment) != std::string::npos;
+      });
+  if (!in_scope) return;
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::Ident) continue;
+    if (blocking_transport_calls().count(t.text) != 0 && i > 0 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        next_is_call(toks, i)) {
+      out->push_back({file.path, t.line, "engine-blocking-io",
+                      "." + t.text + "() is a blocking Transport round-trip; "
+                      "engine code queues flights through Conduit::emit and "
+                      "resumes on the next tick"});
+    } else if (is_ident(t, "Transport") && i + 1 < toks.size() &&
+               toks[i + 1].kind == TokenKind::Ident) {
+      // `Transport conn(...)` declares a synchronous per-connection
+      // transport; engine code multiplexes through Engine::open_conduit.
+      out->push_back({file.path, t.line, "engine-blocking-io",
+                      "Transport object in engine code; open a Conduit via "
+                      "Engine::open_conduit so the connection joins the "
+                      "batched tick loop"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: alert-exhaustive (cross-file)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> parse_alert_enum(const SourceFile& file) {
+  const Tokens& toks = file.lex.tokens;
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "enum") && is_ident(toks[i + 1], "class") &&
+          is_ident(toks[i + 2], "AlertDescription"))) {
+      continue;
+    }
+    std::size_t j = i + 3;
+    while (j < toks.size() && !is_punct(toks[j], "{")) ++j;  // skip ": type"
+    bool expect_name = true;
+    for (++j; j < toks.size() && !is_punct(toks[j], "}"); ++j) {
+      if (expect_name && toks[j].kind == TokenKind::Ident) {
+        out.push_back(toks[j].text);
+        expect_name = false;
+      } else if (is_punct(toks[j], ",")) {
+        expect_name = true;
+      }
+    }
+    break;
+  }
+  return out;
+}
+
+struct AlertMarker {
+  std::string name;
+  std::string file;
+  int line;
+};
+
+void rule_alert_exhaustive(const std::vector<SourceFile>& files,
+                           const RuleConfig& config,
+                           std::vector<Finding>* out) {
+  // 1. The enumerator list is ground truth, re-parsed on every run so a new
+  //    alert automatically widens the obligation.
+  std::vector<std::string> enumerators;
+  for (const auto& file : files) {
+    if (file.path == config.alert_enum_file) {
+      enumerators = parse_alert_enum(file);
+      break;
+    }
+  }
+  if (enumerators.empty()) {
+    if (!config.alert_enum_file.empty()) {
+      out->push_back({config.alert_enum_file, 1, "alert-exhaustive",
+                      "AlertDescription enum not found; the exhaustiveness "
+                      "invariant has nothing to check against"});
+    }
+    return;
+  }
+
+  // 2. Collect registered switches and check each one's coverage.
+  std::vector<AlertMarker> markers;
+  for (const auto& file : files) {
+    for (const auto& comment : file.lex.comments) {
+      std::string name;
+      if (!parse_directive(comment.text, "alert-exhaustive", &name)) continue;
+      markers.push_back({name, file.path, comment.line});
+      // Region: the first balanced {...} opening at or after the marker —
+      // the function or switch body the marker annotates.
+      const Tokens& toks = file.lex.tokens;
+      std::size_t open = 0;
+      while (open < toks.size() &&
+             !(is_punct(toks[open], "{") && toks[open].line >= comment.line)) {
+        ++open;
+      }
+      const std::size_t end = skip_balanced(toks, open, "{", "}");
+      std::set<std::string> covered;
+      for (std::size_t i = open; i + 2 < end; ++i) {
+        if (is_ident(toks[i], "AlertDescription") &&
+            is_punct(toks[i + 1], "::") &&
+            toks[i + 2].kind == TokenKind::Ident) {
+          covered.insert(toks[i + 2].text);
+        }
+      }
+      std::string missing;
+      for (const auto& e : enumerators) {
+        if (covered.count(e) == 0) {
+          missing += missing.empty() ? e : ", " + e;
+        }
+      }
+      if (!missing.empty()) {
+        out->push_back({file.path, comment.line, "alert-exhaustive",
+                        "switch '" + name + "' does not classify: " +
+                            missing});
+      }
+    }
+  }
+
+  // 3. Registered switches must exist: deleting the marker (or the whole
+  //    function) may not silently drop the invariant.
+  for (const auto& required : config.required_alert_markers) {
+    const bool present =
+        std::any_of(markers.begin(), markers.end(),
+                    [&](const AlertMarker& m) { return m.name == required; });
+    if (!present) {
+      out->push_back({config.alert_enum_file, 1, "alert-exhaustive",
+                      "registered switch '" + required + "' has no "
+                      "iotls-lint: alert-exhaustive(" + required +
+                          ") marker anywhere in the tree"});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names_v1() {
+  static const std::vector<std::string> kNames = {
+      "alert-exhaustive", "banned-api",     "determinism",
+      "engine-blocking-io", "include-hygiene", "raw-io",
+      "secret-hygiene",   "timing-hygiene"};
+  return kNames;
+}
+
+std::vector<Finding> run_rules_v1(const std::vector<SourceFile>& files,
+                                  const RuleConfig& config) {
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    rule_determinism(file, config, &findings);
+    rule_banned_api(file, &findings);
+    rule_include_hygiene(file, &findings);
+    rule_raw_io(file, config, &findings);
+    rule_secret_hygiene(file, &findings);
+    rule_timing_hygiene(file, config, &findings);
+    rule_engine_blocking_io(file, config, &findings);
+  }
+  rule_alert_exhaustive(files, config, &findings);
+
+  // Apply per-file suppressions, then order deterministically. Findings may
+  // name a file outside the scanned set (a missing required enum file);
+  // those have nowhere to carry a suppression and are always kept.
+  std::map<std::string, std::set<std::pair<std::string, int>>> allowed;
+  for (const auto& file : files) allowed[file.path] = suppressions(file);
+  std::vector<Finding> kept;
+  for (const auto& f : findings) {
+    const auto it = allowed.find(f.file);
+    if (it != allowed.end() && it->second.count({f.rule, f.line}) != 0) {
+      continue;
+    }
+    kept.push_back(f);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return kept;
+}
+
+}  // namespace iotls::lint::v1

@@ -1,0 +1,24 @@
+// The v1 token-stream rule engine, frozen as a differential oracle.
+//
+// PR 9 rebuilt iotls-lint on a parser / CFG / dataflow core (rules.hpp).
+// The ported rules must keep producing the findings the v1 engine
+// produced on the existing fixture corpus — tests/lint's differential
+// suite runs both engines over the corpus and asserts equality (with the
+// one sanctioned rename: v1 `secret-hygiene` became v2 `secret-taint`).
+// Nothing outside that suite may call into this header; the oracle only
+// stays meaningful if it never evolves with the live engine.
+#pragma once
+
+#include "rules.hpp"
+
+namespace iotls::lint::v1 {
+
+/// v1 rule catalogue (includes `secret-hygiene`).
+const std::vector<std::string>& rule_names_v1();
+
+/// The v1 engine, behavior-identical to the PR 4–8 linter. Only the
+/// RuleConfig fields that existed then are consulted.
+std::vector<Finding> run_rules_v1(const std::vector<SourceFile>& files,
+                                  const RuleConfig& config);
+
+}  // namespace iotls::lint::v1
