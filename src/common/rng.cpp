@@ -78,6 +78,22 @@ Bytes Rng::bytes(std::size_t n) {
   return out;
 }
 
+std::uint64_t split_seed(std::uint64_t parent, std::uint64_t child) {
+  // Two parent-derived keys sandwich the child through a second SplitMix64
+  // pass: the child id is whitened before it ever meets the parent state,
+  // so structured ids (sequential, bit-sparse) cannot produce structured
+  // seeds.
+  SplitMix64 base(parent);
+  const std::uint64_t k0 = base.next();
+  const std::uint64_t k1 = base.next();
+  SplitMix64 mix(child ^ k0);
+  return mix.next() ^ k1;
+}
+
+std::uint64_t split_seed(std::uint64_t parent, std::string_view label) {
+  return split_seed(parent, fnv1a64(label));
+}
+
 std::uint64_t fnv1a64(std::string_view text) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (unsigned char c : text) {

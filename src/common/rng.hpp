@@ -78,4 +78,17 @@ class Rng {
 /// deterministic identifiers.
 std::uint64_t fnv1a64(std::string_view text);
 
+/// Stable child-seed derivation: split an independent stream off `parent`
+/// for child `child` (an instance index, connection counter, …). Unlike the
+/// xor folding `Rng::derive` uses for coarse per-experiment streams, both
+/// inputs pass through SplitMix64 mixing, so sequential child ids (0, 1,
+/// 2, …) land far apart and `split_seed(a, x) == split_seed(b, y)` requires
+/// a full 64-bit collision — the property that makes fleet expansion
+/// order-independent and shard-parallel safe: any worker can derive any
+/// instance's stream from (parent, id) alone, in any order.
+std::uint64_t split_seed(std::uint64_t parent, std::uint64_t child);
+
+/// Label-keyed convenience overload: `split_seed(parent, fnv1a64(label))`.
+std::uint64_t split_seed(std::uint64_t parent, std::string_view label);
+
 }  // namespace iotls::common

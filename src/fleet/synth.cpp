@@ -1,0 +1,293 @@
+#include "fleet/synth.hpp"
+
+#include <algorithm>
+#include <cstdio>  // snprintf for shard names (not raw file I/O)
+#include <filesystem>
+#include <numeric>
+
+#include "common/pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "store/reader.hpp"
+#include "testbed/testbed.hpp"
+
+namespace iotls::fleet {
+
+namespace {
+
+struct FleetMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  obs::Counter& instances = reg.counter(
+      "iotls_fleet_instances_synthesized_total",
+      "Fleet instances expanded and written to the capture store");
+
+  obs::Counter& template_sets = reg.counter(
+      "iotls_fleet_template_sets_total",
+      "Template sets computed by sandbox replay (model x epoch x drift)");
+
+  obs::Counter& template_handshakes = reg.counter(
+      "iotls_fleet_template_handshakes_total",
+      "Real handshakes run while computing fleet template sets");
+
+  static FleetMetrics& get() {
+    static FleetMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Pick `want` distinct values from [base, base + size), sorted — partial
+/// Fisher-Yates over a scratch index vector, all draws from `rng`.
+std::vector<int> sample_sorted(common::Rng& rng, int base, std::size_t size,
+                               std::size_t want) {
+  std::vector<int> values(size);
+  std::iota(values.begin(), values.end(), base);
+  const std::size_t picks = std::min(want, size);
+  for (std::size_t k = 0; k < picks; ++k) {
+    std::swap(values[k], values[k + rng.uniform(size - k)]);
+  }
+  values.resize(picks);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+}  // namespace
+
+TemplateBank::TemplateBank(const FleetModel& fleet,
+                           const pki::CaUniverse& universe)
+    : fleet_(fleet), universe_(universe) {}
+
+std::shared_ptr<const TemplateSet> TemplateBank::get(TemplateKey key) {
+  const std::size_t shard_index =
+      (static_cast<std::size_t>(key.model) * 31 +
+       static_cast<std::size_t>(key.epoch) * 5 +
+       static_cast<std::size_t>(key.drift_bucket)) %
+      kShards;
+  Shard& shard = shards_[shard_index];
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.sets.find(key);
+    if (it != shard.sets.end()) return it->second;
+  }
+  // Compute outside the lock: a set is deterministic in its key, so two
+  // workers racing on the same key do redundant (identical) work at worst.
+  std::shared_ptr<const TemplateSet> computed = compute(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.sets.emplace(key, std::move(computed));
+  if (inserted && obs::metrics_enabled()) {
+    FleetMetrics::get().template_sets.inc();
+    FleetMetrics::get().template_handshakes.inc(it->second->handshakes);
+  }
+  return it->second;
+}
+
+std::shared_ptr<const TemplateSet> TemplateBank::compute(
+    TemplateKey key) const {
+  const obs::ProfileZone zone("fleet/template_set");
+  const devices::DeviceProfile& model = *fleet_.models()[key.model];
+  const devices::DeviceProfile frozen =
+      fleet_.frozen_profile(key.model, key.epoch);
+
+  // A single-model sandbox supplies the network + evolving cloud farm; the
+  // runtime is built over the frozen profile directly so the epoch's
+  // configuration — not the live update timeline — drives every handshake.
+  testbed::Testbed::Options tb_options;
+  tb_options.seed = fleet_.options().seed;
+  tb_options.universe = &universe_;
+  tb_options.active_only = false;
+  tb_options.devices = {model.name};
+  testbed::Testbed testbed(tb_options);
+  testbed::DeviceRuntime runtime(frozen, universe_, testbed.network());
+
+  auto set = std::make_shared<TemplateSet>();
+  const auto [first_off, last_off] = fleet_.window(key.model);
+  for (int off = first_off; off <= last_off; ++off) {
+    const common::Month month = common::kStudyStart.plus(off);
+    // Mid-month sampling date, like the passive generator; the *device*
+    // clock additionally drifts — the farm keeps true time, the client
+    // validates certificates against what it believes the date is.
+    testbed.set_date(common::SimDate::start_of(month).plus_days(14));
+    const common::SimDate device_clock =
+        testbed.date().plus_days(kDriftDays[static_cast<std::size_t>(
+            key.drift_bucket)]);
+    for (std::size_t d = 0; d < frozen.destinations.size(); ++d) {
+      const std::size_t before = testbed.network().capture().size();
+      (void)runtime.connect_to(frozen.destinations[d], device_clock);
+      const auto& records = testbed.network().capture().records();
+      auto& slot = set->records[{off, static_cast<int>(d)}];
+      for (std::size_t i = before; i < records.size(); ++i) {
+        net::HandshakeRecord record = records[i];
+        record.month = month;
+        slot.push_back(std::move(record));
+      }
+      ++set->handshakes;
+    }
+  }
+  return set;
+}
+
+std::uint64_t TemplateBank::sets_computed() const {
+  std::uint64_t n = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.sets.size();
+  }
+  return n;
+}
+
+std::uint64_t TemplateBank::handshakes_run() const {
+  std::uint64_t n = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, set] : shard.sets) n += set->handshakes;
+  }
+  return n;
+}
+
+std::string fleet_shard_name(std::uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "fleet-%06u%s", index,
+                store::kShardSuffix);
+  return name;
+}
+
+SynthReport synthesize_fleet(const SynthOptions& options,
+                             const std::string& dir) {
+  namespace fs = std::filesystem;
+  const pki::CaUniverse& universe =
+      options.universe != nullptr ? *options.universe
+                                  : pki::CaUniverse::standard();
+  const FleetModel fleet(options.fleet);
+  TemplateBank bank(fleet, universe);
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw store::StoreIoError("cannot create fleet store directory " + dir +
+                              ": " + ec.message());
+  }
+
+  const std::uint64_t count = options.fleet.instances;
+  const std::uint64_t per = std::max<std::uint64_t>(options.shard_instances, 1);
+  const std::uint32_t shard_count =
+      count == 0 ? 1 : static_cast<std::uint32_t>((count + per - 1) / per);
+
+  struct ShardOutcome {
+    store::ShardInfo info;
+    bool reused = false;
+    std::uint64_t connections = 0;
+  };
+
+  std::vector<std::uint32_t> indices(shard_count);
+  std::iota(indices.begin(), indices.end(), 0u);
+  auto outcomes = common::parallel_map(
+      options.threads, indices, [&](const std::uint32_t index) {
+        const fs::path path = fs::path(dir) / fleet_shard_name(index);
+        store::ShardHeader header;
+        header.seed = options.fleet.seed;
+        header.first = options.fleet.first;
+        header.last = options.fleet.last;
+        header.shard_index = index;
+        header.shard_count = shard_count;
+        header.label = "fleet";
+
+        if (fs::exists(path)) {
+          if (!options.resume) {
+            throw store::StoreIoError(
+                "refusing to overwrite existing shard " + path.string() +
+                " (set resume to recover a crashed run)");
+          }
+          // Keep the shard only if it is complete (footer present, every
+          // CRC good) and belongs to exactly this fleet; anything else —
+          // truncated mid-crash, stale seed — is regenerated in place.
+          ShardOutcome outcome;
+          bool reusable = false;
+          try {
+            store::ShardReader reader(path.string());
+            if (reader.header() == header) {
+              std::vector<testbed::PassiveConnectionGroup> block;
+              while (reader.next(&block)) {
+                for (const auto& group : block) {
+                  outcome.connections += group.count;
+                }
+              }
+              outcome.info.path = path.string();
+              outcome.info.header = reader.header();
+              outcome.info.groups = reader.groups_read();
+              outcome.info.blocks = reader.blocks_read();
+              outcome.info.bytes = fs::file_size(path);
+              reusable = true;
+            }
+          } catch (const store::StoreError&) {
+            reusable = false;
+          }
+          if (reusable) {
+            outcome.reused = true;
+            return outcome;
+          }
+          fs::remove(path);
+        }
+
+        const obs::ProfileZone zone("fleet/synth_shard");
+        ShardOutcome outcome;
+        store::ShardWriter writer(path.string(), header, options.block_bytes);
+        const std::uint64_t begin = static_cast<std::uint64_t>(index) * per;
+        const std::uint64_t end = std::min(count, begin + per);
+        for (std::uint64_t id = begin; id < end; ++id) {
+          const InstanceSpec spec = fleet.instance(id);
+          if (spec.death < spec.birth) continue;  // window never overlapped
+          // The observation stream is keyed by the instance uid alone —
+          // like the spec itself, it is order- and shard-independent.
+          common::Rng obs_rng(common::split_seed(spec.uid, "fleet-obs"));
+          const std::size_t window_len =
+              static_cast<std::size_t>(spec.death - spec.birth) + 1;
+          const std::vector<int> months =
+              sample_sorted(obs_rng, spec.birth, window_len,
+                            options.months_per_instance);
+          const auto& model = *fleet.models()[spec.model];
+          for (const int off : months) {
+            const common::Month month = common::kStudyStart.plus(off);
+            const int epoch = fleet.epoch_at(spec, month);
+            const auto set =
+                bank.get({spec.model, epoch, spec.drift_bucket});
+            const std::string device = fleet.label(spec, month);
+            const std::vector<int> dests =
+                sample_sorted(obs_rng, 0, model.destinations.size(),
+                              options.dests_per_month);
+            for (const int d : dests) {
+              const std::uint64_t group_count = 1 + obs_rng.uniform(24);
+              const auto it = set->records.find({off, d});
+              if (it == set->records.end()) continue;
+              for (const auto& record : it->second) {
+                testbed::PassiveConnectionGroup group;
+                group.record = record;
+                group.record.device = device;
+                group.count = group_count;
+                outcome.connections += group.count;
+                writer.add(group);
+              }
+            }
+          }
+        }
+        outcome.info = writer.close();
+        if (obs::metrics_enabled()) {
+          FleetMetrics::get().instances.inc(end - begin);
+        }
+        return outcome;
+      });
+
+  SynthReport report;
+  report.instances = count;
+  report.shards = shard_count;
+  for (const auto& outcome : outcomes) {
+    if (outcome.reused) ++report.reused_shards;
+    report.groups += outcome.info.groups;
+    report.bytes += outcome.info.bytes;
+    report.connections += outcome.connections;
+  }
+  report.template_sets = bank.sets_computed();
+  report.template_handshakes = bank.handshakes_run();
+  return report;
+}
+
+}  // namespace iotls::fleet

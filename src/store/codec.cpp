@@ -147,16 +147,12 @@ std::string CodecReader::str(std::size_t len) {
 }
 
 std::uint32_t StringDictionary::intern(const std::string& text) {
-  const auto it = std::lower_bound(
-      ids_.begin(), ids_.end(), text,
-      [](const auto& entry, const std::string& key) {
-        return entry.first < key;
-      });
-  if (it != ids_.end() && it->first == text) return it->second;
+  const auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(by_id_.size());
   by_id_.push_back(text);
   pending_.push_back(text);
-  ids_.insert(it, {text, id});
+  ids_.emplace(text, id);
   return id;
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -85,8 +86,12 @@ class StringDictionary {
  private:
   std::vector<std::string> by_id_;
   std::vector<std::string> pending_;
-  // Flat sorted map keeps the hot intern() path allocation-light.
-  std::vector<std::pair<std::string, std::uint32_t>> ids_;
+  // Hashed lookup: fleet-scale shards intern one label per *instance*
+  // (hundreds of thousands of distinct strings, nearly every intern a
+  // miss), where a flat sorted vector's O(n) insert turns quadratic. Ids
+  // are assigned in first-use order either way, so the container choice
+  // never reaches the wire format.
+  std::unordered_map<std::string, std::uint32_t> ids_;
 };
 
 // ---------------------------------------------------------------------------

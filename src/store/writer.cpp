@@ -169,8 +169,21 @@ StoreWriteReport write_store(const testbed::PassiveDataset& dataset,
   }
   if (plans.empty()) plans.emplace_back();  // empty dataset: one empty shard
 
+  const auto name_for = [&options](std::uint32_t index) {
+    if (!options.shard_namer) return shard_filename(index);
+    std::string name = options.shard_namer(index);
+    const std::string suffix(kShardSuffix);
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      throw StoreFormatError("shard_namer produced \"" + name +
+                             "\" without the " + suffix + " suffix");
+    }
+    return name;
+  };
+
   for (std::uint32_t index = 0; index < plans.size(); ++index) {
-    const fs::path path = fs::path(dir) / shard_filename(index);
+    const fs::path path = fs::path(dir) / name_for(index);
     if (fs::exists(path)) {
       throw StoreIoError("refusing to overwrite existing shard " +
                          path.string());
@@ -190,7 +203,7 @@ StoreWriteReport write_store(const testbed::PassiveDataset& dataset,
         header.shard_index = index;
         header.shard_count = static_cast<std::uint32_t>(plans.size());
         header.label = plan.label;
-        ShardWriter writer((fs::path(dir) / shard_filename(index)).string(),
+        ShardWriter writer((fs::path(dir) / name_for(index)).string(),
                            header, options.block_bytes, options.block_stats);
         for (const auto* group : plan.groups) writer.add(*group);
         return writer.close();

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,13 @@ struct StoreOptions {
   std::uint64_t seed = 0;
   common::Month first = common::kStudyStart;
   common::Month last = common::kStudyEnd;
+  /// Names the file for shard `index`. Null (the default) uses
+  /// shard_filename ("shard-NNNN.iotshard") — byte-for-byte the historical
+  /// layout. A custom name must keep the `.iotshard` suffix so list_shards
+  /// discovers it, and must sort in index order if validate_store is to
+  /// accept the result; write_store enforces the suffix. Shard *contents*
+  /// are independent of the name, so renaming never changes stored bytes.
+  std::function<std::string(std::uint32_t)> shard_namer;
 };
 
 struct StoreWriteReport {

@@ -75,8 +75,14 @@ tls::ClientResult DeviceRuntime::run_connection(
   auto connection =
       network_.connect(dest.hostname, profile_.name, now.to_month());
   if (obs::metrics_enabled()) RuntimeMetrics::get().connections.inc();
-  common::Rng rng = common::Rng::derive(
-      profile_.seed ^ connection_counter_++, "conn:" + dest.hostname);
+  // Per-connection stream: split on the counter first (so every attempt —
+  // including fallback retries — gets an unrelated stream), then on the
+  // hostname. Pure function of (seed, counter, hostname): replaying a
+  // device reproduces every connection's randomness regardless of what
+  // other devices or workers are doing.
+  common::Rng rng(common::split_seed(
+      common::split_seed(profile_.seed, connection_counter_++),
+      "conn:" + dest.hostname));
   tls::ClientConfig traced_config = config;
   if (connection.span != nullptr) traced_config.span = connection.span.get();
   tls::TlsClient client(std::move(traced_config), &roots_, rng, now);
@@ -101,8 +107,14 @@ common::Task<tls::ClientResult> DeviceRuntime::run_connection_task(
   auto connection =
       network_.open(*engine_, dest.hostname, profile_.name, now.to_month());
   if (obs::metrics_enabled()) RuntimeMetrics::get().connections.inc();
-  common::Rng rng = common::Rng::derive(
-      profile_.seed ^ connection_counter_++, "conn:" + dest.hostname);
+  // Per-connection stream: split on the counter first (so every attempt —
+  // including fallback retries — gets an unrelated stream), then on the
+  // hostname. Pure function of (seed, counter, hostname): replaying a
+  // device reproduces every connection's randomness regardless of what
+  // other devices or workers are doing.
+  common::Rng rng(common::split_seed(
+      common::split_seed(profile_.seed, connection_counter_++),
+      "conn:" + dest.hostname));
   tls::ClientConfig traced_config = config;
   if (connection.span != nullptr) traced_config.span = connection.span.get();
   tls::TlsClient client(std::move(traced_config), &roots_, rng, now);

@@ -142,6 +142,66 @@ TEST(StoreWrite, BytesAreIdenticalAtAnyThreadCount) {
   fs::remove_all(parallel_dir);
 }
 
+TEST(StoreWrite, ShardNamerRenamesWithoutChangingContent) {
+  const auto dataset = iotls::storetest::random_dataset(27, 100);
+  const std::string default_dir = fresh_dir("namer_default");
+  const std::string custom_dir = fresh_dir("namer_custom");
+  StoreOptions options;
+  options.layout = ShardLayout::FixedSize;
+  options.groups_per_shard = 16;
+  const auto base = iotls::store::write_store(dataset, default_dir, options);
+
+  StoreOptions renamed = options;
+  renamed.shard_namer = [](std::uint32_t index) {
+    return "scan-" + std::to_string(index) + ".iotshard";
+  };
+  const auto custom = iotls::store::write_store(dataset, custom_dir, renamed);
+  ASSERT_EQ(base.shards.size(), custom.shards.size());
+  for (std::size_t i = 0; i < base.shards.size(); ++i) {
+    EXPECT_EQ(fs::path(custom.shards[i].path).filename().string(),
+              "scan-" + std::to_string(i) + ".iotshard");
+    // Renaming never perturbs stored bytes: shard contents are a function
+    // of the dataset slice, not the file name.
+    EXPECT_EQ(slurp(base.shards[i].path), slurp(custom.shards[i].path));
+  }
+  fs::remove_all(default_dir);
+  fs::remove_all(custom_dir);
+}
+
+TEST(StoreWrite, NullShardNamerIsByteIdenticalToDefaultNames) {
+  const auto dataset = iotls::storetest::random_dataset(28, 40);
+  const std::string plain_dir = fresh_dir("namer_null");
+  const std::string explicit_dir = fresh_dir("namer_explicit");
+  StoreOptions options;
+  options.layout = ShardLayout::FixedSize;
+  options.groups_per_shard = 8;
+  const auto plain = iotls::store::write_store(dataset, plain_dir, options);
+  StoreOptions with_namer = options;
+  with_namer.shard_namer = iotls::store::shard_filename;
+  const auto named =
+      iotls::store::write_store(dataset, explicit_dir, with_namer);
+  ASSERT_EQ(plain.shards.size(), named.shards.size());
+  for (std::size_t i = 0; i < plain.shards.size(); ++i) {
+    EXPECT_EQ(fs::path(plain.shards[i].path).filename(),
+              fs::path(named.shards[i].path).filename());
+    EXPECT_EQ(slurp(plain.shards[i].path), slurp(named.shards[i].path));
+  }
+  fs::remove_all(plain_dir);
+  fs::remove_all(explicit_dir);
+}
+
+TEST(StoreWrite, ShardNamerWithoutSuffixThrows) {
+  const auto dataset = iotls::storetest::random_dataset(29, 10);
+  const std::string dir = fresh_dir("namer_suffix");
+  StoreOptions options;
+  options.shard_namer = [](std::uint32_t index) {
+    return "shard-" + std::to_string(index) + ".dat";
+  };
+  EXPECT_THROW((void)iotls::store::write_store(dataset, dir, options),
+               iotls::store::StoreFormatError);
+  fs::remove_all(dir);
+}
+
 TEST(StoreWrite, RefusesToOverwriteExistingShards) {
   const auto dataset = iotls::storetest::random_dataset(25, 10);
   const std::string dir = fresh_dir("overwrite");

@@ -85,7 +85,7 @@ struct RuleConfig {
   /// reads shards, so it inherits the store's discipline.
   std::vector<std::string> raw_io_scope_fragments = {
       "src/store/", "tools/store/", "src/query/", "tools/query/",
-      "src/engine/"};
+      "src/engine/", "src/fleet/", "tools/fleet/"};
   /// The chokepoint implementation itself — the one file in scope allowed
   /// to touch raw stdio.
   std::vector<std::string> raw_io_allowed_files = {"src/store/io.cpp"};
